@@ -1,0 +1,42 @@
+// Command memcached runs this repository's memcached-compatible server on
+// a real TCP socket — the "unmodified Memcached" that TCPStore builds on
+// (§4.3). It speaks the classic text protocol (get/gets/set/add/replace/
+// cas/delete/touch/flush_all/stats/version/quit) and is wire-compatible
+// with standard memcached clients for those commands.
+//
+// Usage:
+//
+//	memcached [-addr 127.0.0.1:11211] [-max-bytes N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/memcache"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:11211", "listen address")
+	maxBytes := flag.Int("max-bytes", 64<<20, "memory cap in bytes (0 = unlimited)")
+	flag.Parse()
+
+	engine := memcache.NewEngine(*maxBytes, nil)
+	srv, err := memcache.ListenAndServe(*addr, engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memcached: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("memcached-compatible server listening on %s (cap %d bytes)\n", srv.Addr(), *maxBytes)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+	st := engine.Stats()
+	fmt.Printf("shutting down: %d items, %d bytes, %d sets, %d hits, %d misses\n",
+		st.CurrItems, st.BytesUsed, st.Sets, st.GetHits, st.GetMisses)
+}

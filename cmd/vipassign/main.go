@@ -1,0 +1,57 @@
+// Command vipassign runs the §8 trace-driven simulations: Figure 15 (the
+// max-to-average traffic ratios that bound the shared-service cost
+// saving) and Figure 16 (the 24-hour VIP-assignment replay comparing
+// all-to-all, Yoda-no-limit and Yoda-limit).
+//
+// Usage:
+//
+//	vipassign -exp fig15|fig16|all [-seed N] [-vips N] [-windows N]
+//	          [-traffic-cap N] [-rule-cap N] [-migration-limit F]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig15, fig16, all")
+	seed := flag.Int64("seed", 1, "trace seed")
+	vips := flag.Int("vips", 120, "number of VIPs in the trace")
+	windows := flag.Int("windows", 0, "limit Figure 16 to the first N windows (0 = all 144)")
+	trafficCap := flag.Float64("traffic-cap", 12000, "T_y: per-instance traffic capacity (req/s)")
+	ruleCap := flag.Int("rule-cap", 2000, "R_y: per-instance rule capacity")
+	migLimit := flag.Float64("migration-limit", 0.10, "δ: migration budget for Yoda-limit")
+	flag.Parse()
+
+	tcfg := trace.DefaultConfig()
+	tcfg.Seed = *seed
+	tcfg.NumVIPs = *vips
+
+	switch *exp {
+	case "fig15":
+		fmt.Println(experiments.RunFig15(tcfg))
+	case "fig16":
+		fmt.Println(runFig16(tcfg, *windows, *trafficCap, *ruleCap, *migLimit))
+	case "all":
+		fmt.Println(experiments.RunFig15(tcfg))
+		fmt.Println(runFig16(tcfg, *windows, *trafficCap, *ruleCap, *migLimit))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (fig15, fig16, all)\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func runFig16(tcfg trace.Config, windows int, trafficCap float64, ruleCap int, migLimit float64) *experiments.Fig16Result {
+	cfg := experiments.DefaultFig16Config()
+	cfg.Trace = tcfg
+	cfg.Windows = windows
+	cfg.TrafficCap = trafficCap
+	cfg.RuleCap = ruleCap
+	cfg.MigrationLimit = migLimit
+	return experiments.RunFig16(cfg)
+}

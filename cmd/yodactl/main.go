@@ -1,0 +1,175 @@
+// Command yodactl is the operator CLI for a Yoda deployment, speaking
+// the admin HTTP API (§6's RESTful interface). It can also launch a demo
+// deployment with the API server attached, so the full operator loop can
+// be exercised from two shells:
+//
+//	yodactl -addr 127.0.0.1:7070 serve            # shell 1: demo cluster
+//	yodactl -addr 127.0.0.1:7070 instances        # shell 2: operate it
+//	yodactl -addr 127.0.0.1:7070 vips
+//	yodactl -addr 127.0.0.1:7070 backends
+//	yodactl -addr 127.0.0.1:7070 stats
+//	yodactl -addr 127.0.0.1:7070 fail 0
+//	yodactl -addr 127.0.0.1:7070 run 5s
+//	yodactl -addr 127.0.0.1:7070 set-policy shop 'rule all prio=1 url=* split=shop-srv-1:1'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	yoda "repro"
+	"repro/internal/adminapi"
+	"repro/internal/controller"
+	"repro/internal/httpsim"
+	"repro/internal/netsim"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "admin API address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	if args[0] == "serve" {
+		serve(*addr)
+		return
+	}
+	cl := adminapi.NewClient(*addr)
+	if err := dispatch(cl, args); err != nil {
+		fmt.Fprintf(os.Stderr, "yodactl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: yodactl [-addr host:port] <serve|instances|vips|backends|stats|fail N|run DUR|set-policy SERVICE RULES>")
+	os.Exit(2)
+}
+
+func dispatch(cl *adminapi.Client, args []string) error {
+	switch args[0] {
+	case "instances":
+		insts, err := cl.Instances()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-5s %-12s %-6s %-6s %-6s %-10s %s\n", "idx", "ip", "alive", "flows", "rules", "recovered", "cpu-busy")
+		for _, in := range insts {
+			fmt.Printf("%-5d %-12s %-6v %-6d %-6d %-10d %.1fms\n",
+				in.Index, in.IP, in.Alive, in.Flows, in.Rules, in.Recovered, in.CPUBusyMs)
+		}
+		return nil
+	case "vips":
+		vips, err := cl.VIPs()
+		if err != nil {
+			return err
+		}
+		for _, v := range vips {
+			fmt.Printf("%s -> %s on %d instances %v (%d rules)\n", v.Service, v.VIP, len(v.Instances), v.Instances, v.Rules)
+		}
+		return nil
+	case "backends":
+		bs, err := cl.Backends()
+		if err != nil {
+			return err
+		}
+		for _, b := range bs {
+			fmt.Printf("%-16s %-16s alive=%-5v requests=%d\n", b.Name, b.Addr, b.Alive, b.Requests)
+		}
+		return nil
+	case "stats":
+		st, err := cl.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("virtual time:     %s\n", st.VirtualTime)
+		fmt.Printf("detections:       %d\n", st.Detections)
+		fmt.Printf("scale-outs:       %d (+%d instances)\n", st.ScaleOuts, st.InstancesAdded)
+		for svc, n := range st.TrafficPerVIP {
+			fmt.Printf("traffic[%s]:    %d flows\n", svc, n)
+		}
+		return nil
+	case "fail":
+		if len(args) != 2 {
+			return fmt.Errorf("fail needs an instance index")
+		}
+		idx, err := strconv.Atoi(args[1])
+		if err != nil {
+			return fmt.Errorf("bad index %q", args[1])
+		}
+		if err := cl.FailInstance(idx); err != nil {
+			return err
+		}
+		fmt.Printf("instance %d failed; the monitor will repair the mapping within 600ms of virtual time\n", idx)
+		return nil
+	case "run":
+		if len(args) != 2 {
+			return fmt.Errorf("run needs a duration, e.g. 5s")
+		}
+		d, err := time.ParseDuration(args[1])
+		if err != nil {
+			return err
+		}
+		now, err := cl.Run(d)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("virtual time is now %v\n", now)
+		return nil
+	case "set-policy":
+		if len(args) != 3 {
+			return fmt.Errorf("set-policy needs SERVICE and RULES")
+		}
+		if err := cl.SetPolicy(args[1], args[2]); err != nil {
+			return err
+		}
+		fmt.Println("policy installed (applies to new connections)")
+		return nil
+	default:
+		usage()
+		return nil
+	}
+}
+
+// serve stands up a demo deployment with background traffic and attaches
+// the admin API, so yodactl commands from another shell operate on a
+// live (simulated) system. Virtual time advances only via `yodactl run`.
+func serve(addr string) {
+	tb := yoda.NewTestbed(yoda.TestbedConfig{Seed: 1, Instances: 4, StoreServers: 3})
+	vip := tb.AddService("shop", map[string][]byte{
+		"/":         []byte("<html>shop</html>"),
+		"/item.jpg": make([]byte, 30*1024),
+	}, 3)
+
+	// A modest self-sustaining workload inside the simulation.
+	var pump func()
+	pump = func() {
+		tb.FetchAsync(vip, "/item.jpg", func(*httpsim.FetchResult) {})
+		tb.Cluster.Net.Schedule(50*time.Millisecond, pump)
+	}
+	pump()
+
+	srv := adminapi.NewServer(tb.Cluster, tb.Controller)
+	if err := srv.Start(addr); err != nil {
+		fmt.Fprintf(os.Stderr, "yodactl serve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("demo deployment up: service shop behind VIP %v; admin API on %s\n", vip, srv.Addr())
+	fmt.Println("advance virtual time with: yodactl -addr", srv.Addr(), "run 5s")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+}
+
+var (
+	_ = controller.DefaultConfig
+	_ = netsim.IPv4
+)

@@ -1,0 +1,82 @@
+// Command yodasim runs the testbed experiments of the paper's evaluation
+// (§2.3, §7) in the deterministic simulator and prints the table or
+// figure the paper reports.
+//
+// Usage:
+//
+//	yodasim -exp table1|fig6|fig9|fig10|fig12|fig12b|fig13|fig14|cpu|all [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: table1, fig6, fig9, fig10, fig12, fig12b, fig13, fig14, cpu, all")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	runners := map[string]func() fmt.Stringer{
+		"table1": func() fmt.Stringer { return experiments.RunTable1(*seed) },
+		"fig6": func() fmt.Stringer {
+			cfg := experiments.DefaultFig6Config()
+			cfg.Seed = *seed
+			return experiments.RunFig6(cfg)
+		},
+		"fig9": func() fmt.Stringer {
+			cfg := experiments.DefaultFig9Config()
+			cfg.Seed = *seed
+			return experiments.RunFig9(cfg)
+		},
+		"fig10": func() fmt.Stringer {
+			cfg := experiments.DefaultFig10Config()
+			cfg.Seed = *seed
+			return experiments.RunFig10(cfg)
+		},
+		"fig12": func() fmt.Stringer {
+			cfg := experiments.DefaultFig12Config()
+			cfg.Seed = *seed
+			return experiments.RunFig12(cfg)
+		},
+		// Figure 11 is the CPU half of the Figure 10 harness.
+		"fig11": func() fmt.Stringer {
+			cfg := experiments.DefaultFig10Config()
+			cfg.Seed = *seed
+			return experiments.RunFig10(cfg)
+		},
+		"fig12b": func() fmt.Stringer { return experiments.RunFig12b(*seed) },
+		"fig13": func() fmt.Stringer {
+			cfg := experiments.DefaultFig13Config()
+			cfg.Seed = *seed
+			return experiments.RunFig13(cfg)
+		},
+		"fig14": func() fmt.Stringer {
+			cfg := experiments.DefaultFig14Config()
+			cfg.Seed = *seed
+			return experiments.RunFig14(cfg)
+		},
+		"cpu": func() fmt.Stringer {
+			cfg := experiments.DefaultCPUConfig()
+			cfg.Seed = *seed
+			return experiments.RunCPU(cfg)
+		},
+	}
+
+	order := []string{"table1", "fig6", "fig9", "fig10", "cpu", "fig12", "fig12b", "fig13", "fig14"}
+	if *exp != "all" {
+		run, ok := runners[*exp]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; one of %v, fig11, or all\n", *exp, order)
+			os.Exit(2)
+		}
+		fmt.Println(run().String())
+		return
+	}
+	for _, name := range order {
+		fmt.Println(runners[name]().String())
+	}
+}

@@ -1,0 +1,100 @@
+// Multitenant: the "as-a-service" story of the paper. Several online
+// services share one Yoda fleet; the Figure-7 assignment places each
+// VIP's rules on a subset of instances (bounding lookup latency), the
+// controller applies the mapping, and traffic for every tenant flows —
+// including across an instance failure that touches several tenants at
+// once.
+//
+//	go run ./examples/multitenant
+package main
+
+import (
+	"fmt"
+	"time"
+
+	yoda "repro"
+	"repro/internal/httpsim"
+	"repro/internal/netsim"
+)
+
+func main() {
+	tb := yoda.NewTestbed(yoda.TestbedConfig{Seed: 11, Instances: 6, StoreServers: 3})
+	defer tb.Close()
+
+	// Four tenants with different traffic weights (like §7's four
+	// university sites sharing 30 backends).
+	tenants := []struct {
+		name     string
+		backends int
+		weight   int // relative request rate
+	}{
+		{"news", 3, 4},
+		{"video", 3, 3},
+		{"shop", 2, 2},
+		{"blog", 1, 1},
+	}
+	vips := map[string]netsim.IP{}
+	for _, tn := range tenants {
+		objects := map[string][]byte{
+			"/":     []byte("<html>" + tn.name + "</html>"),
+			"/data": make([]byte, 20*1024),
+		}
+		vips[tn.name] = tb.AddService(tn.name, objects, tn.backends)
+	}
+	fmt.Println("tenants deployed:")
+	for _, tn := range tenants {
+		fmt.Printf("  %-6s -> VIP %v (%d backends)\n", tn.name, vips[tn.name], tn.backends)
+	}
+
+	// Weighted background traffic for every tenant.
+	requests := map[string]*int{}
+	broken := 0
+	for _, tn := range tenants {
+		tn := tn
+		count := new(int)
+		requests[tn.name] = count
+		var pump func()
+		pump = func() {
+			if tb.Now() >= 20*time.Second {
+				return
+			}
+			tb.FetchAsync(vips[tn.name], "/data", func(r *httpsim.FetchResult) {
+				*count++
+				if r.Err != nil {
+					broken++
+				}
+			})
+			tb.Cluster.Net.Schedule(time.Second/time.Duration(10*tn.weight), pump)
+		}
+		pump()
+	}
+
+	// Fail an instance at t=8s: multiple tenants' flows live there.
+	tb.Run(8 * time.Second)
+	fmt.Printf("\nt=8s: failing instance 0 (carries %d flows across tenants)\n",
+		tb.Cluster.Yoda[0].FlowCount())
+	tb.KillInstance(0)
+
+	tb.Run(40 * time.Second)
+
+	fmt.Println("\nresults after 20s of traffic and one instance failure:")
+	total := 0
+	for _, tn := range tenants {
+		fmt.Printf("  %-6s %5d requests\n", tn.name, *requests[tn.name])
+		total += *requests[tn.name]
+	}
+	fmt.Printf("  total  %5d requests, %d broken (decoupled state keeps every tenant whole)\n", total, broken)
+
+	recovered := uint64(0)
+	for _, in := range tb.Cluster.Yoda {
+		recovered += in.Recovered
+	}
+	fmt.Printf("\nflows recovered from TCPStore: %d; controller detections: %d\n",
+		recovered, tb.Controller.Detections)
+
+	// The shared-fleet economics (§8.1): each tenant alone would provision
+	// for its peak; the shared fleet provisions for the sum of averages.
+	st := yoda.GenerateTrace(yoda.DefaultTraceConfig()).Ratios()
+	fmt.Printf("on the §8 trace, per-tenant peak provisioning wastes %.1fx on average (range %.1f–%.1fx)\n",
+		st.Mean, st.Min, st.Max)
+}

@@ -1,0 +1,89 @@
+// VIP assignment: generate a synthetic production trace, build the
+// Figure-7 assignment problem for its busiest window, solve it with the
+// greedy solver, and verify every constraint — then show what the
+// migration budget changes between consecutive rounds.
+//
+//	go run ./examples/vipassignment
+package main
+
+import (
+	"fmt"
+
+	yoda "repro"
+	"repro/internal/assignment"
+)
+
+func main() {
+	tr := yoda.GenerateTrace(yoda.DefaultTraceConfig())
+	fmt.Printf("trace: %d VIPs, %d windows, %d rules total\n\n",
+		len(tr.VIPs), tr.Windows, tr.TotalRules())
+
+	// Find the busiest window.
+	busiest, peak := 0, 0.0
+	for w := 0; w < tr.Windows; w++ {
+		sum := 0.0
+		for i := range tr.VIPs {
+			sum += tr.VIPs[i].Series[w]
+		}
+		if sum > peak {
+			busiest, peak = w, sum
+		}
+	}
+	fmt.Printf("busiest window: #%d with %.0f req/s aggregate\n", busiest, peak)
+
+	// Build and solve the Figure-7 problem (T_y=12K req/s, R_y=2K rules,
+	// 4x replication, as in §8.2).
+	p := tr.ProblemAt(busiest, 12000, 2000, 600, 4)
+	a, err := yoda.SolveAssignment(p)
+	if err != nil {
+		panic(err)
+	}
+	if err := yoda.VerifyAssignment(p, a); err != nil {
+		panic(err)
+	}
+	fmt.Printf("greedy solution: %d instances (all-to-all would need %d by traffic alone)\n",
+		a.Used(), assignment.AllToAllInstanceCount(p))
+
+	// Rules per instance: the whole point of many-to-many assignment.
+	perInst := map[int]int{}
+	for i := range p.VIPs {
+		for _, y := range a.ByVIP[p.VIPs[i].ID] {
+			perInst[y] += p.VIPs[i].Rules
+		}
+	}
+	maxRules := 0
+	for _, r := range perInst {
+		if r > maxRules {
+			maxRules = r
+		}
+	}
+	fmt.Printf("max rules on any instance: %d (cap 2000; all-to-all would hold all %d)\n\n",
+		maxRules, tr.TotalRules())
+
+	// Next round: traffic moved; compare unconstrained vs δ=10% updates.
+	next := tr.ProblemAt((busiest+1)%tr.Windows, 12000, 2000, 600, 4)
+
+	free := *next
+	free.Old = nil // re-optimize from scratch, as an ILP would
+	freeSol, err := yoda.SolveAssignment(&free)
+	if err != nil {
+		panic(err)
+	}
+	freeProb := *next
+	freeProb.Old = a
+	fmt.Printf("unconstrained re-solve: %d instances, migrating %.1f%% of connections\n",
+		freeSol.Used(), 100*assignment.MigratedFraction(&freeProb, freeSol))
+
+	capped := *next
+	capped.Old = a
+	capped.TransientCheck = true
+	capped.MigrationLimit = 0.10
+	cappedSol, err := yoda.SolveAssignment(&capped)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("δ=10%% constrained:      %d instances, migrating %.1f%% of connections\n",
+		cappedSol.Used(), 100*assignment.MigratedFraction(&capped, cappedSol))
+	fmt.Println("\nthe congestion-free update costs almost nothing in instances but")
+	fmt.Println("protects TCPStore and the instances from transient overload (§4.5).")
+}

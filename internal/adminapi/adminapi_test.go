@@ -1,0 +1,166 @@
+package adminapi_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/adminapi"
+	"repro/internal/cluster"
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/httpsim"
+	"repro/internal/memcache"
+	"repro/internal/netsim"
+	"repro/internal/tcpstore"
+)
+
+type apiWorld struct {
+	c   *cluster.Cluster
+	ct  *controller.Controller
+	srv *adminapi.Server
+	cl  *adminapi.Client
+	vip netsim.IP
+}
+
+func newAPIWorld(t *testing.T) *apiWorld {
+	t.Helper()
+	c := cluster.New(51)
+	c.AddStoreServers(2, memcache.DefaultSimServerConfig())
+	objs := map[string][]byte{"/x": []byte("data")}
+	c.AddBackend("srv-1", objs, httpsim.DefaultServerConfig())
+	c.AddBackend("srv-2", objs, httpsim.DefaultServerConfig())
+	c.AddYodaN(3, core.DefaultConfig(), tcpstore.DefaultConfig())
+	vip := c.AddVIP("shop")
+	ct := controller.New(c, controller.DefaultConfig())
+	ct.SetPolicy(vip, c.SimpleSplitRules("srv-1", "srv-2"), nil)
+	ct.Start()
+	srv := adminapi.NewServer(c, ct)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return &apiWorld{c: c, ct: ct, srv: srv, cl: adminapi.NewClient(srv.Addr()), vip: vip}
+}
+
+func TestInstancesEndpoint(t *testing.T) {
+	w := newAPIWorld(t)
+	insts, err := w.cl.Instances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 3 {
+		t.Fatalf("instances = %d", len(insts))
+	}
+	for _, in := range insts {
+		if !in.Alive || in.Rules != 1 {
+			t.Fatalf("instance: %+v", in)
+		}
+		if !strings.HasPrefix(in.IP, "10.0.1.") {
+			t.Fatalf("instance IP: %q", in.IP)
+		}
+	}
+}
+
+func TestVIPsAndBackendsEndpoints(t *testing.T) {
+	w := newAPIWorld(t)
+	vips, err := w.cl.VIPs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vips) != 1 || vips[0].Service != "shop" || len(vips[0].Instances) != 3 {
+		t.Fatalf("vips: %+v", vips)
+	}
+	bs, err := w.cl.Backends()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 2 || !bs[0].Alive {
+		t.Fatalf("backends: %+v", bs)
+	}
+}
+
+func TestRunAndStatsEndpoints(t *testing.T) {
+	w := newAPIWorld(t)
+	// Generate some traffic inside virtual time.
+	cl := w.c.NewClient(httpsim.DefaultClientConfig())
+	cl.Get(netsim.HostPort{IP: w.vip, Port: 80}, "/x", func(*httpsim.FetchResult) {})
+	now, err := w.cl.Run(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if now < 5*time.Second {
+		t.Fatalf("virtual time = %v", now)
+	}
+	st, err := w.cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TrafficPerVIP["shop"] != 1 {
+		t.Fatalf("traffic: %+v", st)
+	}
+}
+
+func TestFailInstanceEndpoint(t *testing.T) {
+	w := newAPIWorld(t)
+	if err := w.cl.FailInstance(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.cl.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	insts, _ := w.cl.Instances()
+	if insts[0].Alive {
+		t.Fatal("instance 0 still alive")
+	}
+	st, _ := w.cl.Stats()
+	if st.Detections != 1 {
+		t.Fatalf("detections = %d", st.Detections)
+	}
+	// Out of range fails cleanly.
+	if err := w.cl.FailInstance(99); err == nil {
+		t.Fatal("no error for bad index")
+	}
+}
+
+func TestSetPolicyEndpoint(t *testing.T) {
+	w := newAPIWorld(t)
+	err := w.cl.SetPolicy("shop", "rule all prio=1 url=* split=srv-1:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Traffic now goes only to srv-1.
+	for i := 0; i < 6; i++ {
+		cl := w.c.NewClient(httpsim.DefaultClientConfig())
+		cl.Get(netsim.HostPort{IP: w.vip, Port: 80}, "/x", func(*httpsim.FetchResult) {})
+	}
+	if _, err := w.cl.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	bs, _ := w.cl.Backends()
+	for _, b := range bs {
+		if b.Name == "srv-2" && b.Requests != 0 {
+			t.Fatalf("srv-2 got %d requests after policy pin", b.Requests)
+		}
+		if b.Name == "srv-1" && b.Requests != 6 {
+			t.Fatalf("srv-1 got %d requests, want 6", b.Requests)
+		}
+	}
+	// Errors surface: unknown service, bad rule text.
+	if err := w.cl.SetPolicy("ghost", "rule r prio=1 url=* split=srv-1:1"); err == nil {
+		t.Fatal("no error for unknown service")
+	}
+	if err := w.cl.SetPolicy("shop", "rule broken prio=x"); err == nil {
+		t.Fatal("no error for bad rule text")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	w := newAPIWorld(t)
+	if _, err := w.cl.Run(-time.Second); err == nil {
+		t.Fatal("negative duration accepted")
+	}
+	if _, err := w.cl.Run(48 * time.Hour); err == nil {
+		t.Fatal("oversized duration accepted")
+	}
+}

@@ -1,0 +1,71 @@
+// Package adminapi exposes the Yoda controller over a real HTTP/JSON
+// interface — the "RESTful APIs" through which the paper's components
+// and operators interact (§6). The server bridges real sockets to the
+// simulated cluster: every request is serialized against the simulation
+// (which is single-threaded by design), and a /run endpoint advances
+// virtual time, so an operator — or the yodactl CLI — can drive a whole
+// deployment from the shell.
+package adminapi
+
+import "time"
+
+// InstanceInfo describes one Yoda instance.
+type InstanceInfo struct {
+	Index     int     `json:"index"`
+	IP        string  `json:"ip"`
+	Alive     bool    `json:"alive"`
+	Flows     int     `json:"flows"`
+	Rules     int     `json:"rules"`
+	Recovered uint64  `json:"recovered"`
+	CPUBusyMs float64 `json:"cpuBusyMs"`
+}
+
+// VIPInfo describes one VIP and its current mapping.
+type VIPInfo struct {
+	Service   string   `json:"service"`
+	VIP       string   `json:"vip"`
+	Instances []string `json:"instances"`
+	Rules     int      `json:"rules"`
+}
+
+// BackendInfo describes one backend server.
+type BackendInfo struct {
+	Name     string `json:"name"`
+	Addr     string `json:"addr"`
+	Alive    bool   `json:"alive"`
+	Requests int    `json:"requests"`
+}
+
+// StatsInfo is the controller's aggregate view.
+type StatsInfo struct {
+	VirtualTime    string            `json:"virtualTime"`
+	Detections     int               `json:"detections"`
+	ScaleOuts      int               `json:"scaleOuts"`
+	InstancesAdded int               `json:"instancesAdded"`
+	TrafficPerVIP  map[string]uint64 `json:"trafficPerVip"`
+}
+
+// PolicyRequest installs or updates a VIP's rules (the §5.1 text format).
+type PolicyRequest struct {
+	Rules string `json:"rules"`
+}
+
+// RunRequest advances the simulation.
+type RunRequest struct {
+	Duration string `json:"duration"` // Go duration string, e.g. "5s"
+}
+
+// RunResponse reports the clock after a run.
+type RunResponse struct {
+	VirtualTime string `json:"virtualTime"`
+}
+
+// ErrorResponse carries an API error.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// parseDuration is a strict wrapper used by both server and client.
+func parseDuration(s string) (time.Duration, error) {
+	return time.ParseDuration(s)
+}

@@ -1,0 +1,227 @@
+// Package cluster assembles full simulated testbeds — clients, the L4
+// load balancer, Yoda or HAProxy L7 instances, TCPStore (Memcached)
+// servers, and backend web servers — mirroring the paper's 60-VM Azure
+// deployment (§7: 10 Yoda instances, 10 Memcached servers, 30 backends
+// across 4 online services, 10 L4 muxes).
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/haproxy"
+	"repro/internal/httpsim"
+	"repro/internal/l4lb"
+	"repro/internal/memcache"
+	"repro/internal/netsim"
+	"repro/internal/rules"
+	"repro/internal/tcpstore"
+)
+
+// Address plan for the simulated datacenter.
+const (
+	yodaSubnet    = 1 // 10.0.1.x — Yoda instances
+	backendSubnet = 2 // 10.0.2.x — backend web servers
+	storeSubnet   = 3 // 10.0.3.x — Memcached servers
+	proxySubnet   = 4 // 10.0.4.x — HAProxy baseline instances
+)
+
+// VIPBase is the prefix VIPs are allocated under (10.255.0.x).
+func vipIP(i int) netsim.IP { return netsim.IPv4(10, 255, 0, byte(i)) }
+
+// Cluster is an assembled testbed.
+type Cluster struct {
+	Net *netsim.Network
+	L4  *l4lb.LB
+
+	Yoda         []*core.Instance
+	HAProxy      []*haproxy.Instance
+	StoreServers []*memcache.SimServer
+	StoreAddrs   []netsim.HostPort
+
+	Backends map[string]*Backend // by name
+	VIPs     map[string]netsim.IP
+
+	Health *rules.StaticInfo // shared backend health/load view
+
+	nextClient  int
+	nextBackend int
+	nextYoda    int
+	nextProxy   int
+	nextVIP     int
+}
+
+// Backend is one backend web server plus its rule-engine identity.
+type Backend struct {
+	Name   string
+	Server *httpsim.Server
+	Rec    rules.Backend
+}
+
+// New creates an empty cluster with an L4 LB.
+func New(seed int64) *Cluster {
+	n := netsim.New(seed)
+	return &Cluster{
+		Net:      n,
+		L4:       l4lb.New(n, l4lb.DefaultConfig()),
+		Backends: make(map[string]*Backend),
+		VIPs:     make(map[string]netsim.IP),
+		Health:   &rules.StaticInfo{Dead: map[string]bool{}, Loads: map[string]float64{}},
+	}
+}
+
+// AddStoreServers starts n Memcached servers and returns their addresses.
+func (c *Cluster) AddStoreServers(n int, cfg memcache.SimServerConfig) []netsim.HostPort {
+	for i := 0; i < n; i++ {
+		idx := len(c.StoreServers) + 1
+		h := netsim.NewHost(c.Net, netsim.IPv4(10, 0, storeSubnet, byte(idx)))
+		srv := memcache.NewSimServer(h, memcache.DefaultPort, cfg)
+		c.StoreServers = append(c.StoreServers, srv)
+		c.StoreAddrs = append(c.StoreAddrs, netsim.HostPort{IP: h.IP(), Port: memcache.DefaultPort})
+	}
+	return c.StoreAddrs
+}
+
+// AddYoda starts one Yoda instance wired to the cluster's L4 LB and
+// TCPStore servers, and returns it. SNAT ranges are partitioned per
+// instance automatically.
+func (c *Cluster) AddYoda(cfg core.Config, storeCfg tcpstore.Config) *core.Instance {
+	c.nextYoda++
+	h := netsim.NewHost(c.Net, netsim.IPv4(10, 0, yodaSubnet, byte(c.nextYoda)))
+	st := tcpstore.New(h, c.StoreAddrs, storeCfg)
+	cfg.SNATBase = 20000 + uint16(c.nextYoda)*cfg.SNATCount
+	inst := core.NewInstance(h, c.L4, st, cfg)
+	inst.SetBackendInfo(c.Health)
+	c.Yoda = append(c.Yoda, inst)
+	return inst
+}
+
+// AddYodaN adds n instances with shared configs.
+func (c *Cluster) AddYodaN(n int, cfg core.Config, storeCfg tcpstore.Config) {
+	for i := 0; i < n; i++ {
+		c.AddYoda(cfg, storeCfg)
+	}
+}
+
+// AddHAProxy starts one HAProxy-style baseline instance.
+func (c *Cluster) AddHAProxy(cfg haproxy.Config) *haproxy.Instance {
+	c.nextProxy++
+	h := netsim.NewHost(c.Net, netsim.IPv4(10, 0, proxySubnet, byte(c.nextProxy)))
+	inst := haproxy.NewInstance(h, 80, cfg)
+	inst.SetBackendInfo(c.Health)
+	c.HAProxy = append(c.HAProxy, inst)
+	return inst
+}
+
+// AddHAProxyN adds n baseline instances.
+func (c *Cluster) AddHAProxyN(n int, cfg haproxy.Config) {
+	for i := 0; i < n; i++ {
+		c.AddHAProxy(cfg)
+	}
+}
+
+// AddBackend starts a backend web server serving the given objects and
+// registers it under name.
+func (c *Cluster) AddBackend(name string, objects map[string][]byte, cfg httpsim.ServerConfig) *Backend {
+	c.nextBackend++
+	h := netsim.NewHost(c.Net, netsim.IPv4(10, 0, backendSubnet, byte(c.nextBackend)))
+	srv := httpsim.NewServer(h, 80, httpsim.MapHandler(objects), cfg)
+	b := &Backend{
+		Name:   name,
+		Server: srv,
+		Rec:    rules.Backend{Name: name, Addr: netsim.HostPort{IP: h.IP(), Port: 80}},
+	}
+	c.Backends[name] = b
+	return b
+}
+
+// AddVIP allocates a VIP for a named service and announces it at the L4
+// LB.
+func (c *Cluster) AddVIP(service string) netsim.IP {
+	c.nextVIP++
+	vip := vipIP(c.nextVIP)
+	c.VIPs[service] = vip
+	c.L4.AddVIP(vip)
+	return vip
+}
+
+// Resolver returns a rules.Resolver over the cluster's backends.
+func (c *Cluster) Resolver() rules.Resolver {
+	return func(name string) (rules.Backend, bool) {
+		b, ok := c.Backends[name]
+		if !ok {
+			return rules.Backend{}, false
+		}
+		return b.Rec, true
+	}
+}
+
+// InstallPolicy installs a rule set for a VIP on the given Yoda instances
+// (nil means all) and maps the VIP to them at the L4 LB.
+func (c *Cluster) InstallPolicy(vip netsim.IP, rs []rules.Rule, insts []*core.Instance) {
+	if insts == nil {
+		insts = c.Yoda
+	}
+	var ips []netsim.IP
+	for _, in := range insts {
+		in.InstallRules(vip, rs)
+		ips = append(ips, in.IP())
+	}
+	c.L4.SetMappingNow(vip, ips)
+}
+
+// InstallPolicyHAProxy mirrors InstallPolicy for the baseline.
+func (c *Cluster) InstallPolicyHAProxy(vip netsim.IP, rs []rules.Rule, insts []*haproxy.Instance) {
+	if insts == nil {
+		insts = c.HAProxy
+	}
+	var ips []netsim.IP
+	for _, in := range insts {
+		in.InstallRules(vip, rs)
+		ips = append(ips, in.IP())
+	}
+	c.L4.SetMappingNow(vip, ips)
+}
+
+// NewClient creates an Internet client host with the given HTTP client
+// configuration.
+func (c *Cluster) NewClient(cfg httpsim.ClientConfig) *httpsim.Client {
+	c.nextClient++
+	ip := netsim.IPv4(100, byte(c.nextClient>>8), byte(c.nextClient), 1)
+	h := netsim.NewHost(c.Net, ip)
+	return httpsim.NewClient(h, cfg)
+}
+
+// ClientHost creates a bare Internet client host (for raw TCP drivers).
+func (c *Cluster) ClientHost() *netsim.Host {
+	c.nextClient++
+	ip := netsim.IPv4(100, byte(c.nextClient>>8), byte(c.nextClient), 1)
+	return netsim.NewHost(c.Net, ip)
+}
+
+// KillYoda fails instance i (detach + L4 withdrawal is the controller's
+// job; tests without a controller can call RemoveInstance directly).
+func (c *Cluster) KillYoda(i int) *core.Instance {
+	inst := c.Yoda[i]
+	inst.Fail()
+	return inst
+}
+
+// SimpleSplitRules builds an equal-weight split rule over the named
+// backends — the workhorse policy for the testbed services.
+func (c *Cluster) SimpleSplitRules(backendNames ...string) []rules.Rule {
+	split := make([]rules.WeightedBackend, 0, len(backendNames))
+	for _, n := range backendNames {
+		b, ok := c.Backends[n]
+		if !ok {
+			panic(fmt.Sprintf("cluster: unknown backend %q", n))
+		}
+		split = append(split, rules.WeightedBackend{Backend: b.Rec, Weight: 1})
+	}
+	return []rules.Rule{{
+		Name:     "split-all",
+		Priority: 1,
+		Match:    rules.Match{URLGlob: "*"},
+		Action:   rules.Action{Type: rules.ActionSplit, Split: split},
+	}}
+}

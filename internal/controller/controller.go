@@ -1,0 +1,326 @@
+// Package controller implements the Yoda controller (§6): the monitor
+// that pings instances, Memcached servers and backends every 600 ms and
+// repairs the L4 mappings on failure; the traffic-statistics reader; the
+// policy (user-interface) component that installs rules; the scaling loop
+// that adds instances under CPU pressure (§7.3); and the assignment
+// updater that applies a new VIP→instance assignment to a live cluster
+// (§4.5).
+package controller
+
+import (
+	"time"
+
+	"repro/internal/assignment"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/rules"
+	"repro/internal/tcpstore"
+)
+
+// Config tunes the controller.
+type Config struct {
+	// PingInterval is the monitor period; failures are detected within at
+	// most this delay (600 ms in the paper).
+	PingInterval time.Duration
+	// StatsInterval is how often per-VIP traffic counters are read.
+	StatsInterval time.Duration
+	// ScaleInterval is how often the scaling policy runs; CPUHigh is the
+	// utilization that triggers adding instances; CPUTarget is the level
+	// scale-out aims for. Scaling is disabled when ScaleInterval is 0.
+	ScaleInterval time.Duration
+	CPUHigh       float64
+	CPUTarget     float64
+}
+
+// DefaultConfig matches the paper's deployment.
+func DefaultConfig() Config {
+	return Config{
+		PingInterval:  600 * time.Millisecond,
+		StatsInterval: time.Second,
+		ScaleInterval: time.Second,
+		CPUHigh:       0.75,
+		CPUTarget:     0.60,
+	}
+}
+
+// Controller supervises a cluster.
+type Controller struct {
+	C   *cluster.Cluster
+	cfg Config
+
+	// policies is the user-interface state: the installed rule set per
+	// VIP, pushed to instances that hold the VIP.
+	policies map[netsim.IP][]rules.Rule
+	// vipInstances is the current VIP→instance mapping the controller
+	// maintains at the L4 LB.
+	vipInstances map[netsim.IP][]netsim.IP
+
+	deadInstances  map[netsim.IP]bool
+	lastStoreCount int
+	timers         []*netsim.Timer
+	running        bool
+
+	// Provision creates a new Yoda instance when the scaling loop needs
+	// one. Defaults to cluster.AddYoda with default configs.
+	Provision func() *core.Instance
+
+	// Traffic accumulates per-VIP request counts from instance stats.
+	Traffic map[netsim.IP]uint64
+	// Detections counts instance failures detected.
+	Detections int
+	// ScaleOuts counts scale-out actions taken.
+	ScaleOuts int
+	// InstancesAdded counts instances added by scaling.
+	InstancesAdded int
+}
+
+// New creates a controller over a cluster.
+func New(c *cluster.Cluster, cfg Config) *Controller {
+	ct := &Controller{
+		C:             c,
+		cfg:           cfg,
+		policies:      make(map[netsim.IP][]rules.Rule),
+		vipInstances:  make(map[netsim.IP][]netsim.IP),
+		deadInstances: make(map[netsim.IP]bool),
+		Traffic:       make(map[netsim.IP]uint64),
+	}
+	ct.Provision = func() *core.Instance {
+		return c.AddYoda(core.DefaultConfig(), tcpstore.DefaultConfig())
+	}
+	return ct
+}
+
+// SetPolicy installs (or replaces) the rule set for a VIP on the given
+// instances (nil = all live instances) and updates the L4 mapping. This
+// is the user-interface + assignment-updater path combined for the
+// common all-instances case.
+func (ct *Controller) SetPolicy(vip netsim.IP, rs []rules.Rule, insts []*core.Instance) {
+	ct.policies[vip] = append([]rules.Rule(nil), rs...)
+	if insts == nil {
+		insts = ct.liveInstances()
+	}
+	var ips []netsim.IP
+	for _, in := range insts {
+		in.InstallRules(vip, rs)
+		ips = append(ips, in.IP())
+	}
+	ct.vipInstances[vip] = ips
+	ct.C.L4.SetMappingNow(vip, ips)
+}
+
+// UpdatePolicy changes the rules for a VIP on every instance that holds
+// it. Existing connections are untouched: instances apply new policies to
+// new connections only (§5.2).
+func (ct *Controller) UpdatePolicy(vip netsim.IP, rs []rules.Rule) {
+	ct.policies[vip] = append([]rules.Rule(nil), rs...)
+	for _, in := range ct.C.Yoda {
+		if in.HasVIP(vip) {
+			in.InstallRules(vip, rs)
+		}
+	}
+}
+
+// RemoveVIP withdraws a VIP: reverse order of addition (§5.2) — first the
+// L4 mapping, then the rules.
+func (ct *Controller) RemoveVIP(vip netsim.IP) {
+	ct.C.L4.RemoveVIP(vip)
+	for _, in := range ct.C.Yoda {
+		in.RemoveRules(vip)
+	}
+	delete(ct.policies, vip)
+	delete(ct.vipInstances, vip)
+}
+
+// ApplyAssignment pushes a computed VIP→instance assignment onto the
+// cluster: rules are installed on newly assigned instances first, then
+// the L4 mappings are switched (staggered, as real muxes update
+// non-atomically), then rules are removed from instances that lost the
+// VIP after a drain delay.
+func (ct *Controller) ApplyAssignment(vips []netsim.IP, a *assignment.Assignment, idToVIP func(int) netsim.IP) {
+	for vid, instIdxs := range a.ByVIP {
+		vip := idToVIP(vid)
+		rs := ct.policies[vip]
+		var ips []netsim.IP
+		for _, idx := range instIdxs {
+			if idx < 0 || idx >= len(ct.C.Yoda) {
+				continue
+			}
+			in := ct.C.Yoda[idx]
+			in.InstallRules(vip, rs)
+			ips = append(ips, in.IP())
+		}
+		ct.vipInstances[vip] = ips
+		ct.C.L4.SetMapping(vip, ips) // staggered across muxes
+	}
+}
+
+func (ct *Controller) liveInstances() []*core.Instance {
+	var out []*core.Instance
+	for _, in := range ct.C.Yoda {
+		if in.Host().Alive() {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// Start launches the monitor, stats and scaling loops.
+func (ct *Controller) Start() {
+	if ct.running {
+		return
+	}
+	ct.running = true
+	ct.scheduleMonitor()
+	ct.scheduleStats()
+	if ct.cfg.ScaleInterval > 0 {
+		ct.scheduleScaling()
+	}
+}
+
+// Stop cancels all loops.
+func (ct *Controller) Stop() {
+	ct.running = false
+	for _, t := range ct.timers {
+		t.Stop()
+	}
+	ct.timers = nil
+}
+
+func (ct *Controller) scheduleMonitor() {
+	if !ct.running {
+		return
+	}
+	t := ct.C.Net.Schedule(ct.cfg.PingInterval, func() {
+		ct.monitorTick()
+		ct.scheduleMonitor()
+	})
+	ct.timers = append(ct.timers, t)
+}
+
+// monitorTick pings every component and repairs mappings for the dead.
+func (ct *Controller) monitorTick() {
+	// Yoda instances: a dead instance is removed from all L4 mappings so
+	// the underlying LB re-routes its flows to survivors (§4.2).
+	for _, in := range ct.C.Yoda {
+		ip := in.IP()
+		if !in.Host().Alive() && !ct.deadInstances[ip] {
+			ct.deadInstances[ip] = true
+			ct.Detections++
+			ct.C.L4.RemoveInstance(ip)
+			for vip, ips := range ct.vipInstances {
+				ct.vipInstances[vip] = removeIP(ips, ip)
+			}
+		}
+	}
+	// Backends: mark health so rule evaluation skips them, and terminate
+	// the connections of newly dead backends so clients fail fast instead
+	// of waiting out their HTTP timeouts (§5.2).
+	for name, b := range ct.C.Backends {
+		alive := b.Server.Host().Alive()
+		wasDead := ct.C.Health.Dead[name]
+		ct.C.Health.Dead[name] = !alive
+		if !alive && !wasDead {
+			for _, in := range ct.liveInstances() {
+				in.TerminateBackendFlows(b.Rec.Addr)
+			}
+		}
+	}
+	// Memcached servers: when the live set changes, push the new server
+	// list into every instance's TCPStore client so new keys avoid dead
+	// replicas (§6: the monitor pings the Memcached servers too; the paper
+	// does not re-replicate existing keys, and neither do we — flows
+	// finish faster than replication would).
+	live := make([]netsim.HostPort, 0, len(ct.C.StoreServers))
+	for i, srv := range ct.C.StoreServers {
+		if srv.Host().Alive() {
+			live = append(live, ct.C.StoreAddrs[i])
+		}
+	}
+	if len(live) != ct.lastStoreCount {
+		ct.lastStoreCount = len(live)
+		for _, in := range ct.C.Yoda {
+			in.Store().SetServers(live)
+		}
+	}
+}
+
+func removeIP(ips []netsim.IP, dead netsim.IP) []netsim.IP {
+	out := ips[:0]
+	for _, ip := range ips {
+		if ip != dead {
+			out = append(out, ip)
+		}
+	}
+	return out
+}
+
+func (ct *Controller) scheduleStats() {
+	if !ct.running {
+		return
+	}
+	t := ct.C.Net.Schedule(ct.cfg.StatsInterval, func() {
+		for _, in := range ct.liveInstances() {
+			for vip, st := range in.ReadStats() {
+				ct.Traffic[vip] += st.NewFlows
+			}
+		}
+		ct.scheduleStats()
+	})
+	ct.timers = append(ct.timers, t)
+}
+
+func (ct *Controller) scheduleScaling() {
+	if !ct.running {
+		return
+	}
+	t := ct.C.Net.Schedule(ct.cfg.ScaleInterval, func() {
+		ct.scaleTick()
+		ct.scheduleScaling()
+	})
+	ct.timers = append(ct.timers, t)
+}
+
+// scaleTick implements the §7.3 behaviour: when average instance CPU over
+// the last interval exceeds CPUHigh, add enough instances to bring the
+// projected utilization down to CPUTarget, give them every VIP's rules,
+// and update the L4 mappings.
+func (ct *Controller) scaleTick() {
+	live := ct.liveInstances()
+	if len(live) == 0 || ct.Provision == nil {
+		return
+	}
+	now := ct.C.Net.Now()
+	from := now - ct.cfg.ScaleInterval
+	avg := 0.0
+	for _, in := range live {
+		avg += in.CPU.UtilizationClamped(from, now)
+	}
+	avg /= float64(len(live))
+	if avg <= ct.cfg.CPUHigh {
+		return
+	}
+	need := int(float64(len(live))*avg/ct.cfg.CPUTarget+0.999) - len(live)
+	if need <= 0 {
+		return
+	}
+	ct.ScaleOuts++
+	ct.InstancesAdded += need
+	for i := 0; i < need; i++ {
+		in := ct.Provision()
+		for vip, rs := range ct.policies {
+			in.InstallRules(vip, rs)
+		}
+	}
+	// Refresh mappings to include the newcomers.
+	for vip := range ct.policies {
+		var ips []netsim.IP
+		for _, in := range ct.liveInstances() {
+			if in.HasVIP(vip) {
+				ips = append(ips, in.IP())
+			}
+		}
+		ct.vipInstances[vip] = ips
+		ct.C.L4.SetMapping(vip, ips)
+	}
+}

@@ -1,0 +1,683 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/httpsim"
+	"repro/internal/netsim"
+	"repro/internal/rules"
+	"repro/internal/securesim"
+)
+
+type flowPhase int
+
+const (
+	phaseConn    flowPhase = iota // client handshake done or in progress; no backend yet
+	phaseDialing                  // backend SYN sent, storage-b not yet confirmed
+	phaseTunnel                   // translating packets between client and backend
+)
+
+// flow is the in-memory state for one balanced connection. Everything
+// needed to take the flow over after a failure is mirrored in TCPStore;
+// the rest (buffers, parsers, timers) is reconstructible.
+type flow struct {
+	vip    netsim.HostPort // VIP:port the client connected to
+	client netsim.HostPort
+	server netsim.HostPort
+	snat   netsim.HostPort // VIP-side endpoint toward the backend
+
+	clientISN uint32
+	c         uint32 // our ISN facing the client
+	s         uint32 // backend ISN
+	delta     uint32 // seqToClient = seqFromServer + delta
+
+	phase       flowPhase
+	backendName string
+	keepAlive   bool
+	recovered   bool
+
+	// Connection-phase request assembly.
+	reqBuf        []byte
+	clientNextSeq uint32            // next expected in-order client payload seq
+	ooo           map[uint32][]byte // out-of-order client payload
+	synAckSent    bool
+
+	// Tunneling bookkeeping.
+	toClientNext uint32 // next client-facing seq the server side will use
+	clientFin    bool
+	serverFin    bool
+
+	// Keep-alive (inspected tunnel) state; see keepalive.go.
+	ka *kaState
+
+	// TLS termination state; see tls.go.
+	tls *flowTLS
+
+	// Timers.
+	idleTimer *netsim.Timer
+	dialTimer *netsim.Timer
+	dialTries int
+
+	start      time.Duration // SYN arrival
+	dialStart  time.Duration // backend selection began, for the Figure 9 breakdown
+	lastActive time.Duration
+}
+
+func (f *flow) clientTuple() netsim.FourTuple {
+	return netsim.FourTuple{Src: f.client, Dst: f.vip}
+}
+
+func (f *flow) serverTuple() netsim.FourTuple {
+	return netsim.FourTuple{Src: f.server, Dst: f.snat}
+}
+
+func (f *flow) touch(now time.Duration) { f.lastActive = now }
+
+func (f *flow) record(phase FlowPhase) *Record {
+	r := &Record{
+		Phase:       phase,
+		Client:      f.client,
+		VIP:         f.vip,
+		ClientISN:   f.clientISN,
+		Server:      f.server,
+		SNAT:        f.snat,
+		C:           f.c,
+		S:           f.s,
+		Delta:       f.delta,
+		KeepAlive:   f.keepAlive,
+		BackendName: f.backendName,
+	}
+	if f.tls != nil {
+		r.TLS = &TLSState{Key: f.tls.key, ServerHelloLen: uint16(f.tls.serverHelloLen)}
+	}
+	return r
+}
+
+// --- connection phase ---
+
+// newClientFlow handles the first SYN of a connection: persist the client
+// TCP header (storage-a), then answer with the deterministic SYN-ACK.
+func (in *Instance) newClientFlow(pkt *netsim.Packet) {
+	now := in.net.Now()
+	in.CPU.Charge(now, in.cfg.CPUConnPhase)
+	f := &flow{
+		vip:           pkt.Dst,
+		client:        pkt.Src,
+		clientISN:     pkt.Seq,
+		c:             isnHash(pkt.Src, pkt.Dst),
+		clientNextSeq: pkt.Seq + 1,
+		toClientNext:  isnHash(pkt.Src, pkt.Dst) + 1,
+		phase:         phaseConn,
+		ooo:           make(map[uint32][]byte),
+		start:         now,
+		lastActive:    now,
+	}
+	in.flows[f.clientTuple()] = f
+	in.statsFor(pkt.Dst.IP).NewFlows++
+	in.armIdle(f)
+	// storage-a: the SYN header goes to TCPStore before the SYN-ACK, so a
+	// failed instance's successor can regenerate the handshake state.
+	rec := f.record(PhaseConn)
+	storeStart := now
+	in.store.Set(FlowKey(f.clientTuple()), rec.Marshal(), func(err error) {
+		in.StorageLat.Add(in.net.Now() - storeStart)
+		if in.flows[f.clientTuple()] != f {
+			return // flow torn down while the write was in flight
+		}
+		// Even if the store write failed we proceed: availability of new
+		// connections beats recoverability (the paper's store is assumed
+		// up; a dead TCPStore degrades Yoda to HAProxy semantics).
+		in.sendSynAck(f)
+	})
+}
+
+func (in *Instance) sendSynAck(f *flow) {
+	f.synAckSent = true
+	in.net.Send(&netsim.Packet{
+		Src:    f.vip,
+		Dst:    f.client,
+		Flags:  netsim.FlagSYN | netsim.FlagACK,
+		Seq:    f.c,
+		Ack:    f.clientISN + 1,
+		Window: 1 << 20,
+	})
+}
+
+// connPhaseClientPacket ingests client segments until the HTTP header is
+// complete, then selects the backend.
+func (in *Instance) connPhaseClientPacket(f *flow, pkt *netsim.Packet) {
+	if pkt.Flags.Has(netsim.FlagSYN) {
+		// Retransmitted SYN: regenerate the SYN-ACK (same C by hashing).
+		if f.synAckSent {
+			in.sendSynAck(f)
+		}
+		return
+	}
+	if pkt.Flags.Has(netsim.FlagRST) {
+		in.teardown(f, false)
+		return
+	}
+	if pkt.Flags.Has(netsim.FlagFIN) && len(pkt.Payload) == 0 {
+		// Client gave up before sending a request.
+		in.net.Send(&netsim.Packet{
+			Src: f.vip, Dst: f.client,
+			Flags: netsim.FlagFIN | netsim.FlagACK,
+			Seq:   f.c + 1, Ack: pkt.SeqEnd(),
+		})
+		in.teardown(f, true)
+		return
+	}
+	if len(pkt.Payload) == 0 {
+		return // bare ACK completing the handshake
+	}
+	prevLen := len(f.reqBuf)
+	grew := in.assembleClientData(f, pkt)
+	if !grew {
+		// Retransmission of data we already hold (e.g. the instance died
+		// after storage-a and we recovered): if the backend dial is already
+		// running, just wait; otherwise fall through to try selection.
+		if f.phase != phaseConn {
+			return
+		}
+	}
+	if f.phase != phaseConn {
+		return // backend dial in progress; data is buffered for forwarding
+	}
+	if in.tlsAdvance(f, prevLen) {
+		return // handshake in progress; HTTP cannot be parsed yet
+	}
+	in.tryDispatchRequest(f)
+}
+
+// tryDispatchRequest parses the (plaintext) request buffer and starts the
+// backend dial when the header is complete.
+func (in *Instance) tryDispatchRequest(f *flow) {
+	if f.phase != phaseConn {
+		return
+	}
+	req, err := httpsim.ParseRequestHeader(f.reqBuf)
+	if err != nil {
+		in.reject(f, 400, "malformed request")
+		return
+	}
+	if req == nil {
+		// Header incomplete: ACK what we have so the client can keep
+		// sending beyond its initial window.
+		in.net.Send(&netsim.Packet{
+			Src: f.vip, Dst: f.client,
+			Flags: netsim.FlagACK,
+			Seq:   f.toClientDataBase(), Ack: f.clientNextSeq,
+		})
+		return
+	}
+	in.selectAndDial(f, req)
+}
+
+// assembleClientData merges a data segment into the in-order request
+// buffer, returning whether new bytes were added.
+func (in *Instance) assembleClientData(f *flow, pkt *netsim.Packet) bool {
+	seq, data := pkt.Seq, pkt.Payload
+	// Trim already-held prefix.
+	if seqDiff(f.clientNextSeq, seq) > 0 {
+		skip := f.clientNextSeq - seq
+		if uint32(len(data)) <= skip {
+			return false
+		}
+		data = data[skip:]
+		seq = f.clientNextSeq
+	}
+	if seq != f.clientNextSeq {
+		f.ooo[seq] = append([]byte(nil), data...)
+		return false
+	}
+	f.reqBuf = append(f.reqBuf, data...)
+	f.clientNextSeq += uint32(len(data))
+	// Drain contiguous out-of-order segments.
+	for {
+		d, ok := f.ooo[f.clientNextSeq]
+		if !ok {
+			break
+		}
+		delete(f.ooo, f.clientNextSeq)
+		f.reqBuf = append(f.reqBuf, d...)
+		f.clientNextSeq += uint32(len(d))
+	}
+	return true
+}
+
+// seqDiff returns a-b as a signed 32-bit distance.
+func seqDiff(a, b uint32) int32 { return int32(a - b) }
+
+// selectAndDial runs the rule scan (modelling its latency per Figure 6)
+// and opens the backend connection.
+func (in *Instance) selectAndDial(f *flow, req *httpsim.Request) {
+	engine, ok := in.engines[f.vip.IP]
+	if !ok {
+		// The VIP is not assigned here (transient mapping states): best
+		// effort is to reject quickly so the client retries.
+		in.reject(f, 503, "vip not assigned to this instance")
+		return
+	}
+	decision := engine.Select(req, in.net.Rand().Float64(), in.info)
+	lookup := in.cfg.LookupBase + time.Duration(decision.Scanned)*in.cfg.LookupPerRule
+	// Only the scan itself burns CPU; LookupBase models pipeline latency
+	// (queueing, context switches) that does not occupy a core.
+	in.CPU.Charge(in.net.Now(), time.Duration(decision.Scanned)*in.cfg.LookupPerRule)
+	if !decision.OK {
+		in.reject(f, 503, "no rule matched")
+		return
+	}
+	if decision.Rule.Action.Type == rules.ActionTable {
+		// refresh sticky pin lazily below once the flow is established
+	}
+	f.phase = phaseDialing
+	f.dialStart = in.net.Now()
+	f.server = decision.Backend.Addr
+	f.backendName = decision.Backend.Name
+	// TLS flows stay pinned to their backend: re-selection would require
+	// re-inspecting ciphertext mid-stream (documented simplification).
+	f.keepAlive = req.KeepAlive() && f.tls == nil
+	f.snat = netsim.HostPort{IP: f.vip.IP, Port: in.allocSNATPort()}
+	in.flows[f.serverTuple()] = f
+	// Learn sticky bindings so subsequent sessions pin (Table 3 rule-4).
+	if ck := sessionCookie(req); ck != "" {
+		engine.Learn("cookie-table", ck, decision.Backend)
+	}
+	in.net.Schedule(lookup, func() {
+		if in.flows[f.clientTuple()] != f || f.phase != phaseDialing {
+			return
+		}
+		in.sendServerSyn(f)
+	})
+}
+
+// sessionCookie extracts the canonical session cookie if present.
+func sessionCookie(req *httpsim.Request) string { return req.Cookie("session") }
+
+func (in *Instance) sendServerSyn(f *flow) {
+	// The SYN to the backend reuses the client's sequence numbering so
+	// that client data can later be forwarded without rewriting (§4.1).
+	// For TLS flows the handshake bytes were consumed by the instance and
+	// are not forwarded, so the backend's numbering starts where the
+	// client's application data starts.
+	in.l4.SendViaSNAT(&netsim.Packet{
+		Src:    f.snat,
+		Dst:    f.server,
+		Flags:  netsim.FlagSYN,
+		Seq:    f.clientDataBase() - 1,
+		Window: 1 << 20,
+	}, in.IP())
+	f.dialTries++
+	if f.dialTimer != nil {
+		f.dialTimer.Stop()
+	}
+	f.dialTimer = in.net.Schedule(3*time.Second, func() {
+		if f.phase != phaseDialing || in.flows[f.clientTuple()] != f {
+			return
+		}
+		if f.dialTries >= 3 {
+			in.reject(f, 503, "backend unreachable")
+			return
+		}
+		in.sendServerSyn(f)
+	})
+}
+
+// serverHandshakePacket completes the backend connection: storage-b, then
+// ACK plus the buffered request.
+func (in *Instance) serverHandshakePacket(f *flow, pkt *netsim.Packet) {
+	if pkt.Flags.Has(netsim.FlagRST) {
+		in.reject(f, 503, "backend refused")
+		return
+	}
+	if !pkt.Flags.Has(netsim.FlagSYN | netsim.FlagACK) {
+		return
+	}
+	if pkt.Ack != f.clientDataBase() {
+		return // stale handshake
+	}
+	if f.dialTimer != nil {
+		f.dialTimer.Stop()
+		f.dialTimer = nil
+	}
+	f.s = pkt.Seq
+	// Translation: the backend's first data byte (S+1) must surface at the
+	// client's next expected sequence number (after the SYN-ACK and, for
+	// TLS, the ServerHello).
+	f.delta = f.toClientDataBase() - (f.s + 1)
+	f.toClientNext = f.toClientDataBase()
+	// storage-b: persist the full translation state under both tuple
+	// orientations before ACKing the server (Figure 3).
+	rec := f.record(PhaseTunnel).Marshal()
+	remaining := 2
+	storeStart := in.net.Now()
+	proceed := func(err error) {
+		remaining--
+		if remaining > 0 {
+			return
+		}
+		in.StorageLat.Add(in.net.Now() - storeStart)
+		if in.flows[f.clientTuple()] != f || f.phase != phaseDialing {
+			return
+		}
+		f.phase = phaseTunnel
+		// The "connection" component of Figure 9: backend selection through
+		// the backend handshake and storage-b (waiting for the client's
+		// request is not the LB's doing and is excluded).
+		in.ConnLat.Add(in.net.Now() - f.dialStart)
+		toForward := f.reqBuf
+		if f.keepAlive {
+			// Only the first request goes to this backend; pipelined
+			// requests already buffered are re-selected individually.
+			toForward = in.initKeepAlive(f)
+		}
+		// ACK the SYN-ACK and forward the buffered request bytes in the
+		// client's own sequence space.
+		in.l4.SendViaSNAT(&netsim.Packet{
+			Src: f.snat, Dst: f.server,
+			Flags: netsim.FlagACK,
+			Seq:   f.clientDataBase(), Ack: f.s + 1,
+			Window: 1 << 20,
+		}, in.IP())
+		in.forwardClientBytes(f, f.clientDataBase(), toForward)
+		f.reqBuf = nil
+	}
+	in.store.Set(FlowKey(f.clientTuple()), rec, proceed)
+	in.store.Set(FlowKey(f.serverTuple()), rec, proceed)
+}
+
+// forwardClientBytes sends raw client payload to the backend in MSS-sized
+// segments, preserving the client's sequence numbers.
+func (in *Instance) forwardClientBytes(f *flow, seq uint32, data []byte) {
+	const mss = 1460
+	for off := 0; off < len(data); off += mss {
+		end := off + mss
+		if end > len(data) {
+			end = len(data)
+		}
+		in.CPU.Charge(in.net.Now(), in.cfg.CPUPerPacket)
+		in.l4.SendViaSNAT(&netsim.Packet{
+			Src: f.snat, Dst: f.server,
+			Flags:   netsim.FlagACK | netsim.FlagPSH,
+			Seq:     seq + uint32(off),
+			Ack:     f.s + 1,
+			Window:  1 << 20,
+			Payload: append([]byte(nil), data[off:end]...),
+		}, in.IP())
+	}
+}
+
+// reject answers the client with a terminal HTTP error and tears the flow
+// down.
+func (in *Instance) reject(f *flow, code int, reason string) {
+	resp := httpsim.NewResponse(code, []byte(reason))
+	resp.SetHeader("Connection", "close")
+	payload := resp.Marshal()
+	seq := f.toClientDataBase()
+	if f.tls != nil {
+		payload = securesim.KeystreamXOR(f.tls.key, securesim.DirServerToClient, 0, payload)
+	}
+	in.net.Send(&netsim.Packet{
+		Src: f.vip, Dst: f.client,
+		Flags:   netsim.FlagACK | netsim.FlagPSH | netsim.FlagFIN,
+		Seq:     seq,
+		Ack:     f.clientNextSeq,
+		Payload: payload,
+	})
+	in.teardown(f, true)
+}
+
+// --- tunneling phase ---
+
+func (in *Instance) tunnelFromClient(f *flow, pkt *netsim.Packet) {
+	if pkt.Flags.Has(netsim.FlagRST) {
+		// Propagate the abort and drop state.
+		in.l4.SendViaSNAT(&netsim.Packet{
+			Src: f.snat, Dst: f.server,
+			Flags: netsim.FlagRST, Seq: pkt.Seq, Ack: pkt.Ack - f.delta,
+		}, in.IP())
+		in.teardown(f, true)
+		return
+	}
+	if f.keepAlive && f.ka != nil {
+		in.kaFromClient(f, pkt)
+		return
+	}
+	if pkt.Flags.Has(netsim.FlagFIN) {
+		f.clientFin = true
+	}
+	fwd := &netsim.Packet{
+		Src:     f.snat,
+		Dst:     f.server,
+		Flags:   pkt.Flags,
+		Seq:     pkt.Seq,
+		Ack:     pkt.Ack - f.delta,
+		Window:  pkt.Window,
+		Payload: f.tlsDecryptFromClient(pkt.Seq, pkt.Payload),
+	}
+	in.l4.SendViaSNAT(fwd, in.IP())
+	in.maybeFinish(f)
+}
+
+func (in *Instance) tunnelFromServer(f *flow, pkt *netsim.Packet) {
+	if f.keepAlive && f.ka != nil {
+		in.kaFromServer(f, pkt)
+		return
+	}
+	if pkt.Flags.Has(netsim.FlagRST) {
+		in.net.Send(&netsim.Packet{
+			Src: f.vip, Dst: f.client,
+			Flags: netsim.FlagRST, Seq: pkt.Seq + f.delta, Ack: pkt.Ack,
+		})
+		in.teardown(f, true)
+		return
+	}
+	if pkt.Flags.Has(netsim.FlagSYN) {
+		// Retransmitted SYN-ACK: our ACK got lost. Re-ACK.
+		in.l4.SendViaSNAT(&netsim.Packet{
+			Src: f.snat, Dst: f.server,
+			Flags: netsim.FlagACK,
+			Seq:   f.clientDataBase(), Ack: f.s + 1,
+		}, in.IP())
+		return
+	}
+	if pkt.Flags.Has(netsim.FlagFIN) {
+		f.serverFin = true
+	}
+	end := pkt.SeqEnd() + f.delta
+	if seqDiff(end, f.toClientNext) > 0 {
+		f.toClientNext = end
+	}
+	fwd := &netsim.Packet{
+		Src:     f.vip,
+		Dst:     f.client,
+		Flags:   pkt.Flags,
+		Seq:     pkt.Seq + f.delta,
+		Ack:     pkt.Ack,
+		Window:  pkt.Window,
+		Payload: f.tlsEncryptToClient(pkt.Seq, pkt.Payload),
+	}
+	in.net.Send(fwd)
+	in.maybeFinish(f)
+}
+
+// maybeFinish schedules state cleanup once both directions have closed.
+func (in *Instance) maybeFinish(f *flow) {
+	if !f.clientFin || !f.serverFin {
+		return
+	}
+	in.net.Schedule(in.cfg.FinLinger, func() {
+		if in.flows[f.clientTuple()] == f {
+			in.teardown(f, true)
+		}
+	})
+}
+
+// teardown removes flow state locally, from TCPStore, and from the L4
+// LB's SNAT table.
+func (in *Instance) teardown(f *flow, deleteStore bool) {
+	if in.flows[f.clientTuple()] == f {
+		delete(in.flows, f.clientTuple())
+	}
+	if f.server.IP != 0 && in.flows[f.serverTuple()] == f {
+		delete(in.flows, f.serverTuple())
+	}
+	if f.idleTimer != nil {
+		f.idleTimer.Stop()
+	}
+	if f.dialTimer != nil {
+		f.dialTimer.Stop()
+	}
+	if f.server.IP != 0 {
+		in.releaseSNATPort(f.snat.Port)
+	}
+	if deleteStore {
+		in.store.Delete(FlowKey(f.clientTuple()), nil)
+		if f.server.IP != 0 {
+			in.store.Delete(FlowKey(f.serverTuple()), nil)
+			in.l4.ClearSNAT(f.serverTuple())
+		}
+	}
+}
+
+func (in *Instance) armIdle(f *flow) {
+	if in.cfg.FlowIdleTimeout <= 0 {
+		return
+	}
+	var arm func()
+	arm = func() {
+		f.idleTimer = in.net.Schedule(in.cfg.FlowIdleTimeout, func() {
+			if in.flows[f.clientTuple()] != f {
+				return
+			}
+			if in.net.Now()-f.lastActive >= in.cfg.FlowIdleTimeout {
+				in.teardown(f, true)
+				return
+			}
+			arm()
+		})
+	}
+	arm()
+}
+
+// TerminateBackendFlows aborts every flow pinned to a failed backend
+// (§5.2: "when a server fails, its connections with YODA instances are
+// terminated"): the client receives a RST so it can re-try immediately
+// instead of stalling to its HTTP timeout. Returns the number of flows
+// terminated.
+func (in *Instance) TerminateBackendFlows(backend netsim.HostPort) int {
+	var victims []*flow
+	for t, f := range in.flows {
+		if t == f.clientTuple() && f.server == backend {
+			victims = append(victims, f)
+		}
+	}
+	for _, f := range victims {
+		in.net.Send(&netsim.Packet{
+			Src: f.vip, Dst: f.client,
+			Flags: netsim.FlagRST,
+			Seq:   f.toClientNext, Ack: f.clientNextSeq,
+		})
+		in.teardown(f, true)
+	}
+	return len(victims)
+}
+
+// --- failure recovery ---
+
+// recoverFlow handles a packet for which no local flow exists: another
+// instance owned it. Packets queue while TCPStore is consulted.
+func (in *Instance) recoverFlow(tuple netsim.FourTuple, pkt *netsim.Packet) {
+	if q, ok := in.pending[tuple]; ok {
+		in.pending[tuple] = append(q, pkt.Clone())
+		return
+	}
+	in.pending[tuple] = []*netsim.Packet{pkt.Clone()}
+	in.store.Get(FlowKey(tuple), func(value []byte, ok bool, err error) {
+		if in.dead {
+			return
+		}
+		queued := in.pending[tuple]
+		delete(in.pending, tuple)
+		if !ok || err != nil {
+			in.LookupMisses++
+			// State is gone (flow already finished, or never stored): reset
+			// the sender so it does not retry forever.
+			if len(queued) > 0 && !queued[0].Flags.Has(netsim.FlagRST) {
+				p := queued[0]
+				in.net.Send(&netsim.Packet{
+					Src: p.Dst, Dst: p.Src,
+					Flags: netsim.FlagRST | netsim.FlagACK,
+					Seq:   p.Ack, Ack: p.SeqEnd(),
+				})
+			}
+			return
+		}
+		rec, derr := UnmarshalRecord(value)
+		if derr != nil {
+			in.LookupMisses++
+			return
+		}
+		f := in.installRecovered(rec)
+		if f == nil {
+			return
+		}
+		in.Recovered++
+		for _, q := range queued {
+			if cur, ok := in.flows[q.Tuple()]; ok {
+				in.dispatch(cur, q)
+			}
+		}
+	})
+}
+
+// installRecovered builds a local flow from a TCPStore record.
+func (in *Instance) installRecovered(rec *Record) *flow {
+	ct := netsim.FourTuple{Src: rec.Client, Dst: rec.VIP}
+	if existing, ok := in.flows[ct]; ok {
+		return existing // raced with another recovery or a live flow
+	}
+	f := &flow{
+		vip:           rec.VIP,
+		client:        rec.Client,
+		clientISN:     rec.ClientISN,
+		c:             isnHash(rec.Client, rec.VIP),
+		clientNextSeq: rec.ClientISN + 1,
+		ooo:           make(map[uint32][]byte),
+		recovered:     true,
+		start:         in.net.Now(),
+		lastActive:    in.net.Now(),
+		synAckSent:    true,
+	}
+	if rec.TLS != nil {
+		f.tls = &flowTLS{key: rec.TLS.Key, serverHelloLen: int(rec.TLS.ServerHelloLen)}
+		// The hello was consumed (and ACKed) before the record carried a
+		// key; the client stream resumes at the application base.
+		f.clientNextSeq = f.clientDataBase()
+	}
+	switch rec.Phase {
+	case PhaseConn:
+		f.phase = phaseConn
+		f.toClientNext = f.toClientDataBase()
+	case PhaseTunnel:
+		f.phase = phaseTunnel
+		f.server = rec.Server
+		f.snat = rec.SNAT
+		f.s = rec.S
+		f.delta = rec.Delta
+		f.backendName = rec.BackendName
+		// Keep-alive flows are downgraded to a pure tunnel after recovery:
+		// the HTTP parser state died with the old instance, so the safe
+		// continuation is to pin the current backend for the connection's
+		// remainder (documented deviation; the paper stores request order
+		// for pipelining, which this reproduction does not persist).
+		f.keepAlive = false
+		f.toClientNext = f.c + 1
+		in.flows[f.serverTuple()] = f
+	default:
+		return nil
+	}
+	in.flows[ct] = f
+	in.armIdle(f)
+	return f
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"hash/fnv"
+	"time"
+
+	"repro/internal/l4lb"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/rules"
+	"repro/internal/securesim"
+	"repro/internal/tcpstore"
+)
+
+// Config tunes a Yoda instance.
+type Config struct {
+	// Cores is the VM's core count (testbed: 8-core VMs).
+	Cores int
+	// CPUConnPhase is the virtual CPU cost of handling one new connection
+	// (handshake crafting, header parsing, TCPStore marshalling). The
+	// defaults are calibrated so an instance saturates near 12K req/s for
+	// small requests, as measured in §7.1.
+	CPUConnPhase time.Duration
+	// CPUPerPacket is the virtual CPU cost of rewriting one tunneled
+	// packet (the user/kernel copy the paper blames for Yoda's 2× CPU).
+	CPUPerPacket time.Duration
+	// LookupBase and LookupPerRule model the rule-scan latency of
+	// Figure 6: lookup = LookupBase + LookupPerRule × rulesScanned. With
+	// the defaults, 1K rules ≈ 4.1 ms, 2K ≈ 5 ms (the paper's Ry target)
+	// and 10K ≈ 12.3 ms ≈ 3× the 1K latency.
+	LookupBase    time.Duration
+	LookupPerRule time.Duration
+	// SNATBase/SNATCount delimit this instance's slice of the VIP port
+	// space for backend connections, so instances never collide.
+	SNATBase  uint16
+	SNATCount uint16
+	// FlowIdleTimeout garbage-collects flows that stopped moving packets
+	// (broken clients, lost FINs).
+	FlowIdleTimeout time.Duration
+	// FinLinger is how long a fully-closed flow's state lingers before
+	// cleanup (covers retransmitted FINs).
+	FinLinger time.Duration
+}
+
+// DefaultConfig returns the calibrated instance configuration.
+func DefaultConfig() Config {
+	return Config{
+		Cores:           8,
+		CPUConnPhase:    410 * time.Microsecond,
+		CPUPerPacket:    30 * time.Microsecond,
+		LookupBase:      3200 * time.Microsecond,
+		LookupPerRule:   910 * time.Nanosecond,
+		SNATBase:        20000,
+		SNATCount:       2000,
+		FlowIdleTimeout: 2 * time.Minute,
+		FinLinger:       time.Second,
+	}
+}
+
+// VIPStats aggregates per-VIP counters an instance reports to the
+// controller.
+type VIPStats struct {
+	Packets     uint64
+	NewFlows    uint64
+	PayloadByte uint64
+}
+
+// Instance is one Yoda L7 load-balancer instance.
+type Instance struct {
+	host  *netsim.Host
+	net   *netsim.Network
+	l4    *l4lb.LB
+	store *tcpstore.Store
+	cfg   Config
+
+	engines   map[netsim.IP]*rules.Engine       // per-VIP rule tables
+	info      rules.BackendInfo                 // backend health/load view
+	tlsIdents map[netsim.IP]*securesim.Identity // per-VIP SSL termination identities
+
+	flows     map[netsim.FourTuple]*flow
+	pending   map[netsim.FourTuple][]*netsim.Packet // packets awaiting a TCPStore lookup
+	snatNext  uint16
+	snatInUse map[uint16]bool
+	dead      bool
+
+	CPU *metrics.CPUMeter
+
+	// StorageLat records the latency of every TCPStore write performed
+	// during connection establishment (storage-a and storage-b); Figure 9
+	// reports its median as the "Storage" component.
+	StorageLat *metrics.DurationHistogram
+	// ConnLat records SYN arrival → tunnel entry per flow, the
+	// "Connection" component of Figure 9.
+	ConnLat *metrics.DurationHistogram
+
+	// Counters.
+	Stats        map[netsim.IP]*VIPStats
+	Recovered    uint64 // flows resurrected from TCPStore
+	LookupMisses uint64 // orphan packets with no recoverable state
+	Reselections uint64 // HTTP/1.1 backend switches
+}
+
+// NewInstance creates a Yoda instance on host, using the given L4 LB for
+// SNAT and the given TCPStore client for state decoupling. The instance
+// installs itself as the host's default packet handler.
+func NewInstance(host *netsim.Host, lb *l4lb.LB, store *tcpstore.Store, cfg Config) *Instance {
+	inst := &Instance{
+		host:       host,
+		net:        host.Network(),
+		l4:         lb,
+		store:      store,
+		cfg:        cfg,
+		engines:    make(map[netsim.IP]*rules.Engine),
+		tlsIdents:  make(map[netsim.IP]*securesim.Identity),
+		flows:      make(map[netsim.FourTuple]*flow),
+		pending:    make(map[netsim.FourTuple][]*netsim.Packet),
+		snatNext:   cfg.SNATBase,
+		snatInUse:  make(map[uint16]bool),
+		CPU:        metrics.NewCPUMeter(cfg.Cores),
+		StorageLat: metrics.NewDurationHistogram(),
+		ConnLat:    metrics.NewDurationHistogram(),
+		Stats:      make(map[netsim.IP]*VIPStats),
+	}
+	host.Default = netsim.PortHandlerFunc(inst.handlePacket)
+	return inst
+}
+
+// Host returns the instance's host.
+func (in *Instance) Host() *netsim.Host { return in.host }
+
+// IP returns the instance's address.
+func (in *Instance) IP() netsim.IP { return in.host.IP() }
+
+// Store returns the instance's TCPStore client.
+func (in *Instance) Store() *tcpstore.Store { return in.store }
+
+// InstallRules installs (or replaces) the rule table for a VIP. Existing
+// flows are unaffected: policies apply to new connections only (§5.2).
+func (in *Instance) InstallRules(vip netsim.IP, rs []rules.Rule) {
+	if e, ok := in.engines[vip]; ok {
+		e.Update(rs)
+		return
+	}
+	in.engines[vip] = rules.NewEngine(rs)
+}
+
+// RemoveRules drops the rule table for a VIP (VIP removal, §5.2).
+func (in *Instance) RemoveRules(vip netsim.IP) { delete(in.engines, vip) }
+
+// RuleCount returns the total rules installed across VIPs (the Ry figure
+// the assignment algorithm constrains).
+func (in *Instance) RuleCount() int {
+	n := 0
+	for _, e := range in.engines {
+		n += e.Len()
+	}
+	return n
+}
+
+// HasVIP reports whether the instance holds rules for vip.
+func (in *Instance) HasVIP(vip netsim.IP) bool {
+	_, ok := in.engines[vip]
+	return ok
+}
+
+// SetBackendInfo wires the controller's backend health/load view into
+// rule evaluation.
+func (in *Instance) SetBackendInfo(info rules.BackendInfo) { in.info = info }
+
+// FlowCount returns the number of live flow entries (both orientations).
+func (in *Instance) FlowCount() int { return len(in.flows) }
+
+// ReadStats returns and resets the per-VIP counters.
+func (in *Instance) ReadStats() map[netsim.IP]*VIPStats {
+	out := in.Stats
+	in.Stats = make(map[netsim.IP]*VIPStats)
+	return out
+}
+
+func (in *Instance) statsFor(vip netsim.IP) *VIPStats {
+	s, ok := in.Stats[vip]
+	if !ok {
+		s = &VIPStats{}
+		in.Stats[vip] = s
+	}
+	return s
+}
+
+// Fail detaches the instance from the network, dropping all local state
+// in flight — the failure mode the paper's recovery protocol targets. All
+// in-memory flow state is discarded, exactly what makes TCPStore
+// necessary.
+func (in *Instance) Fail() {
+	in.dead = true
+	in.host.Detach()
+	in.flows = make(map[netsim.FourTuple]*flow)
+	in.pending = make(map[netsim.FourTuple][]*netsim.Packet)
+}
+
+// isnHash derives the instance's client-facing ISN from the client tuple.
+// Every instance computes the same value, so a SYN-ACK can be regenerated
+// by any instance without consulting TCPStore (§4.1).
+func isnHash(client, vip netsim.HostPort) uint32 {
+	h := fnv.New64a()
+	var b [12]byte
+	put := func(off int, v uint32) {
+		b[off], b[off+1], b[off+2], b[off+3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+	}
+	put(0, uint32(client.IP))
+	b[4], b[5] = byte(client.Port>>8), byte(client.Port)
+	put(6, uint32(vip.IP))
+	b[10], b[11] = byte(vip.Port>>8), byte(vip.Port)
+	h.Write(b[:])
+	x := h.Sum64()
+	return uint32(x ^ (x >> 32))
+}
+
+// allocSNATPort hands out the next free port in the instance's SNAT
+// range. Ports return to the pool in releaseSNATPort when flows finish.
+func (in *Instance) allocSNATPort() uint16 {
+	for i := uint16(0); i < in.cfg.SNATCount; i++ {
+		p := in.cfg.SNATBase + (in.snatNext-in.cfg.SNATBase+i)%in.cfg.SNATCount
+		if !in.snatInUse[p] {
+			in.snatInUse[p] = true
+			in.snatNext = p + 1
+			return p
+		}
+	}
+	// Range exhausted: reuse round-robin (old flows are likely dead).
+	p := in.cfg.SNATBase + (in.snatNext-in.cfg.SNATBase)%in.cfg.SNATCount
+	in.snatNext = p + 1
+	return p
+}
+
+func (in *Instance) releaseSNATPort(p uint16) { delete(in.snatInUse, p) }
+
+// handlePacket is the packet driver entry point: every balanced packet
+// the L4 LB forwards to this instance lands here (memcached traffic is
+// demuxed earlier by the host's connection table).
+func (in *Instance) handlePacket(pkt *netsim.Packet) {
+	if in.dead {
+		return
+	}
+	in.CPU.Charge(in.net.Now(), in.cfg.CPUPerPacket)
+	tuple := pkt.Tuple()
+	st := in.statsFor(pkt.Dst.IP)
+	st.Packets++
+	st.PayloadByte += uint64(len(pkt.Payload))
+
+	if f, ok := in.flows[tuple]; ok {
+		in.dispatch(f, pkt)
+		return
+	}
+	if pkt.Flags.Has(netsim.FlagSYN) && !pkt.Flags.Has(netsim.FlagACK) {
+		in.newClientFlow(pkt)
+		return
+	}
+	// Unknown, non-SYN: either another instance's flow arriving after a
+	// failure or mapping change, or garbage. Try TCPStore.
+	in.recoverFlow(tuple, pkt)
+}
+
+func (in *Instance) dispatch(f *flow, pkt *netsim.Packet) {
+	f.touch(in.net.Now())
+	fromClient := pkt.Src == f.client
+	switch f.phase {
+	case phaseConn:
+		if fromClient {
+			in.connPhaseClientPacket(f, pkt)
+		}
+		// Packets from the server cannot arrive in this phase: the server
+		// connection does not exist yet.
+	case phaseDialing:
+		if fromClient {
+			// Buffer client data that arrives while the backend handshake
+			// or storage-b is in flight.
+			in.connPhaseClientPacket(f, pkt)
+		} else {
+			in.serverHandshakePacket(f, pkt)
+		}
+	case phaseTunnel:
+		if fromClient {
+			in.tunnelFromClient(f, pkt)
+		} else {
+			in.tunnelFromServer(f, pkt)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/httpsim"
+	"repro/internal/memcache"
+	"repro/internal/netsim"
+	"repro/internal/rules"
+	"repro/internal/tcp"
+	"repro/internal/tcpstore"
+)
+
+// kaBed is a testbed with two pools pinned by URL pattern, for exercising
+// HTTP/1.1 mid-connection backend re-selection.
+type kaBed struct {
+	c   *cluster.Cluster
+	vip netsim.IP
+}
+
+func newKABed(seed int64, nYoda int) *kaBed {
+	c := cluster.New(seed)
+	c.AddStoreServers(2, memcache.DefaultSimServerConfig())
+	c.AddBackend("php-1", map[string][]byte{"/a.php": []byte("PHP-A"), "/c.php": []byte("PHP-C")}, httpsim.DefaultServerConfig())
+	c.AddBackend("css-1", map[string][]byte{"/b.css": []byte("CSS-B")}, httpsim.DefaultServerConfig())
+	c.AddYodaN(nYoda, core.DefaultConfig(), tcpstore.DefaultConfig())
+	vip := c.AddVIP("svc")
+	rs := []rules.Rule{
+		{Name: "php", Priority: 2, Match: rules.Match{URLGlob: "*.php"},
+			Action: rules.Action{Type: rules.ActionSplit,
+				Split: []rules.WeightedBackend{{Backend: c.Backends["php-1"].Rec, Weight: 1}}}},
+		{Name: "css", Priority: 1, Match: rules.Match{URLGlob: "*.css"},
+			Action: rules.Action{Type: rules.ActionSplit,
+				Split: []rules.WeightedBackend{{Backend: c.Backends["css-1"].Rec, Weight: 1}}}},
+	}
+	c.InstallPolicy(vip, rs, nil)
+	return &kaBed{c: c, vip: vip}
+}
+
+// driveKA sends the given request paths over a single keep-alive
+// connection and returns the response bodies in arrival order.
+func driveKA(t *testing.T, b *kaBed, pipelined bool, paths ...string) []string {
+	t.Helper()
+	host := b.c.ClientHost()
+	parser := &httpsim.ResponseParser{}
+	var bodies []string
+	req := func(p string) []byte { return httpsim.NewRequest(p, "svc").Marshal() }
+	tcp.Dial(host, netsim.HostPort{IP: b.vip, Port: 80}, tcp.Callbacks{
+		OnEstablished: func(c *tcp.Conn) {
+			if pipelined {
+				for _, p := range paths {
+					c.Write(req(p))
+				}
+			} else {
+				c.Write(req(paths[0]))
+			}
+		},
+		OnData: func(c *tcp.Conn, d []byte) {
+			resps, err := parser.Feed(d)
+			if err != nil {
+				t.Errorf("client parse: %v", err)
+				c.Abort()
+				return
+			}
+			for _, r := range resps {
+				bodies = append(bodies, string(r.Body))
+				if !pipelined && len(bodies) < len(paths) {
+					c.Write(req(paths[len(bodies)]))
+				}
+				if len(bodies) == len(paths) {
+					c.Close()
+				}
+			}
+		},
+	}, tcp.DefaultConfig())
+	b.c.Net.RunFor(30 * time.Second)
+	return bodies
+}
+
+func TestKeepAlivePipelinedAcrossBackends(t *testing.T) {
+	// Three pipelined requests alternating pools: responses must come back
+	// in order despite two backend switches (§5.2's in-order requirement).
+	b := newKABed(21, 1)
+	bodies := driveKA(t, b, true, "/a.php", "/b.css", "/c.php")
+	want := []string{"PHP-A", "CSS-B", "PHP-C"}
+	if len(bodies) != 3 {
+		t.Fatalf("got %d responses: %v", len(bodies), bodies)
+	}
+	for i := range want {
+		if bodies[i] != want[i] {
+			t.Fatalf("response %d = %q, want %q (order violated)", i, bodies[i], want[i])
+		}
+	}
+	if b.c.Yoda[0].Reselections != 2 {
+		t.Fatalf("reselections = %d, want 2", b.c.Yoda[0].Reselections)
+	}
+}
+
+func TestKeepAliveSequentialAcrossBackends(t *testing.T) {
+	b := newKABed(22, 1)
+	bodies := driveKA(t, b, false, "/a.php", "/b.css", "/a.php")
+	want := []string{"PHP-A", "CSS-B", "PHP-A"}
+	if len(bodies) != 3 {
+		t.Fatalf("got %d responses: %v", len(bodies), bodies)
+	}
+	for i := range want {
+		if bodies[i] != want[i] {
+			t.Fatalf("response %d = %q, want %q", i, bodies[i], want[i])
+		}
+	}
+	// php -> css -> php again: two switches.
+	if b.c.Yoda[0].Reselections != 2 {
+		t.Fatalf("reselections = %d", b.c.Yoda[0].Reselections)
+	}
+}
+
+func TestKeepAliveFlowStateCleanedAfterClose(t *testing.T) {
+	b := newKABed(23, 1)
+	bodies := driveKA(t, b, false, "/a.php", "/b.css")
+	if len(bodies) != 2 {
+		t.Fatalf("bodies: %v", bodies)
+	}
+	b.c.Net.RunFor(10 * time.Second)
+	if n := b.c.Yoda[0].FlowCount(); n != 0 {
+		t.Fatalf("flows leaked: %d", n)
+	}
+	items := 0
+	for _, s := range b.c.StoreServers {
+		items += s.Engine.Stats().CurrItems
+	}
+	if items != 0 {
+		t.Fatalf("TCPStore leaked %d entries", items)
+	}
+}
+
+func TestKeepAliveRecoveryDowngradesToPinnedTunnel(t *testing.T) {
+	// Kill the instance mid keep-alive session; the survivor recovers the
+	// flow from TCPStore as a pure tunnel pinned to the current backend
+	// (documented deviation), so in-flight transfers still finish.
+	b := newKABed(24, 2)
+	host := b.c.ClientHost()
+	parser := &httpsim.ResponseParser{}
+	var bodies []string
+	var conn *tcp.Conn
+	conn = tcp.Dial(host, netsim.HostPort{IP: b.vip, Port: 80}, tcp.Callbacks{
+		OnEstablished: func(c *tcp.Conn) {
+			c.Write(httpsim.NewRequest("/a.php", "svc").Marshal())
+		},
+		OnData: func(c *tcp.Conn, d []byte) {
+			resps, err := parser.Feed(d)
+			if err != nil {
+				t.Errorf("parse: %v", err)
+			}
+			for _, r := range resps {
+				bodies = append(bodies, string(r.Body))
+			}
+		},
+	}, tcp.DefaultConfig())
+
+	b.c.Net.RunFor(100 * time.Millisecond)
+	var victim *core.Instance
+	for _, in := range b.c.Yoda {
+		if in.FlowCount() > 0 {
+			victim = in
+			in.Fail()
+			break
+		}
+	}
+	if victim == nil {
+		t.Skip("flow completed before the kill window (timing-sensitive)")
+	}
+	b.c.Net.Schedule(600*time.Millisecond, func() { b.c.L4.RemoveInstance(victim.IP()) })
+	// Ask for the same path again on the recovered connection: it must be
+	// served by the pinned backend (php-1 holds /a.php, so content works).
+	b.c.Net.Schedule(3*time.Second, func() {
+		conn.Write(httpsim.NewRequest("/a.php", "svc").Marshal())
+	})
+	b.c.Net.RunFor(30 * time.Second)
+	if len(bodies) < 2 {
+		t.Fatalf("got %d responses across recovery: %v", len(bodies), bodies)
+	}
+	for _, body := range bodies {
+		if body != "PHP-A" {
+			t.Fatalf("bodies: %v", bodies)
+		}
+	}
+	var survivor *core.Instance
+	for _, in := range b.c.Yoda {
+		if in != victim {
+			survivor = in
+		}
+	}
+	if survivor.Recovered == 0 {
+		t.Fatal("survivor never recovered the keep-alive flow")
+	}
+}

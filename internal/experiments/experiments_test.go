@@ -1,0 +1,333 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func TestFig6LinearLookupGrowth(t *testing.T) {
+	cfg := Fig6Config{Seed: 1, RuleCounts: []int{1000, 4000, 10000}, Lookups: 300}
+	r := RunFig6(cfg)
+	if len(r.Points) != 3 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// Latency must increase with table size.
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].ModelP90 <= r.Points[i-1].ModelP90 {
+			t.Fatalf("model latency not increasing: %v", r.Points)
+		}
+		if r.Points[i].ScanP90 <= 0 {
+			t.Fatalf("scan latency missing at %d rules", r.Points[i].Rules)
+		}
+	}
+	// Paper's headline: 10K rules ≈ 3x the 1K latency.
+	if r.Ratio10Kto1K < 2.0 || r.Ratio10Kto1K > 4.5 {
+		t.Fatalf("10K/1K ratio = %.2f, want ~3", r.Ratio10Kto1K)
+	}
+	// Lookups scan essentially the whole table (tenancy rules miss).
+	if r.Points[2].AvgScanned < 9000 {
+		t.Fatalf("avg scanned = %.0f, want near 10000", r.Points[2].AvgScanned)
+	}
+	if !strings.Contains(r.String(), "Figure 6") {
+		t.Fatal("missing header in output")
+	}
+}
+
+func TestFig9Breakdown(t *testing.T) {
+	cfg := Fig9Config{Seed: 1, Requests: 60, ObjectSize: 10 * 1024}
+	r := RunFig9(cfg)
+	if r.Baseline <= 0 || r.YodaTotal <= 0 || r.HAProxyTotal <= 0 {
+		t.Fatalf("missing medians: %+v", r)
+	}
+	// Ordering: baseline < haproxy ≈ yoda, with yoda slightly higher.
+	if r.YodaTotal <= r.Baseline || r.HAProxyTotal <= r.Baseline {
+		t.Fatalf("LB arms must cost more than baseline: %+v", r)
+	}
+	if r.YodaTotal < r.HAProxyTotal {
+		t.Fatalf("yoda (%v) should not beat haproxy (%v)", r.YodaTotal, r.HAProxyTotal)
+	}
+	// The decoupling overhead (two storage events) must be under 1 ms.
+	if 2*r.YodaStorage >= time.Millisecond {
+		t.Fatalf("storage overhead = %v, paper reports <1ms", 2*r.YodaStorage)
+	}
+	if 2*r.YodaStorage <= 0 {
+		t.Fatal("storage overhead not measured")
+	}
+	// Yoda's total must be within ~15% of HAProxy's (paper: 151 vs 144).
+	if float64(r.YodaTotal) > 1.15*float64(r.HAProxyTotal) {
+		t.Fatalf("yoda %v vs haproxy %v: more than 15%% apart", r.YodaTotal, r.HAProxyTotal)
+	}
+	_ = r.String()
+}
+
+func TestFig10LatencyAndCPU(t *testing.T) {
+	cfg := Fig10Config{
+		Seed: 1, Servers: 2,
+		RatesPerServer: []int{4000, 20000},
+		Duration:       500 * time.Millisecond,
+		ValueBytes:     64,
+	}
+	r := RunFig10(cfg)
+	if len(r.Points) != 4 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	for _, p := range r.Points {
+		if p.SetMedian <= 0 {
+			t.Fatalf("set latency missing: %+v", p)
+		}
+		// Sub-millisecond ops at sub-saturation rates (paper: 0.75ms at 40K).
+		if p.SetMedian > 2*time.Millisecond {
+			t.Fatalf("set latency %v too high: %+v", p.SetMedian, p)
+		}
+	}
+	// Replication roughly doubles CPU.
+	if r.CPURatioAtMax < 1.6 || r.CPURatioAtMax > 2.4 {
+		t.Fatalf("CPU ratio = %.2f, want ~2", r.CPURatioAtMax)
+	}
+	// Latency overhead of replication stays small (paper <24%; allow 50%).
+	if r.OverheadAtMax > 0.5 {
+		t.Fatalf("replication latency overhead = %.0f%%", r.OverheadAtMax*100)
+	}
+	_ = r.String()
+}
+
+func TestCPUOverhead(t *testing.T) {
+	cfg := CPUConfig{Seed: 1, Rates: []int{4000, 12000}, Duration: 300 * time.Millisecond, ObjectSize: 2048}
+	r := RunCPU(cfg)
+	if len(r.Points) != 2 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	low, high := r.Points[0], r.Points[1]
+	if high.YodaCPU <= low.YodaCPU {
+		t.Fatal("yoda CPU not increasing with rate")
+	}
+	// Yoda saturates near 12K; HAProxy stays well below (paper: 46%).
+	if high.YodaCPU < 0.85 {
+		t.Fatalf("yoda CPU at 12K = %.2f, want near saturation", high.YodaCPU)
+	}
+	if high.HAProxyCPU > 0.7*high.YodaCPU {
+		t.Fatalf("haproxy CPU %.2f should be well below yoda %.2f (paper: ~0.46 vs 1.0)",
+			high.HAProxyCPU, high.YodaCPU)
+	}
+	_ = r.String()
+}
+
+func TestTable1Impact(t *testing.T) {
+	r := RunTable1(1)
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// Under HAProxy every site suffers: timeout or reset.
+		if !strings.Contains(row.HAProxyImpact, "timed-out") &&
+			!strings.Contains(row.HAProxyImpact, "reset") &&
+			!strings.Contains(row.HAProxyImpact, "delayed") {
+			t.Errorf("%s: HAProxy impact %q, want user-visible damage", row.Website, row.HAProxyImpact)
+		}
+		// Under Yoda the failure is masked.
+		if !strings.HasPrefix(row.YodaImpact, "none") {
+			t.Errorf("%s: Yoda impact %q, want none", row.Website, row.YodaImpact)
+		}
+		if row.YodaExtra > 5*time.Second {
+			t.Errorf("%s: Yoda extra %v too large", row.Website, row.YodaExtra)
+		}
+	}
+	// Page sites must time out (not reset) under HAProxy with retry.
+	for _, row := range r.Rows[:3] {
+		if !strings.Contains(row.HAProxyImpact, "timed-out") {
+			t.Errorf("%s: want page timed-out, got %q", row.Website, row.HAProxyImpact)
+		}
+	}
+	// Session sites must see resets or fatal stalls.
+	for _, row := range r.Rows[3:] {
+		if !strings.Contains(row.HAProxyImpact, "reset") && !strings.Contains(row.HAProxyImpact, "timed-out") {
+			t.Errorf("%s: want session damage, got %q", row.Website, row.HAProxyImpact)
+		}
+	}
+	_ = r.String()
+}
+
+func TestFig12Recovery(t *testing.T) {
+	cfg := DefaultFig12Config()
+	cfg.Instances = 6
+	cfg.Kill = 2
+	cfg.ClientProcs = 10
+	cfg.Duration = 20 * time.Second
+	cfg.FailAt = 4 * time.Second
+	r := RunFig12(cfg)
+	// Yoda: zero broken flows.
+	if r.Yoda.Broken != 0 {
+		t.Fatalf("yoda broke %d/%d flows", r.Yoda.Broken, r.Yoda.Requests)
+	}
+	if r.Yoda.Requests < 100 {
+		t.Fatalf("yoda requests = %d, load generator broken", r.Yoda.Requests)
+	}
+	// HAProxy-noretry: the flows in flight on the killed instances break
+	// (the paper reports 24% of its run's flows; our run is longer so the
+	// fraction is smaller, but the count must be clearly nonzero).
+	if r.HAProxyNoRetry.Broken < 2 {
+		t.Fatalf("haproxy-noretry broke %d flows, want visible breakage", r.HAProxyNoRetry.Broken)
+	}
+	// HAProxy-retry: flows eventually succeed but the tail reaches the
+	// HTTP timeout; Yoda's tail stays seconds, not tens of seconds.
+	if r.HAProxyRetry.Broken != 0 {
+		t.Fatalf("haproxy-retry broke %d flows; retry should recover", r.HAProxyRetry.Broken)
+	}
+	if r.HAProxyRetry.Latency.Max() < cfg.HTTPTimeout {
+		t.Fatalf("haproxy-retry max latency %v, want ≥ the %v timeout", r.HAProxyRetry.Latency.Max(), cfg.HTTPTimeout)
+	}
+	if r.Yoda.MaxExtra > 10*time.Second {
+		t.Fatalf("yoda recovery tail %v, paper reports 0.6-3s", r.Yoda.MaxExtra)
+	}
+	if r.Yoda.MaxExtra < 100*time.Millisecond {
+		t.Fatalf("yoda tail %v suspiciously small — did the failure hit?", r.Yoda.MaxExtra)
+	}
+	_ = r.String()
+}
+
+func TestFig12bTimeline(t *testing.T) {
+	r := RunFig12b(1)
+	if !r.Recovered {
+		t.Fatal("flow did not recover")
+	}
+	out := r.String()
+	if !strings.Contains(out, "YODA instance fails") {
+		t.Fatalf("timeline missing failure marker:\n%s", out)
+	}
+	if !strings.Contains(out, "retransmission") {
+		t.Fatalf("timeline missing retransmissions:\n%s", out)
+	}
+	// There must be at least one dropped retransmission (to the dead
+	// instance) and a successful one after the mapping repair.
+	if !strings.Contains(out, "DROPPED") {
+		t.Fatalf("timeline missing the drop at the dead instance:\n%s", out)
+	}
+}
+
+func TestFig13ScaleOut(t *testing.T) {
+	cfg := Fig13Config{
+		Seed:             1,
+		InitialInstances: 3,
+		BaseRatePerInst:  400,
+		PeakRatePerInst:  950,
+		StepAt:           6 * time.Second,
+		Duration:         18 * time.Second,
+		ObjectSize:       2 * 1024,
+	}
+	r := RunFig13(cfg)
+	if r.InstancesAdded == 0 {
+		t.Fatal("controller never scaled out")
+	}
+	if r.Broken != 0 {
+		t.Fatalf("%d flows broke during scale-out (paper: 0)", r.Broken)
+	}
+	// CPU must rise after the step and fall after scale-out.
+	var preStep, postStep, final float64
+	for _, p := range r.Series {
+		switch {
+		case p.At <= cfg.StepAt:
+			preStep = p.AvgCPU
+		case p.At <= cfg.StepAt+3*time.Second:
+			if p.AvgCPU > postStep {
+				postStep = p.AvgCPU
+			}
+		default:
+			final = p.AvgCPU
+		}
+	}
+	if postStep <= preStep {
+		t.Fatalf("CPU did not rise after the load step: %.2f -> %.2f", preStep, postStep)
+	}
+	if final >= postStep {
+		t.Fatalf("CPU did not fall after scale-out: peak %.2f, final %.2f", postStep, final)
+	}
+	_ = r.String()
+}
+
+func TestFig14PolicyUpdate(t *testing.T) {
+	cfg := DefaultFig14Config()
+	cfg.Rate = 150
+	r := RunFig14(cfg)
+	if r.Broken != 0 {
+		t.Fatalf("%d flows broke during policy updates (paper: 0)", r.Broken)
+	}
+	// Phase 0: three-way equal split.
+	for _, n := range []string{"Srv-1", "Srv-2", "Srv-3"} {
+		f := r.PhaseFractions[0][n]
+		if f < 0.23 || f > 0.45 {
+			t.Errorf("phase 0 %s fraction %.2f, want ~1/3", n, f)
+		}
+	}
+	if r.PhaseFractions[0]["Srv-4"] > 0.01 {
+		t.Errorf("phase 0 Srv-4 got traffic before being added")
+	}
+	// Phase 1: four-way split.
+	if f := r.PhaseFractions[1]["Srv-4"]; f < 0.15 || f > 0.4 {
+		t.Errorf("phase 1 Srv-4 fraction %.2f, want ~1/4", f)
+	}
+	// Phase 2: Srv-1 removed.
+	if f := r.PhaseFractions[2]["Srv-1"]; f > 0.02 {
+		t.Errorf("phase 2 Srv-1 fraction %.2f after removal", f)
+	}
+	// Phase 3: 1:1:2.
+	if f := r.PhaseFractions[3]["Srv-4"]; f < 0.4 || f > 0.62 {
+		t.Errorf("phase 3 Srv-4 fraction %.2f, want ~0.5", f)
+	}
+	if f := r.PhaseFractions[3]["Srv-2"]; f < 0.15 || f > 0.36 {
+		t.Errorf("phase 3 Srv-2 fraction %.2f, want ~0.25", f)
+	}
+	_ = r.String()
+}
+
+func TestFig15CostReduction(t *testing.T) {
+	r := RunFig15(trace.DefaultConfig())
+	if r.NumVIPs < 100 {
+		t.Fatalf("VIPs = %d, want 100+", r.NumVIPs)
+	}
+	if r.TotalRules < 50000 {
+		t.Fatalf("rules = %d, want 50K+", r.TotalRules)
+	}
+	if r.Stats.Mean < 2.2 || r.Stats.Mean > 5.5 {
+		t.Fatalf("mean saving %.2fx, paper reports 3.7x", r.Stats.Mean)
+	}
+	if r.Stats.Max < 15 {
+		t.Fatalf("max ratio %.2f, want tail toward 50x", r.Stats.Max)
+	}
+	_ = r.String()
+}
+
+func TestFig16Assignment(t *testing.T) {
+	cfg := DefaultFig16Config()
+	cfg.Windows = 16
+	r := RunFig16(cfg)
+	if len(r.Rounds) < 14 {
+		t.Fatalf("rounds = %d", len(r.Rounds))
+	}
+	// 16(b): per-instance rules a tiny fraction of all-to-all.
+	if r.MedianRulesFrac <= 0 || r.MedianRulesFrac > 0.10 {
+		t.Fatalf("rules frac = %.3f, paper: ~0.01", r.MedianRulesFrac)
+	}
+	// 16(c): many-to-many needs more instances than all-to-all, but not
+	// absurdly more.
+	if r.MeanInstanceOverheadVsAllToAll <= 0 || r.MeanInstanceOverheadVsAllToAll > 1.2 {
+		t.Fatalf("instance overhead = %.2f, paper: ~0.27", r.MeanInstanceOverheadVsAllToAll)
+	}
+	// 16(e): the migration cap makes Yoda-limit migrate far less.
+	if r.MedianLimitMigrated >= r.MedianNoLimitMigrated {
+		t.Fatalf("limit migrated %.2f ≥ no-limit %.2f", r.MedianLimitMigrated, r.MedianNoLimitMigrated)
+	}
+	if r.MedianNoLimitMigrated < 0.15 {
+		t.Fatalf("no-limit migrated %.2f, want heavy shuffling (paper: 44.9%%)", r.MedianNoLimitMigrated)
+	}
+	if r.MedianLimitMigrated > 0.15 {
+		t.Fatalf("limit migrated %.2f, want ≤ ~10%% cap", r.MedianLimitMigrated)
+	}
+	// 16(d): limit arm avoids new transient overloads.
+	if r.MedianLimitOverloaded > r.MedianNoLimitOverloaded {
+		t.Fatalf("limit overload %.3f > no-limit %.3f", r.MedianLimitOverloaded, r.MedianNoLimitOverloaded)
+	}
+	_ = r.String()
+}

@@ -1,0 +1,328 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/haproxy"
+	"repro/internal/httpsim"
+	"repro/internal/memcache"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/tcpstore"
+	"repro/internal/workload"
+)
+
+// Fig12Config parameterizes the failure-recovery experiment (§7.2).
+type Fig12Config struct {
+	Seed int64
+	// Instances is the LB fleet size; Kill of them fail simultaneously.
+	Instances int
+	Kill      int
+	// ClientProcs closed-loop client processes (paper: 20 per client).
+	ClientProcs int
+	// Duration of the run; the failure hits at FailAt.
+	Duration time.Duration
+	FailAt   time.Duration
+	// HTTPTimeout is the browser timeout (paper: 30 s).
+	HTTPTimeout time.Duration
+	// ObjectSize per request.
+	ObjectSize int
+}
+
+// DefaultFig12Config mirrors §7.2: 10 instances, 2 killed, 20 client
+// processes, 30 s HTTP timeout.
+func DefaultFig12Config() Fig12Config {
+	return Fig12Config{
+		Seed:        1,
+		Instances:   10,
+		Kill:        2,
+		ClientProcs: 20,
+		Duration:    40 * time.Second,
+		FailAt:      5 * time.Second,
+		HTTPTimeout: 30 * time.Second,
+		ObjectSize:  40 * 1024,
+	}
+}
+
+// Fig12Arm is one curve of Figure 12(a).
+type Fig12Arm struct {
+	Name       string
+	Requests   int
+	Broken     int
+	BrokenFrac float64
+	Latency    *metrics.DurationHistogram
+	// Affected counts requests in flight at the failure instant;
+	// AffectedBroken is how many of those broke. This is the denominator
+	// the paper's "24% of flows" uses: flows the failure could touch.
+	Affected       int
+	AffectedBroken int
+	// MaxExtra is the largest latency among successful requests minus the
+	// no-failure median — how much the failure stretched the tail.
+	MaxExtra time.Duration
+}
+
+// AffectedBrokenFrac returns AffectedBroken/Affected.
+func (a *Fig12Arm) AffectedBrokenFrac() float64 {
+	if a.Affected == 0 {
+		return 0
+	}
+	return float64(a.AffectedBroken) / float64(a.Affected)
+}
+
+// Fig12Result reproduces Figure 12(a): request-latency CDFs under LB
+// failure for Yoda, HAProxy-noretry and HAProxy-retry.
+type Fig12Result struct {
+	Yoda           Fig12Arm
+	HAProxyNoRetry Fig12Arm
+	HAProxyRetry   Fig12Arm
+}
+
+// RunFig12 runs the three arms.
+func RunFig12(cfg Fig12Config) *Fig12Result {
+	return &Fig12Result{
+		Yoda:           runFig12Arm(cfg, "yoda", true, 0),
+		HAProxyNoRetry: runFig12Arm(cfg, "haproxy-noretry", false, 0),
+		HAProxyRetry:   runFig12Arm(cfg, "haproxy-retry", false, 1),
+	}
+}
+
+func runFig12Arm(cfg Fig12Config, name string, yoda bool, retries int) Fig12Arm {
+	c := cluster.New(cfg.Seed)
+	objects := map[string][]byte{"/obj": workload.SynthBody("/obj", cfg.ObjectSize)}
+	for i := 1; i <= 6; i++ {
+		c.AddBackend(fmt.Sprintf("srv-%d", i), objects, httpsim.DefaultServerConfig())
+	}
+	var vip netsim.IP
+	var ct *controller.Controller
+	if yoda {
+		c.AddStoreServers(4, memcache.DefaultSimServerConfig())
+		c.AddYodaN(cfg.Instances, core.DefaultConfig(), tcpstore.DefaultConfig())
+		vip = c.AddVIP("svc")
+		ctCfg := controller.DefaultConfig()
+		ctCfg.ScaleInterval = 0 // isolate failure recovery from scaling
+		ct = controller.New(c, ctCfg)
+		ct.SetPolicy(vip, c.SimpleSplitRules("srv-1", "srv-2", "srv-3", "srv-4", "srv-5", "srv-6"), nil)
+		ct.Start()
+	} else {
+		c.AddHAProxyN(cfg.Instances, haproxy.DefaultConfig())
+		vip = c.AddVIP("svc")
+		c.InstallPolicyHAProxy(vip, c.SimpleSplitRules("srv-1", "srv-2", "srv-3", "srv-4", "srv-5", "srv-6"), nil)
+	}
+	vipHP := netsim.HostPort{IP: vip, Port: 80}
+
+	arm := Fig12Arm{Name: name, Latency: metrics.NewDurationHistogram()}
+	ccfg := httpsim.DefaultClientConfig()
+	ccfg.Timeout = cfg.HTTPTimeout
+	ccfg.Retries = retries
+
+	// Closed-loop client processes: each waits for completion/timeout
+	// before issuing the next request (§7.2). Start times are staggered so
+	// the processes spread across request phases — otherwise every flow
+	// would be in the same handshake stage at the failure instant.
+	for p := 0; p < cfg.ClientProcs; p++ {
+		cl := c.NewClient(ccfg)
+		var loop func()
+		loop = func() {
+			if c.Net.Now() >= cfg.Duration {
+				return
+			}
+			started := c.Net.Now()
+			cl.Get(vipHP, "/obj", func(r *httpsim.FetchResult) {
+				arm.Requests++
+				spansFailure := started <= cfg.FailAt && c.Net.Now() > cfg.FailAt
+				if spansFailure {
+					arm.Affected++
+				}
+				if r.Err != nil {
+					arm.Broken++
+					if spansFailure {
+						arm.AffectedBroken++
+					}
+				}
+				arm.Latency.Add(r.Elapsed())
+				loop()
+			})
+		}
+		c.Net.Schedule(time.Duration(p)*37*time.Millisecond, loop)
+	}
+
+	// Kill cfg.Kill instances simultaneously at FailAt.
+	c.Net.Schedule(cfg.FailAt, func() {
+		killed := 0
+		if yoda {
+			order := make([]int, len(c.Yoda))
+			for i := range order {
+				order[i] = i
+			}
+			sort.Slice(order, func(a, b int) bool {
+				return c.Yoda[order[a]].FlowCount() > c.Yoda[order[b]].FlowCount()
+			})
+			for _, i := range order {
+				if killed == cfg.Kill {
+					break
+				}
+				c.Yoda[i].Fail()
+				killed++
+			}
+			// The controller's monitor repairs the mapping.
+		} else {
+			// Kill the busiest proxies: failures hurt most where flows live.
+			order := make([]int, len(c.HAProxy))
+			for i := range order {
+				order[i] = i
+			}
+			sort.Slice(order, func(a, b int) bool {
+				return c.HAProxy[order[a]].Active > c.HAProxy[order[b]].Active
+			})
+			for _, i := range order {
+				if killed == cfg.Kill {
+					break
+				}
+				c.HAProxy[i].Fail()
+				ip := c.HAProxy[i].IP()
+				c.Net.Schedule(600*time.Millisecond, func() { c.L4.RemoveInstance(ip) })
+				killed++
+			}
+		}
+	})
+	c.Net.RunFor(cfg.Duration + cfg.HTTPTimeout + 10*time.Second)
+	if arm.Requests > 0 {
+		arm.BrokenFrac = float64(arm.Broken) / float64(arm.Requests)
+	}
+	med := arm.Latency.Median()
+	if arm.Latency.Count() > 0 {
+		arm.MaxExtra = arm.Latency.Max() - med
+	}
+	return arm
+}
+
+// String prints the per-arm summary and CDF knee points.
+func (r *Fig12Result) String() string {
+	mk := func(a Fig12Arm) []string {
+		return []string{
+			a.Name,
+			fmt.Sprintf("%d", a.Requests),
+			fmtPct(a.BrokenFrac),
+			fmt.Sprintf("%d/%d", a.AffectedBroken, a.Affected),
+			fmtMs(a.Latency.Median()),
+			fmtMs(a.Latency.Quantile(0.99)),
+			fmtMs(a.Latency.Max()),
+		}
+	}
+	s := "Figure 12(a) — failure recovery: request latency under 2/10 LB failures\n"
+	s += table(
+		[]string{"arm", "requests", "broken", "broken@failure", "median", "p99", "max"},
+		[][]string{mk(r.Yoda), mk(r.HAProxyNoRetry), mk(r.HAProxyRetry)},
+	)
+	s += fmt.Sprintf("of flows in flight at the failure: yoda broke %s, haproxy-noretry broke %s (paper: 0%% vs 24%%)\n",
+		fmtPct(r.Yoda.AffectedBrokenFrac()), fmtPct(r.HAProxyNoRetry.AffectedBrokenFrac()))
+	s += fmt.Sprintf("yoda max extra latency=%.1fs (paper: 0.6–3 s); haproxy-retry tail=%.1fs (paper: 30s+)\n",
+		r.Yoda.MaxExtra.Seconds(), r.HAProxyRetry.Latency.Max().Seconds())
+	return s
+}
+
+// Fig12bEvent is one row of the Figure 12(b) packet timeline.
+type Fig12bEvent struct {
+	At    time.Duration
+	Desc  string
+	Since time.Duration // relative to the failure instant
+}
+
+// Fig12bResult reproduces Figure 12(b): the server-side packet timeline
+// of one flow across a Yoda instance failure.
+type Fig12bResult struct {
+	FailAt    time.Duration
+	Events    []Fig12bEvent
+	Recovered bool
+}
+
+// RunFig12b traces a single flow through an instance failure.
+func RunFig12b(seed int64) *Fig12bResult {
+	c := cluster.New(seed)
+	objects := map[string][]byte{"/big": workload.SynthBody("/big", 300*1024)}
+	backend := c.AddBackend("srv-1", objects, httpsim.DefaultServerConfig())
+	c.AddStoreServers(3, memcache.DefaultSimServerConfig())
+	c.AddYodaN(2, core.DefaultConfig(), tcpstore.DefaultConfig())
+	vip := c.AddVIP("svc")
+	c.InstallPolicy(vip, c.SimpleSplitRules("srv-1"), nil)
+
+	res := &Fig12bResult{}
+	serverIP := backend.Rec.Addr.IP
+	var maxSeqSeen uint32
+	haveSeq := false
+	c.Net.SetTracer(func(ev netsim.TraceEvent) {
+		pkt := ev.Packet
+		// Watch data packets leaving the backend server, at their first
+		// hop only (the VIP); the encapsulated VIP→instance copy of the
+		// same packet is skipped so each transmission appears once —
+		// except when that copy is dropped at a dead instance, which is
+		// exactly the event the figure highlights.
+		if pkt.Src.IP != serverIP || len(pkt.Payload) == 0 {
+			return
+		}
+		if pkt.Outer != nil && !ev.Dropped {
+			return
+		}
+		kind := "data"
+		if haveSeq && int32(pkt.Seq-maxSeqSeen) <= 0 {
+			kind = "retransmission"
+		}
+		if !haveSeq || int32(pkt.Seq-maxSeqSeen) > 0 {
+			maxSeqSeen = pkt.Seq
+			haveSeq = true
+		}
+		// Before the failure the transfer produces thousands of ordinary
+		// data events; keep the timeline readable by recording only
+		// retransmissions plus post-failure traffic.
+		if res.FailAt == 0 && kind == "data" {
+			return
+		}
+		desc := fmt.Sprintf("server %s seq=%d", kind, pkt.Seq)
+		if ev.Dropped {
+			desc += " (DROPPED: " + ev.Reason + ")"
+		}
+		res.Events = append(res.Events, Fig12bEvent{At: ev.At, Desc: desc})
+	})
+
+	cl := c.NewClient(httpsim.DefaultClientConfig())
+	var fr *httpsim.FetchResult
+	cl.Get(netsim.HostPort{IP: vip, Port: 80}, "/big", func(r *httpsim.FetchResult) { fr = r })
+	c.Net.RunFor(200 * time.Millisecond)
+	for _, in := range c.Yoda {
+		if in.FlowCount() > 0 {
+			in.Fail()
+			res.FailAt = c.Net.Now()
+			res.Events = append(res.Events, Fig12bEvent{At: c.Net.Now(), Desc: "YODA instance fails (point a)"})
+			ip := in.IP()
+			c.Net.Schedule(600*time.Millisecond, func() {
+				c.L4.RemoveInstance(ip)
+				res.Events = append(res.Events, Fig12bEvent{At: c.Net.Now(), Desc: "monitor updates L4 mapping"})
+			})
+			break
+		}
+	}
+	c.Net.RunFor(30 * time.Second)
+	res.Recovered = fr != nil && fr.Err == nil
+	for i := range res.Events {
+		res.Events[i].Since = res.Events[i].At - res.FailAt
+	}
+	return res
+}
+
+// String prints the timeline.
+func (r *Fig12bResult) String() string {
+	s := "Figure 12(b) — server-side packet timeline across a YODA failure\n"
+	for _, ev := range r.Events {
+		if ev.Since < -50*time.Millisecond || ev.Since > 3*time.Second {
+			continue
+		}
+		s += fmt.Sprintf("  t=%+8.0fms  %s\n", float64(ev.Since)/float64(time.Millisecond), ev.Desc)
+	}
+	s += fmt.Sprintf("flow recovered without client timeout: %v\n", r.Recovered)
+	return s
+}

@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/assignment"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Fig16Config parameterizes the 24-hour assignment simulation (§8.2).
+type Fig16Config struct {
+	Trace trace.Config
+	// TrafficCap is T_y (req/s per instance; paper: the 12K req/s
+	// saturation point), RuleCap is R_y (paper: 2K rules for a 5 ms
+	// latency target), MaxInst the fleet ceiling.
+	TrafficCap float64
+	RuleCap    int
+	MaxInst    int
+	// ReplFactor is the shared-service redundancy multiplier (paper: 4x).
+	ReplFactor int
+	// MigrationLimit is δ for the Yoda-limit arm (paper: 10%).
+	MigrationLimit float64
+	// Windows caps how many 10-minute rounds are simulated (0 = all).
+	Windows int
+}
+
+// DefaultFig16Config mirrors §8.2.
+func DefaultFig16Config() Fig16Config {
+	return Fig16Config{
+		Trace:          trace.DefaultConfig(),
+		TrafficCap:     12000,
+		RuleCap:        2000,
+		MaxInst:        600,
+		ReplFactor:     4,
+		MigrationLimit: 0.10,
+	}
+}
+
+// Fig16Round is one 10-minute assignment round's metrics.
+type Fig16Round struct {
+	Window int
+
+	AllToAllInstances int
+	NoLimitInstances  int
+	LimitInstances    int
+
+	// MedianRulesFrac is the median per-instance rule count under
+	// Yoda-limit as a fraction of the all-to-all scheme's (which holds
+	// every rule on every instance) — Figure 16(b).
+	MedianRulesFrac float64
+
+	// Overloaded fractions of instances whose transient load exceeds
+	// capacity during the update — Figure 16(d).
+	NoLimitOverloadedFrac float64
+	LimitOverloadedFrac   float64
+
+	// Migrated connection fractions — Figure 16(e).
+	NoLimitMigratedFrac float64
+	LimitMigratedFrac   float64
+
+	SolveTime time.Duration
+}
+
+// Fig16Result reproduces Figure 16(b)–(e).
+type Fig16Result struct {
+	Rounds []Fig16Round
+
+	// Aggregates across rounds.
+	MedianRulesFrac                float64 // paper: median 1% of all-to-all
+	MeanInstanceOverheadVsAllToAll float64 // paper: avg 27% more than all-to-all
+	LimitVsNoLimitInstances        float64 // paper: median +1.3%
+	MedianNoLimitOverloaded        float64 // paper: median 5.3%
+	MedianLimitOverloaded          float64 // paper: ~0
+	MedianNoLimitMigrated          float64 // paper: median 44.9%
+	MedianLimitMigrated            float64 // paper: median 8.3%
+	MaxSolveTime                   time.Duration
+}
+
+// RunFig16 replays the trace, re-solving the assignment every window for
+// the all-to-all baseline, Yoda-no-limit and Yoda-limit.
+func RunFig16(cfg Fig16Config) *Fig16Result {
+	tr := trace.Generate(cfg.Trace)
+	windows := tr.Windows
+	if cfg.Windows > 0 && cfg.Windows < windows {
+		windows = cfg.Windows
+	}
+	res := &Fig16Result{}
+
+	var prevNoLimit, prevLimit *assignment.Assignment
+	rulesFracH := metrics.NewHistogram()
+	instOverheadH := metrics.NewHistogram()
+	limitVsNoLimitH := metrics.NewHistogram()
+	nlOverH := metrics.NewHistogram()
+	lOverH := metrics.NewHistogram()
+	nlMigH := metrics.NewHistogram()
+	lMigH := metrics.NewHistogram()
+
+	for w := 0; w < windows; w++ {
+		round := Fig16Round{Window: w}
+		base := tr.ProblemAt(w, cfg.TrafficCap, cfg.RuleCap, cfg.MaxInst, cfg.ReplFactor)
+		round.AllToAllInstances = assignment.AllToAllInstanceCount(base)
+
+		// Yoda-no-limit: fresh solve, no stickiness, no Eq.4-7. The paper's
+		// ILP re-optimizes from scratch each round, so connections shuffle.
+		t0 := time.Now()
+		noLimitProb := *base
+		noLimitProb.Old = nil
+		noLimit, errNL := assignment.SolveGreedy(&noLimitProb)
+		if errNL != nil {
+			continue // infeasible window; skip (never happens with default sizing)
+		}
+		// Yoda-limit: stick to the previous assignment, Eq.4-7 enforced.
+		limitProb := *base
+		limitProb.Old = prevLimit
+		limitProb.TransientCheck = true
+		limitProb.MigrationLimit = cfg.MigrationLimit
+		limit, errL := assignment.SolveGreedy(&limitProb)
+		round.SolveTime = time.Since(t0)
+		if errL != nil {
+			continue
+		}
+		if round.SolveTime > res.MaxSolveTime {
+			res.MaxSolveTime = round.SolveTime
+		}
+
+		round.NoLimitInstances = noLimit.Used()
+		round.LimitInstances = limit.Used()
+
+		// Figure 16(b): median rules per instance vs all-to-all (which
+		// stores the full rule set on every instance).
+		totalRules := 0
+		for _, v := range base.VIPs {
+			totalRules += v.Rules
+		}
+		round.MedianRulesFrac = medianRulesFraction(base, limit, totalRules)
+
+		// Figure 16(d): transient overload during the old->new switch.
+		if w > 0 {
+			round.NoLimitOverloadedFrac = overloadedFrac(base, prevNoLimit, noLimit, cfg.TrafficCap)
+			round.LimitOverloadedFrac = overloadedFrac(base, prevLimit, limit, cfg.TrafficCap)
+
+			// Figure 16(e): migrated connections.
+			nlProb := *base
+			nlProb.Old = prevNoLimit
+			round.NoLimitMigratedFrac = assignment.MigratedFraction(&nlProb, noLimit)
+			lProb := *base
+			lProb.Old = prevLimit
+			round.LimitMigratedFrac = assignment.MigratedFraction(&lProb, limit)
+
+			nlOverH.Add(round.NoLimitOverloadedFrac)
+			lOverH.Add(round.LimitOverloadedFrac)
+			nlMigH.Add(round.NoLimitMigratedFrac)
+			lMigH.Add(round.LimitMigratedFrac)
+		}
+		rulesFracH.Add(round.MedianRulesFrac)
+		instOverheadH.Add(float64(round.NoLimitInstances-round.AllToAllInstances) / float64(round.AllToAllInstances))
+		limitVsNoLimitH.Add(float64(round.LimitInstances-round.NoLimitInstances) / float64(round.NoLimitInstances))
+
+		prevNoLimit, prevLimit = noLimit, limit
+		res.Rounds = append(res.Rounds, round)
+	}
+
+	res.MedianRulesFrac = rulesFracH.Median()
+	res.MeanInstanceOverheadVsAllToAll = instOverheadH.Mean()
+	res.LimitVsNoLimitInstances = limitVsNoLimitH.Median()
+	res.MedianNoLimitOverloaded = nlOverH.Median()
+	res.MedianLimitOverloaded = lOverH.Median()
+	res.MedianNoLimitMigrated = nlMigH.Median()
+	res.MedianLimitMigrated = lMigH.Median()
+	return res
+}
+
+// medianRulesFraction computes the median per-instance rule count under a
+// divided by the all-to-all per-instance rule count (= all rules).
+func medianRulesFraction(p *assignment.Problem, a *assignment.Assignment, totalRules int) float64 {
+	perInst := map[int]int{}
+	for i := range p.VIPs {
+		v := &p.VIPs[i]
+		for _, y := range a.ByVIP[v.ID] {
+			perInst[y] += v.Rules
+		}
+	}
+	if len(perInst) == 0 || totalRules == 0 {
+		return 0
+	}
+	counts := make([]int, 0, len(perInst))
+	for _, c := range perInst {
+		counts = append(counts, c)
+	}
+	sort.Ints(counts)
+	return float64(counts[len(counts)/2]) / float64(totalRules)
+}
+
+// overloadedFrac returns the fraction of involved instances whose real
+// transient traffic exceeds capacity, excluding instances that were
+// already overloaded before the round (as the paper does). Real traffic
+// (t_v/n_v per replica) is used rather than the ILP's worst-case shares:
+// the figure reports operational overload, not provisioning.
+func overloadedFrac(p *assignment.Problem, old, new *assignment.Assignment, cap float64) float64 {
+	if old == nil {
+		return 0
+	}
+	q := *p
+	q.Old = old
+	oldLoad := assignment.OldOnlyLoadActual(&q)
+	tl := assignment.TransientLoadActual(&q, old, new)
+	over, total := 0, 0
+	for y, l := range tl {
+		total++
+		if l > cap+1e-9 && oldLoad[y] <= cap+1e-9 {
+			over++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(over) / float64(total)
+}
+
+// String prints the figure's four panels as summary lines plus a sampled
+// per-round table.
+func (r *Fig16Result) String() string {
+	rows := [][]string{}
+	step := len(r.Rounds) / 12
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(r.Rounds); i += step {
+		rd := r.Rounds[i]
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", rd.Window),
+			fmt.Sprintf("%d", rd.AllToAllInstances),
+			fmt.Sprintf("%d", rd.NoLimitInstances),
+			fmt.Sprintf("%d", rd.LimitInstances),
+			fmtPct(rd.MedianRulesFrac),
+			fmtPct(rd.NoLimitOverloadedFrac),
+			fmtPct(rd.LimitOverloadedFrac),
+			fmtPct(rd.NoLimitMigratedFrac),
+			fmtPct(rd.LimitMigratedFrac),
+		})
+	}
+	s := "Figure 16 — 24h assignment simulation (10-minute rounds)\n"
+	s += table([]string{"round", "all-to-all", "no-limit", "limit", "rules%", "over(NL)", "over(L)", "migr(NL)", "migr(L)"}, rows)
+	s += fmt.Sprintf("16(b) median rules per instance vs all-to-all: %s (paper: 0.5-3.7%%, median 1%%)\n", fmtPct(r.MedianRulesFrac))
+	s += fmt.Sprintf("16(c) instances vs all-to-all: +%s mean (paper: +4.6-73%%, avg +27%%); limit vs no-limit: %+.1f%% median (paper: median +1.3%%)\n",
+		fmtPct(r.MeanInstanceOverheadVsAllToAll), r.LimitVsNoLimitInstances*100)
+	s += fmt.Sprintf("16(d) transient overload: no-limit median %s (paper: 5.3%%), limit median %s (paper: ~0)\n",
+		fmtPct(r.MedianNoLimitOverloaded), fmtPct(r.MedianLimitOverloaded))
+	s += fmt.Sprintf("16(e) flows migrated: no-limit median %s (paper: 44.9%%), limit median %s (paper: 8.3%%)\n",
+		fmtPct(r.MedianNoLimitMigrated), fmtPct(r.MedianLimitMigrated))
+	s += fmt.Sprintf("max assignment solve time: %v (paper: 1.5-21.5s with CPLEX)\n", r.MaxSolveTime)
+	return s
+}

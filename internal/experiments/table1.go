@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/haproxy"
+	"repro/internal/httpsim"
+	"repro/internal/memcache"
+	"repro/internal/netsim"
+	"repro/internal/tcpstore"
+	"repro/internal/workload"
+)
+
+// WebsiteProfile models one of Table 1's websites: its browser-side HTTP
+// timeout and whether the workload is a page load (retryable) or an
+// ongoing session (a media stream or mail sync, where a broken connection
+// is a user-visible session reset).
+type WebsiteProfile struct {
+	Name    string
+	Timeout time.Duration
+	Retries int
+	Session bool // true: long-lived session; false: page load
+}
+
+// Table1Websites are the six sites the paper reports.
+func Table1Websites() []WebsiteProfile {
+	const firefoxTimeout = 300 * time.Second // 5 min (default Mozilla Firefox)
+	return []WebsiteProfile{
+		{Name: "nytimes", Timeout: firefoxTimeout, Retries: 1},
+		{Name: "reddit", Timeout: firefoxTimeout, Retries: 1},
+		{Name: "stanford", Timeout: firefoxTimeout, Retries: 1},
+		{Name: "vimeo", Timeout: firefoxTimeout, Session: true},
+		{Name: "soundcloud", Timeout: firefoxTimeout, Session: true},
+		{Name: "email service", Timeout: 100 * time.Second, Session: true}, // C# HttpWebRequest default
+	}
+}
+
+// Table1Row is one website's observed impact.
+type Table1Row struct {
+	Website       string
+	HAProxyImpact string // "page timed-out (+Xs)" or "session reset"
+	YodaImpact    string // expected "none (+Xs)"
+	HAProxyExtra  time.Duration
+	YodaExtra     time.Duration
+}
+
+// Table1Result reproduces Table 1 (and extends it with the Yoda column:
+// the same failure under Yoda is invisible to the user).
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// RunTable1 breaks one established connection per website by failing the
+// proxy that carries it, and classifies the user-visible impact.
+func RunTable1(seed int64) *Table1Result {
+	res := &Table1Result{}
+	for i, site := range Table1Websites() {
+		hImpact, hExtra := table1Arm(seed+int64(i)*10, site, false)
+		yImpact, yExtra := table1Arm(seed+int64(i)*10+5, site, true)
+		res.Rows = append(res.Rows, Table1Row{
+			Website:       site.Name,
+			HAProxyImpact: hImpact,
+			YodaImpact:    yImpact,
+			HAProxyExtra:  hExtra,
+			YodaExtra:     yExtra,
+		})
+	}
+	return res
+}
+
+// table1Arm loads one large object ("the established connection"),
+// fails the carrying LB instance mid-transfer, and classifies the result.
+func table1Arm(seed int64, site WebsiteProfile, yoda bool) (string, time.Duration) {
+	c := cluster.New(seed)
+	objSize := 300 * 1024
+	objects := map[string][]byte{"/stream": workload.SynthBody("/stream", objSize)}
+	c.AddBackend("srv-1", objects, httpsim.DefaultServerConfig())
+	c.AddBackend("srv-2", objects, httpsim.DefaultServerConfig())
+	var vip netsim.IP
+	if yoda {
+		c.AddStoreServers(3, memcache.DefaultSimServerConfig())
+		c.AddYodaN(2, core.DefaultConfig(), tcpstore.DefaultConfig())
+		vip = c.AddVIP("site")
+		c.InstallPolicy(vip, c.SimpleSplitRules("srv-1", "srv-2"), nil)
+	} else {
+		c.AddHAProxyN(2, haproxy.DefaultConfig())
+		vip = c.AddVIP("site")
+		c.InstallPolicyHAProxy(vip, c.SimpleSplitRules("srv-1", "srv-2"), nil)
+	}
+
+	ccfg := httpsim.DefaultClientConfig()
+	ccfg.Timeout = site.Timeout
+	ccfg.Retries = 0
+	if !site.Session {
+		ccfg.Retries = site.Retries
+	}
+	cl := c.NewClient(ccfg)
+	var res *httpsim.FetchResult
+	cl.Get(netsim.HostPort{IP: vip, Port: 80}, "/stream", func(r *httpsim.FetchResult) { res = r })
+
+	// Baseline transfer time without failure, for the "+extra" column.
+	base := table1Baseline(seed, yoda, objSize)
+
+	// Fail the instance that carries the flow mid-transfer; the monitor
+	// (modelled by a 600ms repair) withdraws it.
+	c.Net.RunFor(200 * time.Millisecond)
+	if yoda {
+		for _, in := range c.Yoda {
+			if in.FlowCount() > 0 {
+				in.Fail()
+				ip := in.IP()
+				c.Net.Schedule(600*time.Millisecond, func() { c.L4.RemoveInstance(ip) })
+				break
+			}
+		}
+	} else {
+		for _, p := range c.HAProxy {
+			if p.Active > 0 {
+				p.Fail()
+				ip := p.IP()
+				c.Net.Schedule(600*time.Millisecond, func() { c.L4.RemoveInstance(ip) })
+				break
+			}
+		}
+	}
+	c.Net.RunFor(2 * site.Timeout)
+	if res == nil {
+		return "no result (bug)", 0
+	}
+	extra := res.Elapsed() - base
+	if extra < 0 {
+		extra = 0
+	}
+	switch {
+	case res.Err != nil:
+		return "session reset", extra
+	case res.TimedOut:
+		return fmt.Sprintf("page timed-out (+%.0fs)", extra.Seconds()), extra
+	case extra > 5*time.Second:
+		return fmt.Sprintf("page delayed (+%.1fs)", extra.Seconds()), extra
+	default:
+		return fmt.Sprintf("none (+%.1fs)", extra.Seconds()), extra
+	}
+}
+
+func table1Baseline(seed int64, yoda bool, objSize int) time.Duration {
+	c := cluster.New(seed + 1000)
+	objects := map[string][]byte{"/stream": workload.SynthBody("/stream", objSize)}
+	c.AddBackend("srv-1", objects, httpsim.DefaultServerConfig())
+	var vip netsim.IP
+	if yoda {
+		c.AddStoreServers(3, memcache.DefaultSimServerConfig())
+		c.AddYodaN(1, core.DefaultConfig(), tcpstore.DefaultConfig())
+		vip = c.AddVIP("site")
+		c.InstallPolicy(vip, c.SimpleSplitRules("srv-1"), nil)
+	} else {
+		c.AddHAProxyN(1, haproxy.DefaultConfig())
+		vip = c.AddVIP("site")
+		c.InstallPolicyHAProxy(vip, c.SimpleSplitRules("srv-1"), nil)
+	}
+	cl := c.NewClient(httpsim.DefaultClientConfig())
+	var base time.Duration
+	cl.Get(netsim.HostPort{IP: vip, Port: 80}, "/stream", func(r *httpsim.FetchResult) { base = r.Elapsed() })
+	c.Net.RunFor(time.Minute)
+	return base
+}
+
+// String prints the table with the added Yoda column.
+func (r *Table1Result) String() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Website, row.HAProxyImpact, row.YodaImpact})
+	}
+	return "Table 1 — impact of proxy failure on one established connection\n" +
+		table([]string{"website", "impact (HAProxy)", "impact (YODA)"}, rows)
+}

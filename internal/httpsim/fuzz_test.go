@@ -1,0 +1,88 @@
+package httpsim
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRequestParser feeds arbitrary bytes in arbitrary chunkings to the
+// request parser: it must never panic, and whenever it accepts a
+// well-formed request, re-marshalling and re-parsing must agree.
+func FuzzRequestParser(f *testing.F) {
+	f.Add([]byte("GET / HTTP/1.1\r\nHost: a\r\n\r\n"), 3)
+	f.Add([]byte("POST /u HTTP/1.1\r\nContent-Length: 4\r\n\r\nBODY"), 1)
+	f.Add([]byte("GET /x HTTP/1.0\r\n\r\nGET /y HTTP/1.0\r\n\r\n"), 5)
+	f.Add([]byte("garbage\r\n\r\n"), 2)
+	f.Add([]byte("GET / HTTP/1.1\r\nContent-Length: -5\r\n\r\n"), 1)
+	f.Fuzz(func(t *testing.T, data []byte, chunk int) {
+		if chunk <= 0 {
+			chunk = 1
+		}
+		p := &RequestParser{}
+		var whole []*Request
+		failed := false
+		for off := 0; off < len(data); off += chunk {
+			end := off + chunk
+			if end > len(data) {
+				end = len(data)
+			}
+			reqs, err := p.Feed(data[off:end])
+			whole = append(whole, reqs...)
+			if err != nil {
+				failed = true
+				break
+			}
+		}
+		if failed {
+			return
+		}
+		// Parsed requests must survive a marshal/parse round trip.
+		for _, r := range whole {
+			p2 := &RequestParser{}
+			again, err := p2.Feed(r.Marshal())
+			if err != nil || len(again) != 1 {
+				t.Fatalf("re-parse of accepted request failed: %v (%d)", err, len(again))
+			}
+			if again[0].Method != r.Method || again[0].Path != r.Path || !bytes.Equal(again[0].Body, r.Body) {
+				t.Fatalf("round trip changed request: %+v vs %+v", again[0], r)
+			}
+		}
+	})
+}
+
+// FuzzResponseParser mirrors FuzzRequestParser for the response side.
+func FuzzResponseParser(f *testing.F) {
+	f.Add([]byte("HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhello"), 4)
+	f.Add([]byte("HTTP/1.1 404 Not Found\r\n\r\n"), 1)
+	f.Add([]byte("NOPE\r\n\r\n"), 2)
+	f.Fuzz(func(t *testing.T, data []byte, chunk int) {
+		if chunk <= 0 {
+			chunk = 1
+		}
+		p := &ResponseParser{}
+		for off := 0; off < len(data); off += chunk {
+			end := off + chunk
+			if end > len(data) {
+				end = len(data)
+			}
+			if _, err := p.Feed(data[off:end]); err != nil {
+				return
+			}
+		}
+	})
+}
+
+// FuzzParseRequestHeader must never panic or claim completion on
+// truncated headers.
+func FuzzParseRequestHeader(f *testing.F) {
+	f.Add([]byte("GET /p HTTP/1.1\r\nHost: h\r\n\r\ntail"))
+	f.Add([]byte("GET /p HTTP/1.1\r\nHost"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ParseRequestHeader(data)
+		if err == nil && req != nil {
+			if !bytes.Contains(data, []byte("\r\n\r\n")) {
+				t.Fatal("claimed completion without header terminator")
+			}
+		}
+	})
+}

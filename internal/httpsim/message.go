@@ -1,0 +1,195 @@
+// Package httpsim provides a minimal HTTP/1.0-1.1 implementation that
+// operates on raw byte streams: an incremental request/response parser,
+// message serialization, an origin server, and a browser-style client.
+//
+// The standard library's net/http cannot be used here because every
+// message must flow through the simulated TCP endpoints (and, inside the
+// Yoda instance, be parsed out of raw segment payloads before a backend
+// is even chosen).
+package httpsim
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Request is a parsed HTTP request.
+type Request struct {
+	Method  string
+	Path    string
+	Version string // "HTTP/1.0" or "HTTP/1.1"
+	Headers map[string]string
+	Body    []byte
+}
+
+// NewRequest builds a GET request for path with sensible defaults.
+func NewRequest(path, host string) *Request {
+	return &Request{
+		Method:  "GET",
+		Path:    path,
+		Version: "HTTP/1.1",
+		Headers: map[string]string{"Host": host},
+	}
+}
+
+// Header returns the value of the named header (case-insensitive), or "".
+func (r *Request) Header(name string) string {
+	return headerGet(r.Headers, name)
+}
+
+// SetHeader sets a header, canonicalizing its name.
+func (r *Request) SetHeader(name, value string) {
+	if r.Headers == nil {
+		r.Headers = make(map[string]string)
+	}
+	r.Headers[canonical(name)] = value
+}
+
+// Cookie returns the value of the named cookie from the Cookie header, or
+// "" if absent.
+func (r *Request) Cookie(name string) string {
+	raw := r.Header("Cookie")
+	if raw == "" {
+		return ""
+	}
+	for _, part := range strings.Split(raw, ";") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) == 2 && kv[0] == name {
+			return kv[1]
+		}
+	}
+	return ""
+}
+
+// KeepAlive reports whether the connection should persist after this
+// request (HTTP/1.1 default unless "Connection: close").
+func (r *Request) KeepAlive() bool {
+	conn := strings.ToLower(r.Header("Connection"))
+	if r.Version == "HTTP/1.1" {
+		return conn != "close"
+	}
+	return conn == "keep-alive"
+}
+
+// Marshal serializes the request onto the wire.
+func (r *Request) Marshal() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s %s %s\r\n", r.Method, r.Path, r.Version)
+	writeHeaders(&b, r.Headers)
+	if len(r.Body) > 0 {
+		fmt.Fprintf(&b, "Content-Length: %d\r\n", len(r.Body))
+	}
+	b.WriteString("\r\n")
+	b.Write(r.Body)
+	return b.Bytes()
+}
+
+// Response is a parsed HTTP response.
+type Response struct {
+	Version    string
+	StatusCode int
+	Status     string
+	Headers    map[string]string
+	Body       []byte
+}
+
+// NewResponse builds a 200 response carrying body.
+func NewResponse(code int, body []byte) *Response {
+	return &Response{
+		Version:    "HTTP/1.1",
+		StatusCode: code,
+		Status:     statusText(code),
+		Headers:    map[string]string{},
+		Body:       body,
+	}
+}
+
+// Header returns the value of the named header (case-insensitive), or "".
+func (r *Response) Header(name string) string {
+	return headerGet(r.Headers, name)
+}
+
+// SetHeader sets a header, canonicalizing its name.
+func (r *Response) SetHeader(name, value string) {
+	if r.Headers == nil {
+		r.Headers = make(map[string]string)
+	}
+	r.Headers[canonical(name)] = value
+}
+
+// Marshal serializes the response onto the wire, always emitting a
+// Content-Length so the peer can frame the body.
+func (r *Response) Marshal() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s %d %s\r\n", r.Version, r.StatusCode, r.Status)
+	writeHeaders(&b, r.Headers)
+	fmt.Fprintf(&b, "Content-Length: %d\r\n", len(r.Body))
+	b.WriteString("\r\n")
+	b.Write(r.Body)
+	return b.Bytes()
+}
+
+func statusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 301:
+		return "Moved Permanently"
+	case 400:
+		return "Bad Request"
+	case 404:
+		return "Not Found"
+	case 500:
+		return "Internal Server Error"
+	case 503:
+		return "Service Unavailable"
+	default:
+		return "Unknown"
+	}
+}
+
+func writeHeaders(b *bytes.Buffer, h map[string]string) {
+	keys := make([]string, 0, len(h))
+	for k := range h {
+		if strings.EqualFold(k, "Content-Length") {
+			continue // framing is computed at Marshal time
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, "%s: %s\r\n", k, h[k])
+	}
+}
+
+func headerGet(h map[string]string, name string) string {
+	if v, ok := h[canonical(name)]; ok {
+		return v
+	}
+	for k, v := range h {
+		if strings.EqualFold(k, name) {
+			return v
+		}
+	}
+	return ""
+}
+
+// canonical converts a header name to Canonical-Form. Only ASCII letters
+// are case-mapped; other bytes pass through untouched, so the function is
+// idempotent on arbitrary input.
+func canonical(name string) string {
+	b := []byte(name)
+	upper := true
+	for i, c := range b {
+		switch {
+		case upper && 'a' <= c && c <= 'z':
+			b[i] = c - 'a' + 'A'
+		case !upper && 'A' <= c && c <= 'Z':
+			b[i] = c - 'A' + 'a'
+		}
+		upper = c == '-'
+	}
+	return string(b)
+}

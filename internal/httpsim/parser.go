@@ -1,0 +1,204 @@
+package httpsim
+
+import (
+	"bytes"
+	"errors"
+	"strconv"
+	"strings"
+)
+
+// Parse errors.
+var (
+	ErrMalformed = errors.New("httpsim: malformed message")
+	ErrTooLarge  = errors.New("httpsim: header exceeds limit")
+)
+
+// maxHeaderBytes bounds header accumulation so a garbage stream cannot
+// grow a parser without limit.
+const maxHeaderBytes = 64 * 1024
+
+// RequestParser incrementally parses a stream of HTTP requests. Feed
+// returns each complete request as it is framed; partial input is
+// buffered. It supports back-to-back (keep-alive and pipelined) requests.
+type RequestParser struct {
+	buf bytes.Buffer
+}
+
+// Feed appends data and returns any requests completed by it.
+func (p *RequestParser) Feed(data []byte) ([]*Request, error) {
+	p.buf.Write(data)
+	var out []*Request
+	for {
+		req, consumed, err := parseRequest(p.buf.Bytes())
+		if err != nil {
+			return out, err
+		}
+		if req == nil {
+			if p.buf.Len() > maxHeaderBytes {
+				return out, ErrTooLarge
+			}
+			return out, nil
+		}
+		p.buf.Next(consumed)
+		out = append(out, req)
+	}
+}
+
+// Buffered returns the number of unconsumed bytes held by the parser.
+func (p *RequestParser) Buffered() int { return p.buf.Len() }
+
+// HeaderComplete reports whether the buffered bytes already contain a full
+// header block (CRLFCRLF). Yoda uses this to know when it can run rule
+// matching even before any body arrives.
+func (p *RequestParser) HeaderComplete() bool {
+	return bytes.Contains(p.buf.Bytes(), []byte("\r\n\r\n"))
+}
+
+// ParseRequestHeader parses just the header block out of raw bytes,
+// without requiring the body. It returns nil if the header is incomplete.
+// This is the entry point used by the Yoda instance's connection phase.
+func ParseRequestHeader(raw []byte) (*Request, error) {
+	idx := bytes.Index(raw, []byte("\r\n\r\n"))
+	if idx < 0 {
+		if len(raw) > maxHeaderBytes {
+			return nil, ErrTooLarge
+		}
+		return nil, nil
+	}
+	return parseRequestHead(raw[:idx])
+}
+
+// parseRequest frames one full request (header + declared body) from buf.
+// It returns (nil, 0, nil) when more data is needed.
+func parseRequest(buf []byte) (*Request, int, error) {
+	idx := bytes.Index(buf, []byte("\r\n\r\n"))
+	if idx < 0 {
+		return nil, 0, nil
+	}
+	req, err := parseRequestHead(buf[:idx])
+	if err != nil {
+		return nil, 0, err
+	}
+	bodyLen := 0
+	if cl := req.Header("Content-Length"); cl != "" {
+		n, err := strconv.Atoi(cl)
+		if err != nil || n < 0 {
+			return nil, 0, ErrMalformed
+		}
+		bodyLen = n
+	}
+	total := idx + 4 + bodyLen
+	if len(buf) < total {
+		return nil, 0, nil
+	}
+	if bodyLen > 0 {
+		req.Body = append([]byte(nil), buf[idx+4:total]...)
+	}
+	return req, total, nil
+}
+
+func parseRequestHead(head []byte) (*Request, error) {
+	lines := strings.Split(string(head), "\r\n")
+	if len(lines) == 0 {
+		return nil, ErrMalformed
+	}
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/") {
+		return nil, ErrMalformed
+	}
+	req := &Request{
+		Method:  parts[0],
+		Path:    parts[1],
+		Version: parts[2],
+		Headers: make(map[string]string, len(lines)-1),
+	}
+	if err := parseHeaderLines(lines[1:], req.Headers); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// ResponseParser incrementally parses a stream of HTTP responses.
+type ResponseParser struct {
+	buf bytes.Buffer
+}
+
+// Feed appends data and returns any responses completed by it.
+func (p *ResponseParser) Feed(data []byte) ([]*Response, error) {
+	p.buf.Write(data)
+	var out []*Response
+	for {
+		resp, consumed, err := parseResponse(p.buf.Bytes())
+		if err != nil {
+			return out, err
+		}
+		if resp == nil {
+			if p.buf.Len() > maxHeaderBytes && !bytes.Contains(p.buf.Bytes(), []byte("\r\n\r\n")) {
+				return out, ErrTooLarge
+			}
+			return out, nil
+		}
+		p.buf.Next(consumed)
+		out = append(out, resp)
+	}
+}
+
+// Buffered returns the number of unconsumed bytes held by the parser.
+func (p *ResponseParser) Buffered() int { return p.buf.Len() }
+
+func parseResponse(buf []byte) (*Response, int, error) {
+	idx := bytes.Index(buf, []byte("\r\n\r\n"))
+	if idx < 0 {
+		return nil, 0, nil
+	}
+	lines := strings.Split(string(buf[:idx]), "\r\n")
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+		return nil, 0, ErrMalformed
+	}
+	code, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, 0, ErrMalformed
+	}
+	resp := &Response{
+		Version:    parts[0],
+		StatusCode: code,
+		Headers:    make(map[string]string, len(lines)-1),
+	}
+	if len(parts) == 3 {
+		resp.Status = parts[2]
+	}
+	if err := parseHeaderLines(lines[1:], resp.Headers); err != nil {
+		return nil, 0, err
+	}
+	bodyLen := 0
+	if cl := resp.Header("Content-Length"); cl != "" {
+		n, err := strconv.Atoi(cl)
+		if err != nil || n < 0 {
+			return nil, 0, ErrMalformed
+		}
+		bodyLen = n
+	}
+	total := idx + 4 + bodyLen
+	if len(buf) < total {
+		return nil, 0, nil
+	}
+	if bodyLen > 0 {
+		resp.Body = append([]byte(nil), buf[idx+4:total]...)
+	}
+	return resp, total, nil
+}
+
+func parseHeaderLines(lines []string, into map[string]string) error {
+	for _, line := range lines {
+		if line == "" {
+			continue
+		}
+		kv := strings.SplitN(line, ":", 2)
+		if len(kv) != 2 {
+			return ErrMalformed
+		}
+		into[canonical(strings.TrimSpace(kv[0]))] = strings.TrimSpace(kv[1])
+	}
+	return nil
+}

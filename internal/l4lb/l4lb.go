@@ -1,0 +1,303 @@
+// Package l4lb implements the Ananta-style layer-4 software load
+// balancer that Yoda builds on. It provides exactly the two services the
+// paper requires of the underlying cloud (§3):
+//
+//   - splitting traffic arriving at a VIP across the L7 instances
+//     currently assigned to that VIP, with flow affinity so an
+//     established connection keeps hitting the same instance while it is
+//     alive; and
+//   - SNAT, so an L7 instance can originate connections to backend
+//     servers using the VIP as the source address, with return traffic
+//     routed back to that instance.
+//
+// Mapping updates are applied to the individual mux instances with a
+// configurable stagger, reproducing the non-atomic update behaviour
+// (§4.5) that motivates the transient-traffic constraints Eq. 4–5 of the
+// assignment ILP.
+package l4lb
+
+import (
+	"hash/fnv"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// Config tunes the L4 LB.
+type Config struct {
+	// MuxCount is the number of mux instances the VIP map is replicated
+	// across. Incoming flows are spread over muxes by tuple hash.
+	MuxCount int
+	// UpdateStagger is the maximum delay before an individual mux applies
+	// a new VIP mapping; per-mux delays are uniform in [0, UpdateStagger].
+	UpdateStagger time.Duration
+	// ForwardHop is the extra latency charged for the mux→instance
+	// forwarding hop (encapsulated packets take one DC hop).
+	ForwardHop time.Duration
+}
+
+// DefaultConfig mirrors the testbed: 10 muxes, 500ms worst-case update
+// stagger (Ananta's non-atomic update window).
+func DefaultConfig() Config {
+	return Config{MuxCount: 10, UpdateStagger: 500 * time.Millisecond, ForwardHop: 0}
+}
+
+// mux is one L4 mux instance: its own copy of the VIP maps plus a flow
+// affinity table.
+type mux struct {
+	vipMap   map[netsim.IP][]netsim.IP      // VIP -> assigned L7 instance IPs
+	affinity map[netsim.FourTuple]netsim.IP // flow -> chosen instance
+}
+
+func newMux() *mux {
+	return &mux{
+		vipMap:   make(map[netsim.IP][]netsim.IP),
+		affinity: make(map[netsim.FourTuple]netsim.IP),
+	}
+}
+
+// LB is the layer-4 load balancer.
+type LB struct {
+	net   *netsim.Network
+	cfg   Config
+	muxes []*mux
+	vips  map[netsim.IP]bool
+
+	// VIPTraffic counts packets per VIP since the last ReadTraffic call,
+	// feeding the controller's statistics.
+	vipPackets map[netsim.IP]uint64
+	// Forwarded and NoInstanceDrops are lifetime counters.
+	Forwarded       uint64
+	NoInstanceDrops uint64
+}
+
+// New creates an L4 LB on the network.
+func New(n *netsim.Network, cfg Config) *LB {
+	if cfg.MuxCount <= 0 {
+		cfg.MuxCount = 1
+	}
+	lb := &LB{
+		net:        n,
+		cfg:        cfg,
+		vips:       make(map[netsim.IP]bool),
+		vipPackets: make(map[netsim.IP]uint64),
+	}
+	for i := 0; i < cfg.MuxCount; i++ {
+		lb.muxes = append(lb.muxes, newMux())
+	}
+	return lb
+}
+
+// AddVIP announces a VIP: packets addressed to it are delivered to the LB.
+func (lb *LB) AddVIP(vip netsim.IP) {
+	if lb.vips[vip] {
+		return
+	}
+	lb.vips[vip] = true
+	lb.net.Attach(vip, netsim.NodeFunc(func(pkt *netsim.Packet) { lb.handleVIPPacket(vip, pkt) }))
+}
+
+// RemoveVIP withdraws a VIP announcement and clears its mappings.
+func (lb *LB) RemoveVIP(vip netsim.IP) {
+	if !lb.vips[vip] {
+		return
+	}
+	delete(lb.vips, vip)
+	lb.net.Detach(vip)
+	for _, m := range lb.muxes {
+		delete(m.vipMap, vip)
+		for ft, _ := range m.affinity {
+			if ft.Dst.IP == vip || ft.Src.IP == vip {
+				delete(m.affinity, ft)
+			}
+		}
+	}
+}
+
+// SetMapping installs the instance list for a VIP on every mux, each
+// after its own random stagger delay, modelling the non-atomic update.
+// Instances removed from the mapping lose their affinity entries on each
+// mux as it applies the update, so their flows migrate.
+func (lb *LB) SetMapping(vip netsim.IP, instances []netsim.IP) {
+	insts := append([]netsim.IP(nil), instances...)
+	for _, m := range lb.muxes {
+		m := m
+		var delay time.Duration
+		if lb.cfg.UpdateStagger > 0 {
+			delay = time.Duration(lb.net.Rand().Int63n(int64(lb.cfg.UpdateStagger)))
+		}
+		lb.net.Schedule(delay, func() { lb.applyMapping(m, vip, insts) })
+	}
+}
+
+// SetMappingNow installs the mapping on every mux immediately (used at
+// experiment setup and in tests).
+func (lb *LB) SetMappingNow(vip netsim.IP, instances []netsim.IP) {
+	insts := append([]netsim.IP(nil), instances...)
+	for _, m := range lb.muxes {
+		lb.applyMapping(m, vip, insts)
+	}
+}
+
+func (lb *LB) applyMapping(m *mux, vip netsim.IP, instances []netsim.IP) {
+	m.vipMap[vip] = instances
+	allowed := make(map[netsim.IP]bool, len(instances))
+	for _, ip := range instances {
+		allowed[ip] = true
+	}
+	for ft, inst := range m.affinity {
+		if vipOf(ft) == vip && !allowed[inst] {
+			delete(m.affinity, ft)
+		}
+	}
+}
+
+// Mapping returns the instance list mux 0 currently holds for vip (the
+// converged view in the absence of in-flight updates).
+func (lb *LB) Mapping(vip netsim.IP) []netsim.IP {
+	return append([]netsim.IP(nil), lb.muxes[0].vipMap[vip]...)
+}
+
+// RemoveInstance removes an instance from every VIP mapping and drops its
+// affinity entries on all muxes, immediately. The Yoda controller calls
+// this when its monitor declares the instance dead.
+func (lb *LB) RemoveInstance(inst netsim.IP) {
+	for _, m := range lb.muxes {
+		for vip, list := range m.vipMap {
+			out := list[:0]
+			for _, ip := range list {
+				if ip != inst {
+					out = append(out, ip)
+				}
+			}
+			m.vipMap[vip] = out
+		}
+		for ft, ip := range m.affinity {
+			if ip == inst {
+				delete(m.affinity, ft)
+			}
+		}
+	}
+}
+
+// vipOf extracts the VIP side of an affinity tuple: for inbound client
+// flows the VIP is the destination; for SNAT return flows it is also the
+// destination (server -> VIP). Affinity keys are always stored in
+// "toward the VIP" orientation.
+func vipOf(ft netsim.FourTuple) netsim.IP { return ft.Dst.IP }
+
+// handleVIPPacket processes a packet that arrived at a VIP address.
+func (lb *LB) handleVIPPacket(vip netsim.IP, pkt *netsim.Packet) {
+	lb.vipPackets[vip]++
+	tuple := pkt.Tuple()
+	m := lb.muxFor(tuple)
+	inst, ok := m.affinity[tuple]
+	if !ok {
+		insts := m.vipMap[vip]
+		if len(insts) == 0 {
+			lb.NoInstanceDrops++
+			return
+		}
+		inst = rendezvousPick(tuple, insts)
+		m.affinity[tuple] = inst
+	}
+	lb.forward(pkt, vip, inst)
+}
+
+func (lb *LB) forward(pkt *netsim.Packet, vip, inst netsim.IP) {
+	fwd := pkt.Clone()
+	fwd.Outer = &netsim.Encap{Src: vip, Dst: inst}
+	lb.Forwarded++
+	if lb.cfg.ForwardHop > 0 {
+		lb.net.Schedule(lb.cfg.ForwardHop, func() { lb.net.Send(fwd) })
+	} else {
+		lb.net.Send(fwd)
+	}
+}
+
+// SendViaSNAT transmits a packet originated by instance inst with the VIP
+// as its source address (pkt.Src.IP must be the VIP). The LB records
+// return-flow affinity so the destination's replies reach inst, then
+// forwards the packet. This is the SNAT half of front-and-back
+// indirection.
+func (lb *LB) SendViaSNAT(pkt *netsim.Packet, inst netsim.IP) {
+	ret := netsim.FourTuple{Src: pkt.Dst, Dst: pkt.Src} // reply orientation: toward VIP
+	m := lb.muxFor(ret)
+	m.affinity[ret] = inst
+	lb.net.Send(pkt)
+}
+
+// ClearSNAT removes the return-flow affinity for a finished connection.
+func (lb *LB) ClearSNAT(serverSide netsim.FourTuple) {
+	m := lb.muxFor(serverSide)
+	delete(m.affinity, serverSide)
+}
+
+func (lb *LB) muxFor(ft netsim.FourTuple) *mux {
+	return lb.muxes[tupleHash(ft, 0)%uint64(len(lb.muxes))]
+}
+
+// ReadTraffic returns and resets the per-VIP packet counters.
+func (lb *LB) ReadTraffic() map[netsim.IP]uint64 {
+	out := lb.vipPackets
+	lb.vipPackets = make(map[netsim.IP]uint64)
+	return out
+}
+
+// AffinityCount returns the number of live affinity entries across muxes
+// (a load signal used in tests).
+func (lb *LB) AffinityCount() int {
+	n := 0
+	for _, m := range lb.muxes {
+		n += len(m.affinity)
+	}
+	return n
+}
+
+// tupleHash hashes a tuple with a salt, via FNV-1a.
+func tupleHash(ft netsim.FourTuple, salt uint64) uint64 {
+	h := fnv.New64a()
+	var b [20]byte
+	put32 := func(off int, v uint32) {
+		b[off] = byte(v >> 24)
+		b[off+1] = byte(v >> 16)
+		b[off+2] = byte(v >> 8)
+		b[off+3] = byte(v)
+	}
+	put32(0, uint32(ft.Src.IP))
+	put32(4, uint32(ft.Dst.IP))
+	b[8] = byte(ft.Src.Port >> 8)
+	b[9] = byte(ft.Src.Port)
+	b[10] = byte(ft.Dst.Port >> 8)
+	b[11] = byte(ft.Dst.Port)
+	put32(12, uint32(salt>>32))
+	put32(16, uint32(salt))
+	h.Write(b[:])
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer; it spreads the small input
+// differences typical of tuples (sequential ports, adjacent IPs) across
+// the whole output, which plain FNV does poorly.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// rendezvousPick selects an instance by highest-random-weight hashing, so
+// removing one instance only remaps the flows that were on it.
+func rendezvousPick(ft netsim.FourTuple, insts []netsim.IP) netsim.IP {
+	var best netsim.IP
+	var bestW uint64
+	for _, ip := range insts {
+		w := tupleHash(ft, uint64(ip))
+		if w > bestW || best == 0 {
+			best, bestW = ip, w
+		}
+	}
+	return best
+}

@@ -1,0 +1,364 @@
+// Package memcache implements a memcached-compatible in-memory key-value
+// store: the storage engine with LRU eviction, the classic text protocol
+// (get/gets/set/add/replace/cas/delete/touch/flush_all/stats/version),
+// and two transports — a real TCP server/client on net, and an adapter
+// that runs the same engine inside the netsim event loop so TCPStore can
+// be exercised in the simulated testbed.
+//
+// Yoda's TCPStore (§4.3, §6) runs unmodified Memcached servers and does
+// replication purely in the client library; this package is that
+// "unmodified Memcached".
+package memcache
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// Item is one stored value.
+type Item struct {
+	Key     string
+	Value   []byte
+	Flags   uint32
+	Expires time.Duration // absolute virtual/real time; 0 = never
+	casID   uint64
+}
+
+// Stats reports engine counters, mirroring the memcached "stats" command
+// fields this reproduction consumes.
+type Stats struct {
+	CurrItems   int
+	BytesUsed   int
+	GetHits     uint64
+	GetMisses   uint64
+	Sets        uint64
+	Deletes     uint64
+	Evictions   uint64
+	CasBadval   uint64
+	Expirations uint64
+}
+
+// Engine is the storage engine: a hash map with LRU eviction under a
+// memory cap. Safe for concurrent use (the real-TCP transport serves
+// connections from multiple goroutines).
+type Engine struct {
+	mu       sync.Mutex
+	items    map[string]*list.Element
+	lru      *list.List // front = most recent
+	maxBytes int
+	used     int
+	now      func() time.Duration
+	nextCas  uint64
+	stats    Stats
+}
+
+type entry struct{ item Item }
+
+// NewEngine creates an engine with the given memory cap in bytes (<=0
+// means unlimited) and clock. For the real server pass a wall-clock
+// function; inside netsim pass the network's Now.
+func NewEngine(maxBytes int, now func() time.Duration) *Engine {
+	if now == nil {
+		start := time.Now()
+		now = func() time.Duration { return time.Since(start) }
+	}
+	return &Engine{
+		items:    make(map[string]*list.Element),
+		lru:      list.New(),
+		maxBytes: maxBytes,
+		now:      now,
+	}
+}
+
+func itemSize(it *Item) int { return len(it.Key) + len(it.Value) + 64 }
+
+// expired reports whether it is past its expiry at time now.
+func expired(it *Item, now time.Duration) bool {
+	return it.Expires > 0 && now >= it.Expires
+}
+
+// Get returns the item stored under key, or ok=false.
+func (e *Engine) Get(key string) (Item, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	el, ok := e.items[key]
+	if !ok {
+		e.stats.GetMisses++
+		return Item{}, false
+	}
+	it := &el.Value.(*entry).item
+	if expired(it, e.now()) {
+		e.removeLocked(el)
+		e.stats.Expirations++
+		e.stats.GetMisses++
+		return Item{}, false
+	}
+	e.lru.MoveToFront(el)
+	e.stats.GetHits++
+	cp := *it
+	cp.Value = append([]byte(nil), it.Value...)
+	return cp, true
+}
+
+// Set unconditionally stores value under key.
+func (e *Engine) Set(it Item) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.setLocked(it)
+	e.stats.Sets++
+}
+
+// Add stores the item only if the key is absent (or expired). It reports
+// whether the item was stored.
+func (e *Engine) Add(it Item) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if el, ok := e.items[it.Key]; ok && !expired(&el.Value.(*entry).item, e.now()) {
+		return false
+	}
+	e.setLocked(it)
+	e.stats.Sets++
+	return true
+}
+
+// Replace stores the item only if the key is present. It reports whether
+// the item was stored.
+func (e *Engine) Replace(it Item) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if el, ok := e.items[it.Key]; !ok || expired(&el.Value.(*entry).item, e.now()) {
+		return false
+	}
+	e.setLocked(it)
+	e.stats.Sets++
+	return true
+}
+
+// CASResult is the outcome of a compare-and-swap.
+type CASResult int
+
+// CAS outcomes.
+const (
+	CASStored CASResult = iota
+	CASExists           // casID mismatch: someone stored since the gets
+	CASNotFound
+)
+
+// CAS stores the item if the stored casID matches.
+func (e *Engine) CAS(it Item, casID uint64) CASResult {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	el, ok := e.items[it.Key]
+	if !ok || expired(&el.Value.(*entry).item, e.now()) {
+		return CASNotFound
+	}
+	if el.Value.(*entry).item.casID != casID {
+		e.stats.CasBadval++
+		return CASExists
+	}
+	e.setLocked(it)
+	e.stats.Sets++
+	return CASStored
+}
+
+// GetWithCAS returns the item and its CAS token.
+func (e *Engine) GetWithCAS(key string) (Item, uint64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	el, ok := e.items[key]
+	if !ok {
+		e.stats.GetMisses++
+		return Item{}, 0, false
+	}
+	it := &el.Value.(*entry).item
+	if expired(it, e.now()) {
+		e.removeLocked(el)
+		e.stats.Expirations++
+		e.stats.GetMisses++
+		return Item{}, 0, false
+	}
+	e.lru.MoveToFront(el)
+	e.stats.GetHits++
+	cp := *it
+	cp.Value = append([]byte(nil), it.Value...)
+	return cp, it.casID, true
+}
+
+// Delete removes key, reporting whether it was present.
+func (e *Engine) Delete(key string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	el, ok := e.items[key]
+	if !ok {
+		return false
+	}
+	if expired(&el.Value.(*entry).item, e.now()) {
+		e.removeLocked(el)
+		e.stats.Expirations++
+		return false
+	}
+	e.removeLocked(el)
+	e.stats.Deletes++
+	return true
+}
+
+// Append concatenates value onto an existing item, reporting whether the
+// key was present.
+func (e *Engine) Append(key string, value []byte) bool {
+	return e.concat(key, value, false)
+}
+
+// Prepend prefixes value onto an existing item, reporting whether the key
+// was present.
+func (e *Engine) Prepend(key string, value []byte) bool {
+	return e.concat(key, value, true)
+}
+
+func (e *Engine) concat(key string, value []byte, front bool) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	el, ok := e.items[key]
+	if !ok || expired(&el.Value.(*entry).item, e.now()) {
+		return false
+	}
+	old := el.Value.(*entry).item
+	var merged []byte
+	if front {
+		merged = append(append([]byte(nil), value...), old.Value...)
+	} else {
+		merged = append(append([]byte(nil), old.Value...), value...)
+	}
+	old.Value = merged
+	e.setLocked(old)
+	e.stats.Sets++
+	return true
+}
+
+// IncrDecr adjusts a numeric value by delta (negative for decr). As in
+// memcached, decrement clamps at zero and the operation fails if the key
+// is absent or the stored value is not an unsigned decimal number.
+func (e *Engine) IncrDecr(key string, delta int64) (uint64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	el, ok := e.items[key]
+	if !ok || expired(&el.Value.(*entry).item, e.now()) {
+		return 0, false
+	}
+	it := el.Value.(*entry).item
+	cur, err := parseUint(it.Value)
+	if err {
+		return 0, false
+	}
+	var next uint64
+	if delta >= 0 {
+		next = cur + uint64(delta)
+	} else {
+		dec := uint64(-delta)
+		if dec > cur {
+			next = 0 // memcached clamps decrement at zero
+		} else {
+			next = cur - dec
+		}
+	}
+	it.Value = []byte(formatUint(next))
+	e.setLocked(it)
+	e.stats.Sets++
+	return next, true
+}
+
+func parseUint(b []byte) (uint64, bool) {
+	if len(b) == 0 || len(b) > 20 {
+		return 0, true
+	}
+	var v uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, true
+		}
+		v = v*10 + uint64(c-'0')
+	}
+	return v, false
+}
+
+func formatUint(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// Touch updates an item's expiry, reporting whether it was present.
+func (e *Engine) Touch(key string, expires time.Duration) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	el, ok := e.items[key]
+	if !ok || expired(&el.Value.(*entry).item, e.now()) {
+		return false
+	}
+	el.Value.(*entry).item.Expires = expires
+	e.lru.MoveToFront(el)
+	return true
+}
+
+// FlushAll drops every item.
+func (e *Engine) FlushAll() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.items = make(map[string]*list.Element)
+	e.lru.Init()
+	e.used = 0
+}
+
+// Stats returns a snapshot of the counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.stats
+	s.CurrItems = len(e.items)
+	s.BytesUsed = e.used
+	return s
+}
+
+func (e *Engine) setLocked(it Item) {
+	it.Value = append([]byte(nil), it.Value...)
+	e.nextCas++
+	it.casID = e.nextCas
+	if el, ok := e.items[it.Key]; ok {
+		old := &el.Value.(*entry).item
+		e.used -= itemSize(old)
+		el.Value.(*entry).item = it
+		e.used += itemSize(&it)
+		e.lru.MoveToFront(el)
+	} else {
+		el := e.lru.PushFront(&entry{item: it})
+		e.items[it.Key] = el
+		e.used += itemSize(&it)
+	}
+	e.evictLocked()
+}
+
+func (e *Engine) evictLocked() {
+	if e.maxBytes <= 0 {
+		return
+	}
+	for e.used > e.maxBytes && e.lru.Len() > 0 {
+		el := e.lru.Back()
+		e.removeLocked(el)
+		e.stats.Evictions++
+	}
+}
+
+func (e *Engine) removeLocked(el *list.Element) {
+	it := &el.Value.(*entry).item
+	e.used -= itemSize(it)
+	delete(e.items, it.Key)
+	e.lru.Remove(el)
+}

@@ -1,0 +1,106 @@
+package memcache
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineAppendPrepend(t *testing.T) {
+	e := NewEngine(0, nil)
+	e.Set(Item{Key: "k", Value: []byte("mid")})
+	if !e.Append("k", []byte("-end")) {
+		t.Fatal("append to existing")
+	}
+	if !e.Prepend("k", []byte("start-")) {
+		t.Fatal("prepend to existing")
+	}
+	it, _ := e.Get("k")
+	if string(it.Value) != "start-mid-end" {
+		t.Fatalf("value = %q", it.Value)
+	}
+	if e.Append("absent", []byte("x")) || e.Prepend("absent", []byte("x")) {
+		t.Fatal("append/prepend to absent key should fail")
+	}
+}
+
+func TestEngineIncrDecr(t *testing.T) {
+	e := NewEngine(0, nil)
+	e.Set(Item{Key: "n", Value: []byte("10")})
+	if v, ok := e.IncrDecr("n", 5); !ok || v != 15 {
+		t.Fatalf("incr: %d %v", v, ok)
+	}
+	if v, ok := e.IncrDecr("n", -7); !ok || v != 8 {
+		t.Fatalf("decr: %d %v", v, ok)
+	}
+	// Decrement clamps at zero (memcached semantics).
+	if v, ok := e.IncrDecr("n", -100); !ok || v != 0 {
+		t.Fatalf("clamped decr: %d %v", v, ok)
+	}
+	// Non-numeric and absent keys fail.
+	e.Set(Item{Key: "s", Value: []byte("abc")})
+	if _, ok := e.IncrDecr("s", 1); ok {
+		t.Fatal("incr on non-numeric")
+	}
+	if _, ok := e.IncrDecr("absent", 1); ok {
+		t.Fatal("incr on absent")
+	}
+}
+
+func TestParseFormatUintRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		got, bad := parseUint([]byte(formatUint(v)))
+		return !bad && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, bad := parseUint([]byte("12a3")); !bad {
+		t.Fatal("parseUint accepted garbage")
+	}
+	if _, bad := parseUint([]byte("")); !bad {
+		t.Fatal("parseUint accepted empty")
+	}
+}
+
+func TestSessionAppendPrepend(t *testing.T) {
+	s := NewSession(NewEngine(0, nil))
+	feed(t, s, "set k 0 0 3\r\nmid\r\n")
+	if out := feed(t, s, "append k 0 0 4\r\n-end\r\n"); out != "STORED\r\n" {
+		t.Fatalf("append: %q", out)
+	}
+	if out := feed(t, s, "prepend k 0 0 6\r\nstart-\r\n"); out != "STORED\r\n" {
+		t.Fatalf("prepend: %q", out)
+	}
+	out := feed(t, s, "get k\r\n")
+	if !strings.Contains(out, "start-mid-end") {
+		t.Fatalf("get: %q", out)
+	}
+	if out := feed(t, s, "append ghost 0 0 1\r\nx\r\n"); out != "NOT_STORED\r\n" {
+		t.Fatalf("append ghost: %q", out)
+	}
+}
+
+func TestSessionIncrDecr(t *testing.T) {
+	s := NewSession(NewEngine(0, nil))
+	feed(t, s, "set n 0 0 2\r\n10\r\n")
+	if out := feed(t, s, "incr n 5\r\n"); out != "15\r\n" {
+		t.Fatalf("incr: %q", out)
+	}
+	if out := feed(t, s, "decr n 20\r\n"); out != "0\r\n" {
+		t.Fatalf("decr clamp: %q", out)
+	}
+	if out := feed(t, s, "incr ghost 1\r\n"); out != "NOT_FOUND\r\n" {
+		t.Fatalf("incr ghost: %q", out)
+	}
+	feed(t, s, "set s 0 0 3\r\nabc\r\n")
+	if out := feed(t, s, "incr s 1\r\n"); !strings.HasPrefix(out, "CLIENT_ERROR") {
+		t.Fatalf("incr non-numeric: %q", out)
+	}
+	if out := feed(t, s, "incr n notanumber\r\n"); !strings.HasPrefix(out, "CLIENT_ERROR") {
+		t.Fatalf("bad delta: %q", out)
+	}
+	if out := feed(t, s, "incr n\r\n"); !strings.HasPrefix(out, "CLIENT_ERROR") {
+		t.Fatalf("missing delta: %q", out)
+	}
+}

@@ -1,0 +1,234 @@
+package memcache
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// NetServer serves the memcached protocol on a real TCP listener, one
+// goroutine per connection, against a shared Engine. It backs the
+// cmd/memcached binary and the real-socket benchmarks.
+type NetServer struct {
+	Engine    *Engine
+	lis       net.Listener
+	mu        sync.Mutex
+	conns     map[net.Conn]bool
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// ListenAndServe starts a server on addr (e.g. "127.0.0.1:11211"). It
+// returns once the listener is bound; serving continues in background
+// goroutines until Close.
+func ListenAndServe(addr string, engine *Engine) (*NetServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &NetServer{
+		Engine: engine,
+		lis:    lis,
+		conns:  make(map[net.Conn]bool),
+		done:   make(chan struct{}),
+	}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *NetServer) Addr() string { return s.lis.Addr().String() }
+
+// Close stops the listener and closes every connection. Safe to call
+// more than once.
+func (s *NetServer) Close() {
+	s.closeOnce.Do(func() {
+		close(s.done)
+		s.lis.Close()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+	})
+}
+
+func (s *NetServer) acceptLoop() {
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				continue
+			}
+		}
+		s.mu.Lock()
+		s.conns[conn] = true
+		s.mu.Unlock()
+		go s.serve(conn)
+	}
+}
+
+func (s *NetServer) serve(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	sess := NewSession(s.Engine)
+	buf := make([]byte, 64*1024)
+	w := bufio.NewWriter(conn)
+	for {
+		n, err := conn.Read(buf)
+		if n > 0 {
+			resp := sess.Feed(buf[:n])
+			if len(resp) > 0 {
+				if _, werr := w.Write(resp); werr != nil {
+					return
+				}
+				if werr := w.Flush(); werr != nil {
+					return
+				}
+			}
+			if sess.Closed() {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// NetClient is a synchronous client over one long-lived real TCP
+// connection (long-lived connections are one of TCPStore's latency
+// optimizations, §4.3).
+type NetClient struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// ErrClientClosed is returned after Close.
+var ErrClientClosed = errors.New("memcache: client closed")
+
+// DialNet connects to a memcached server.
+func DialNet(addr string, timeout time.Duration) (*NetClient, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &NetClient{conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+// Close tears down the connection.
+func (c *NetClient) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// Set stores value under key.
+func (c *NetClient) Set(key string, value []byte, flags uint32, exptime int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return ErrClientClosed
+	}
+	fmt.Fprintf(c.conn, "set %s %d %d %d\r\n", key, flags, exptime, len(value))
+	c.conn.Write(value)
+	c.conn.Write([]byte("\r\n"))
+	line, err := c.readLine()
+	if err != nil {
+		return err
+	}
+	if line != "STORED" {
+		return fmt.Errorf("memcache: set %s: %s", key, line)
+	}
+	return nil
+}
+
+// Get fetches key; ok=false means a miss.
+func (c *NetClient) Get(key string) (Item, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return Item{}, false, ErrClientClosed
+	}
+	fmt.Fprintf(c.conn, "get %s\r\n", key)
+	parser := &ReplyParser{}
+	parser.Expect(true)
+	buf := make([]byte, 16*1024)
+	for {
+		n, err := c.r.Read(buf)
+		if n > 0 {
+			replies := parser.Feed(buf[:n])
+			if len(replies) > 0 {
+				r := replies[0]
+				if r.Type == ReplyError {
+					return Item{}, false, fmt.Errorf("memcache: get %s: %s", key, r.Raw)
+				}
+				if len(r.Items) == 0 {
+					return Item{}, false, nil
+				}
+				return r.Items[0], true, nil
+			}
+		}
+		if err != nil {
+			return Item{}, false, err
+		}
+	}
+}
+
+// Delete removes key; ok reports whether it existed.
+func (c *NetClient) Delete(key string) (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return false, ErrClientClosed
+	}
+	fmt.Fprintf(c.conn, "delete %s\r\n", key)
+	line, err := c.readLine()
+	if err != nil {
+		return false, err
+	}
+	switch line {
+	case "DELETED":
+		return true, nil
+	case "NOT_FOUND":
+		return false, nil
+	default:
+		return false, fmt.Errorf("memcache: delete %s: %s", key, line)
+	}
+}
+
+// Version returns the server version string.
+func (c *NetClient) Version() (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return "", ErrClientClosed
+	}
+	fmt.Fprintf(c.conn, "version\r\n")
+	return c.readLine()
+}
+
+func (c *NetClient) readLine() (string, error) {
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	for len(line) > 0 && (line[len(line)-1] == '\n' || line[len(line)-1] == '\r') {
+		line = line[:len(line)-1]
+	}
+	return line, nil
+}

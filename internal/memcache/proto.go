@@ -1,0 +1,266 @@
+package memcache
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Session is a transport-agnostic protocol endpoint: feed it raw bytes
+// from one client connection and it produces response bytes against an
+// Engine. Both the real-TCP server and the netsim server wrap one Session
+// per connection.
+type Session struct {
+	engine *Engine
+	buf    bytes.Buffer
+	// closed is set once "quit" is processed; the transport should then
+	// close the connection.
+	closed bool
+}
+
+// NewSession creates a protocol session bound to an engine.
+func NewSession(engine *Engine) *Session {
+	return &Session{engine: engine}
+}
+
+// Closed reports whether the peer sent "quit".
+func (s *Session) Closed() bool { return s.closed }
+
+// Feed consumes input bytes and returns the response bytes produced by
+// any commands completed by this input.
+func (s *Session) Feed(data []byte) []byte {
+	s.buf.Write(data)
+	var out bytes.Buffer
+	for !s.closed {
+		resp, ok := s.step()
+		if !ok {
+			break
+		}
+		out.Write(resp)
+	}
+	return out.Bytes()
+}
+
+// step attempts to parse and execute one command; ok=false means more
+// input is needed.
+func (s *Session) step() (resp []byte, ok bool) {
+	raw := s.buf.Bytes()
+	nl := bytes.Index(raw, []byte("\r\n"))
+	if nl < 0 {
+		return nil, false
+	}
+	line := string(raw[:nl])
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		s.buf.Next(nl + 2)
+		return []byte("ERROR\r\n"), true
+	}
+	cmd := fields[0]
+	switch cmd {
+	case "set", "add", "replace", "cas", "append", "prepend":
+		return s.storageCommand(cmd, fields[1:], raw, nl)
+	case "incr", "decr":
+		s.buf.Next(nl + 2)
+		if len(fields) < 3 {
+			return []byte("CLIENT_ERROR bad command line\r\n"), true
+		}
+		delta, err := strconv.ParseUint(fields[2], 10, 63)
+		if err != nil {
+			return []byte("CLIENT_ERROR invalid numeric delta argument\r\n"), true
+		}
+		d := int64(delta)
+		if cmd == "decr" {
+			d = -d
+		}
+		v, ok := s.engine.IncrDecr(fields[1], d)
+		if !ok {
+			if _, present := s.engine.Get(fields[1]); !present {
+				return []byte("NOT_FOUND\r\n"), true
+			}
+			return []byte("CLIENT_ERROR cannot increment or decrement non-numeric value\r\n"), true
+		}
+		return []byte(fmt.Sprintf("%d\r\n", v)), true
+	case "get", "gets":
+		s.buf.Next(nl + 2)
+		return s.getCommand(cmd == "gets", fields[1:]), true
+	case "delete":
+		s.buf.Next(nl + 2)
+		if len(fields) < 2 {
+			return []byte("CLIENT_ERROR bad command line\r\n"), true
+		}
+		if s.engine.Delete(fields[1]) {
+			return []byte("DELETED\r\n"), true
+		}
+		return []byte("NOT_FOUND\r\n"), true
+	case "touch":
+		s.buf.Next(nl + 2)
+		if len(fields) < 3 {
+			return []byte("CLIENT_ERROR bad command line\r\n"), true
+		}
+		exp, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return []byte("CLIENT_ERROR bad command line\r\n"), true
+		}
+		if s.engine.Touch(fields[1], expiry(exp, s.engine.now())) {
+			return []byte("TOUCHED\r\n"), true
+		}
+		return []byte("NOT_FOUND\r\n"), true
+	case "flush_all":
+		s.buf.Next(nl + 2)
+		s.engine.FlushAll()
+		return []byte("OK\r\n"), true
+	case "stats":
+		s.buf.Next(nl + 2)
+		return s.statsCommand(), true
+	case "version":
+		s.buf.Next(nl + 2)
+		return []byte("VERSION 1.6.0-repro\r\n"), true
+	case "quit":
+		s.buf.Next(nl + 2)
+		s.closed = true
+		return nil, true
+	default:
+		s.buf.Next(nl + 2)
+		return []byte("ERROR\r\n"), true
+	}
+}
+
+// storageCommand handles set/add/replace/cas:
+//
+//	<cmd> <key> <flags> <exptime> <bytes> [casid] [noreply]\r\n<data>\r\n
+func (s *Session) storageCommand(cmd string, args []string, raw []byte, nl int) ([]byte, bool) {
+	minArgs := 4
+	if cmd == "cas" {
+		minArgs = 5
+	}
+	if len(args) < minArgs {
+		s.buf.Next(nl + 2)
+		return []byte("CLIENT_ERROR bad command line\r\n"), true
+	}
+	key := args[0]
+	flags, err1 := strconv.ParseUint(args[1], 10, 32)
+	exptime, err2 := strconv.Atoi(args[2])
+	size, err3 := strconv.Atoi(args[3])
+	if err1 != nil || err2 != nil || err3 != nil || size < 0 || size > 8<<20 || len(key) > 250 {
+		s.buf.Next(nl + 2)
+		return []byte("CLIENT_ERROR bad data chunk\r\n"), true
+	}
+	var casID uint64
+	var err4 error
+	noreply := false
+	rest := args[4:]
+	if cmd == "cas" {
+		casID, err4 = strconv.ParseUint(args[4], 10, 64)
+		if err4 != nil {
+			s.buf.Next(nl + 2)
+			return []byte("CLIENT_ERROR bad command line\r\n"), true
+		}
+		rest = args[5:]
+	}
+	if len(rest) > 0 && rest[len(rest)-1] == "noreply" {
+		noreply = true
+	}
+	// Need the full data block plus trailing CRLF.
+	need := nl + 2 + size + 2
+	if len(raw) < need {
+		return nil, false
+	}
+	data := append([]byte(nil), raw[nl+2:nl+2+size]...)
+	s.buf.Next(need)
+	it := Item{Key: key, Value: data, Flags: uint32(flags), Expires: expiry(exptime, s.engine.now())}
+	var reply string
+	switch cmd {
+	case "set":
+		s.engine.Set(it)
+		reply = "STORED\r\n"
+	case "add":
+		if s.engine.Add(it) {
+			reply = "STORED\r\n"
+		} else {
+			reply = "NOT_STORED\r\n"
+		}
+	case "replace":
+		if s.engine.Replace(it) {
+			reply = "STORED\r\n"
+		} else {
+			reply = "NOT_STORED\r\n"
+		}
+	case "cas":
+		switch s.engine.CAS(it, casID) {
+		case CASStored:
+			reply = "STORED\r\n"
+		case CASExists:
+			reply = "EXISTS\r\n"
+		case CASNotFound:
+			reply = "NOT_FOUND\r\n"
+		}
+	case "append":
+		if s.engine.Append(key, data) {
+			reply = "STORED\r\n"
+		} else {
+			reply = "NOT_STORED\r\n"
+		}
+	case "prepend":
+		if s.engine.Prepend(key, data) {
+			reply = "STORED\r\n"
+		} else {
+			reply = "NOT_STORED\r\n"
+		}
+	}
+	if noreply {
+		return nil, true
+	}
+	return []byte(reply), true
+}
+
+func (s *Session) getCommand(withCAS bool, keys []string) []byte {
+	var out bytes.Buffer
+	for _, key := range keys {
+		if withCAS {
+			it, cas, ok := s.engine.GetWithCAS(key)
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&out, "VALUE %s %d %d %d\r\n", it.Key, it.Flags, len(it.Value), cas)
+			out.Write(it.Value)
+			out.WriteString("\r\n")
+		} else {
+			it, ok := s.engine.Get(key)
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&out, "VALUE %s %d %d\r\n", it.Key, it.Flags, len(it.Value))
+			out.Write(it.Value)
+			out.WriteString("\r\n")
+		}
+	}
+	out.WriteString("END\r\n")
+	return out.Bytes()
+}
+
+func (s *Session) statsCommand() []byte {
+	st := s.engine.Stats()
+	var out bytes.Buffer
+	fmt.Fprintf(&out, "STAT curr_items %d\r\n", st.CurrItems)
+	fmt.Fprintf(&out, "STAT bytes %d\r\n", st.BytesUsed)
+	fmt.Fprintf(&out, "STAT get_hits %d\r\n", st.GetHits)
+	fmt.Fprintf(&out, "STAT get_misses %d\r\n", st.GetMisses)
+	fmt.Fprintf(&out, "STAT cmd_set %d\r\n", st.Sets)
+	fmt.Fprintf(&out, "STAT delete_hits %d\r\n", st.Deletes)
+	fmt.Fprintf(&out, "STAT evictions %d\r\n", st.Evictions)
+	fmt.Fprintf(&out, "STAT expired_unfetched %d\r\n", st.Expirations)
+	out.WriteString("END\r\n")
+	return out.Bytes()
+}
+
+// expiry converts a protocol exptime to an absolute engine time. Values
+// ≤0 mean "never". Memcached treats values >30 days as absolute Unix
+// timestamps; this reproduction's stores use only relative expiries.
+func expiry(exptime int, now time.Duration) time.Duration {
+	if exptime <= 0 {
+		return 0
+	}
+	return now + time.Duration(exptime)*time.Second
+}

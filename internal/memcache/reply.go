@@ -1,0 +1,157 @@
+package memcache
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+)
+
+// ReplyType classifies a server response.
+type ReplyType int
+
+// Reply types.
+const (
+	ReplyStored ReplyType = iota
+	ReplyNotStored
+	ReplyExists
+	ReplyNotFound
+	ReplyDeleted
+	ReplyTouched
+	ReplyOK
+	ReplyValues // get/gets result (possibly empty) terminated by END
+	ReplyError
+	ReplyVersion
+	ReplyStats
+)
+
+// Reply is one parsed server response.
+type Reply struct {
+	Type  ReplyType
+	Items []Item   // for ReplyValues
+	CAS   []uint64 // parallel to Items when gets was used
+	Raw   string   // first line, for errors/version/stats
+}
+
+// ReplyParser incrementally parses the server side of the text protocol.
+// It must be told whether the next expected reply is for a retrieval
+// command (get/gets/stats), because those are multi-line and terminated
+// by END while storage replies are single-line. Callers enqueue the
+// expectation when they send the request.
+type ReplyParser struct {
+	buf bytes.Buffer
+	// pending expectation queue: true = multi-line (END-terminated).
+	multi []bool
+	// in-progress multi-line accumulation
+	items []Item
+	cas   []uint64
+}
+
+// Expect registers that the next reply is multi-line (get/gets/stats)
+// or single-line.
+func (p *ReplyParser) Expect(multiLine bool) { p.multi = append(p.multi, multiLine) }
+
+// PendingReplies returns the number of replies not yet received.
+func (p *ReplyParser) PendingReplies() int { return len(p.multi) }
+
+// Feed consumes bytes and returns completed replies in order.
+func (p *ReplyParser) Feed(data []byte) []Reply {
+	p.buf.Write(data)
+	var out []Reply
+	for len(p.multi) > 0 {
+		r, ok := p.step()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func (p *ReplyParser) step() (Reply, bool) {
+	isMulti := p.multi[0]
+	for {
+		raw := p.buf.Bytes()
+		nl := bytes.Index(raw, []byte("\r\n"))
+		if nl < 0 {
+			return Reply{}, false
+		}
+		line := string(raw[:nl])
+		if !isMulti {
+			p.buf.Next(nl + 2)
+			p.multi = p.multi[1:]
+			return singleLineReply(line), true
+		}
+		switch {
+		case line == "END":
+			p.buf.Next(nl + 2)
+			r := Reply{Type: ReplyValues, Items: p.items, CAS: p.cas}
+			p.items, p.cas = nil, nil
+			p.multi = p.multi[1:]
+			return r, true
+		case strings.HasPrefix(line, "VALUE "):
+			fields := strings.Fields(line)
+			if len(fields) < 4 {
+				p.buf.Next(nl + 2)
+				p.multi = p.multi[1:]
+				return Reply{Type: ReplyError, Raw: line}, true
+			}
+			size, err := strconv.Atoi(fields[3])
+			if err != nil || size < 0 {
+				p.buf.Next(nl + 2)
+				p.multi = p.multi[1:]
+				return Reply{Type: ReplyError, Raw: line}, true
+			}
+			need := nl + 2 + size + 2
+			if len(raw) < need {
+				return Reply{}, false
+			}
+			flags, _ := strconv.ParseUint(fields[2], 10, 32)
+			it := Item{
+				Key:   fields[1],
+				Flags: uint32(flags),
+				Value: append([]byte(nil), raw[nl+2:nl+2+size]...),
+			}
+			var casID uint64
+			if len(fields) >= 5 {
+				casID, _ = strconv.ParseUint(fields[4], 10, 64)
+			}
+			p.items = append(p.items, it)
+			p.cas = append(p.cas, casID)
+			p.buf.Next(need)
+		case strings.HasPrefix(line, "STAT "):
+			p.buf.Next(nl + 2)
+			// stats lines accumulate as raw text in a values-style reply;
+			// we fold them into Raw for simplicity.
+			p.items = append(p.items, Item{Key: "STAT", Value: []byte(line)})
+		default:
+			// Error mid-retrieval.
+			p.buf.Next(nl + 2)
+			p.multi = p.multi[1:]
+			p.items, p.cas = nil, nil
+			return Reply{Type: ReplyError, Raw: line}, true
+		}
+	}
+}
+
+func singleLineReply(line string) Reply {
+	switch {
+	case line == "STORED":
+		return Reply{Type: ReplyStored, Raw: line}
+	case line == "NOT_STORED":
+		return Reply{Type: ReplyNotStored, Raw: line}
+	case line == "EXISTS":
+		return Reply{Type: ReplyExists, Raw: line}
+	case line == "NOT_FOUND":
+		return Reply{Type: ReplyNotFound, Raw: line}
+	case line == "DELETED":
+		return Reply{Type: ReplyDeleted, Raw: line}
+	case line == "TOUCHED":
+		return Reply{Type: ReplyTouched, Raw: line}
+	case line == "OK":
+		return Reply{Type: ReplyOK, Raw: line}
+	case strings.HasPrefix(line, "VERSION"):
+		return Reply{Type: ReplyVersion, Raw: line}
+	default:
+		return Reply{Type: ReplyError, Raw: line}
+	}
+}

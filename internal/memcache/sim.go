@@ -1,0 +1,240 @@
+package memcache
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/tcp"
+)
+
+// DefaultPort is the memcached port.
+const DefaultPort = 11211
+
+// SimServerConfig tunes a simulated memcached server.
+type SimServerConfig struct {
+	// ServiceTime is the per-operation processing time; operations queue
+	// behind each other, so offered load beyond 1/ServiceTime saturates
+	// the server and inflates latency, as in Figure 10.
+	ServiceTime time.Duration
+	// CPUPerOp is the virtual CPU cost charged per operation.
+	CPUPerOp time.Duration
+	// Cores is the VM's core count (testbed: 8).
+	Cores int
+	TCP   tcp.Config
+}
+
+// DefaultSimServerConfig is calibrated so one server serves ~80K ops/s at
+// ~90% CPU, matching §7.1's "a single Memcached server can handle 80K
+// client req/sec (at 90% CPU utilization)".
+func DefaultSimServerConfig() SimServerConfig {
+	return SimServerConfig{
+		ServiceTime: 11 * time.Microsecond,
+		CPUPerOp:    90 * time.Microsecond, // 8 cores × 90% / 80K ops/s
+		Cores:       8,
+		TCP:         tcp.DefaultConfig(),
+	}
+}
+
+// SimServer runs the memcached engine inside the netsim event loop,
+// reachable over simulated TCP.
+type SimServer struct {
+	Engine *Engine
+	CPU    *metrics.CPUMeter
+	host   *netsim.Host
+	cfg    SimServerConfig
+	lis    *tcp.Listener
+
+	// queueFree is the virtual time the op-processing queue drains.
+	queueFree time.Duration
+	// Ops counts operations processed.
+	Ops uint64
+}
+
+// NewSimServer starts a simulated memcached server on host:port.
+func NewSimServer(host *netsim.Host, port uint16, cfg SimServerConfig) *SimServer {
+	s := &SimServer{
+		Engine: NewEngine(0, host.Network().Now),
+		CPU:    metrics.NewCPUMeter(cfg.Cores),
+		host:   host,
+		cfg:    cfg,
+	}
+	s.lis = tcp.Listen(host, port, s.accept, cfg.TCP)
+	return s
+}
+
+// Host returns the server's host.
+func (s *SimServer) Host() *netsim.Host { return s.host }
+
+// Close stops accepting connections.
+func (s *SimServer) Close() { s.lis.Close() }
+
+func (s *SimServer) accept(c *tcp.Conn) tcp.Callbacks {
+	sess := NewSession(s.Engine)
+	return tcp.Callbacks{
+		OnData: func(c *tcp.Conn, d []byte) {
+			// Model queueing: the reply for this input is emitted after the
+			// server works through its queue. We count each command in the
+			// input as one op; Session gives us the batch's responses.
+			net := s.host.Network()
+			now := net.Now()
+			resp := sess.Feed(d)
+			if len(resp) == 0 && !sess.Closed() {
+				return
+			}
+			ops := countCommands(d)
+			if ops == 0 {
+				ops = 1
+			}
+			s.Ops += uint64(ops)
+			s.CPU.Charge(now, time.Duration(ops)*s.cfg.CPUPerOp)
+			work := time.Duration(ops) * s.cfg.ServiceTime
+			if s.queueFree < now {
+				s.queueFree = now
+			}
+			s.queueFree += work
+			delay := s.queueFree - now
+			closed := sess.Closed()
+			net.Schedule(delay, func() {
+				if len(resp) > 0 {
+					c.Write(resp)
+				}
+				if closed {
+					c.Close()
+				}
+			})
+		},
+		OnPeerClose: func(c *tcp.Conn) { c.Close() },
+	}
+}
+
+// countCommands estimates the number of protocol commands in a chunk by
+// counting CRLF-terminated command lines that start with a verb. Data
+// blocks can contain CRLFs, so this is approximate for binary values, but
+// TCPStore values are small fixed-format records without CRLFs.
+func countCommands(d []byte) int {
+	n := 0
+	start := 0
+	for i := 0; i+1 < len(d); i++ {
+		if d[i] == '\r' && d[i+1] == '\n' {
+			line := d[start:i]
+			if isCommandLine(line) {
+				n++
+			}
+			start = i + 2
+		}
+	}
+	return n
+}
+
+func isCommandLine(line []byte) bool {
+	verbs := []string{"get", "gets", "set", "add", "replace", "cas", "append", "prepend",
+		"incr", "decr", "delete", "touch", "stats", "version", "flush_all", "quit"}
+	for _, v := range verbs {
+		if len(line) >= len(v) && string(line[:len(v)]) == v &&
+			(len(line) == len(v) || line[len(v)] == ' ') {
+			return true
+		}
+	}
+	return false
+}
+
+// ErrSimConnDown is delivered to pending callbacks when the connection to
+// a simulated server fails.
+var ErrSimConnDown = errors.New("memcache: connection to server lost")
+
+// SimResult is the outcome of an asynchronous simulated operation.
+type SimResult struct {
+	Reply Reply
+	Err   error
+}
+
+// SimClient is an asynchronous memcached client over one long-lived
+// simulated TCP connection. Operations pipeline; replies dispatch FIFO.
+type SimClient struct {
+	host    *netsim.Host
+	server  netsim.HostPort
+	conn    *tcp.Conn
+	parser  *ReplyParser
+	pending []func(SimResult)
+	up      bool
+	onDown  func()
+}
+
+// DialSim opens a client connection from host to server. onDown, if
+// non-nil, fires when the connection is lost (the TCPStore client uses it
+// to fail over).
+func DialSim(host *netsim.Host, server netsim.HostPort, cfg tcp.Config, onDown func()) *SimClient {
+	c := &SimClient{host: host, server: server, parser: &ReplyParser{}, onDown: onDown}
+	c.conn = tcp.Dial(host, server, tcp.Callbacks{
+		OnEstablished: func(*tcp.Conn) { c.up = true },
+		OnData: func(_ *tcp.Conn, d []byte) {
+			for _, r := range c.parser.Feed(d) {
+				if len(c.pending) == 0 {
+					break
+				}
+				cb := c.pending[0]
+				c.pending = c.pending[1:]
+				cb(SimResult{Reply: r})
+			}
+		},
+		OnFail:      func(_ *tcp.Conn, err error) { c.fail() },
+		OnPeerClose: func(cc *tcp.Conn) { cc.Close(); c.fail() },
+	}, cfg)
+	return c
+}
+
+// Up reports whether the connection is (still) usable.
+func (c *SimClient) Up() bool { return c.conn.State() != tcp.StateClosed }
+
+func (c *SimClient) fail() {
+	pend := c.pending
+	c.pending = nil
+	for _, cb := range pend {
+		cb(SimResult{Err: ErrSimConnDown})
+	}
+	if c.onDown != nil {
+		c.onDown()
+	}
+}
+
+// Close tears the connection down.
+func (c *SimClient) Close() { c.conn.Abort() }
+
+func (c *SimClient) send(cmd []byte, multiLine bool, cb func(SimResult)) {
+	if c.conn.State() == tcp.StateClosed {
+		cb(SimResult{Err: ErrSimConnDown})
+		return
+	}
+	c.parser.Expect(multiLine)
+	c.pending = append(c.pending, cb)
+	c.conn.Write(cmd)
+}
+
+// Set stores value under key, invoking cb with the outcome.
+func (c *SimClient) Set(key string, value []byte, flags uint32, exptime int, cb func(SimResult)) {
+	cmd := appendStorageCmd(nil, "set", key, value, flags, exptime)
+	c.send(cmd, false, cb)
+}
+
+// Get fetches key; the callback's Reply.Items is empty on a miss.
+func (c *SimClient) Get(key string, cb func(SimResult)) {
+	c.send([]byte("get "+key+"\r\n"), true, cb)
+}
+
+// Delete removes key.
+func (c *SimClient) Delete(key string, cb func(SimResult)) {
+	c.send([]byte("delete "+key+"\r\n"), false, cb)
+}
+
+func appendStorageCmd(dst []byte, verb, key string, value []byte, flags uint32, exptime int) []byte {
+	dst = append(dst, verb...)
+	dst = append(dst, ' ')
+	dst = append(dst, key...)
+	dst = append(dst, fmt.Sprintf(" %d %d %d\r\n", flags, exptime, len(value))...)
+	dst = append(dst, value...)
+	dst = append(dst, '\r', '\n')
+	return dst
+}

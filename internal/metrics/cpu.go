@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"sort"
+	"time"
+)
+
+// CPUMeter models the CPU of one simulated machine. Components charge it
+// a virtual execution cost per operation (e.g. "processing one packet
+// costs 20µs of one core"); utilization over a window is busy-time
+// divided by window × cores. This reproduces the paper's observations
+// that a Yoda instance saturates around 12K req/s on an 8-core VM while
+// HAProxy runs at roughly half the utilization, without depending on the
+// host machine the simulation runs on.
+type CPUMeter struct {
+	Cores int
+
+	busy       time.Duration // total busy core-time charged
+	busyEvents []busyEvent   // per-charge log for windowed queries
+}
+
+type busyEvent struct {
+	at   time.Duration
+	cost time.Duration
+}
+
+// NewCPUMeter creates a meter for a machine with the given core count.
+func NewCPUMeter(cores int) *CPUMeter {
+	if cores <= 0 {
+		cores = 1
+	}
+	return &CPUMeter{Cores: cores}
+}
+
+// Charge records cost core-time spent at virtual time now.
+func (c *CPUMeter) Charge(now, cost time.Duration) {
+	if cost <= 0 {
+		return
+	}
+	c.busy += cost
+	c.busyEvents = append(c.busyEvents, busyEvent{at: now, cost: cost})
+}
+
+// BusyTotal returns the total core-time charged so far.
+func (c *CPUMeter) BusyTotal() time.Duration { return c.busy }
+
+// Utilization returns average utilization in [0,1] over the window
+// [from, to). Values above 1 indicate the machine is oversubscribed
+// (offered load beyond capacity); callers may clamp for display.
+func (c *CPUMeter) Utilization(from, to time.Duration) float64 {
+	if to <= from {
+		return 0
+	}
+	// busyEvents is append-only in time order; binary-search the window.
+	lo := sort.Search(len(c.busyEvents), func(i int) bool { return c.busyEvents[i].at >= from })
+	hi := sort.Search(len(c.busyEvents), func(i int) bool { return c.busyEvents[i].at >= to })
+	var busy time.Duration
+	for _, ev := range c.busyEvents[lo:hi] {
+		busy += ev.cost
+	}
+	return float64(busy) / (float64(to-from) * float64(c.Cores))
+}
+
+// UtilizationClamped returns Utilization clamped to [0,1].
+func (c *CPUMeter) UtilizationClamped(from, to time.Duration) float64 {
+	u := c.Utilization(from, to)
+	if u > 1 {
+		return 1
+	}
+	if u < 0 {
+		return 0
+	}
+	return u
+}
+
+// Reset discards all recorded charges.
+func (c *CPUMeter) Reset() {
+	c.busy = 0
+	c.busyEvents = c.busyEvents[:0]
+}
+
+// RateSeries counts events into fixed-width time buckets, producing the
+// req/s-over-time series of Figures 13 and 14.
+type RateSeries struct {
+	Bucket time.Duration
+	counts map[int]float64
+}
+
+// NewRateSeries creates a series with the given bucket width.
+func NewRateSeries(bucket time.Duration) *RateSeries {
+	if bucket <= 0 {
+		bucket = time.Second
+	}
+	return &RateSeries{Bucket: bucket, counts: make(map[int]float64)}
+}
+
+// Add records weight at virtual time now.
+func (r *RateSeries) Add(now time.Duration, weight float64) {
+	r.counts[int(now/r.Bucket)] += weight
+}
+
+// Rate returns events/second in the bucket containing t.
+func (r *RateSeries) Rate(t time.Duration) float64 {
+	return r.counts[int(t/r.Bucket)] / r.Bucket.Seconds()
+}
+
+// Series returns (bucket start, events/sec) points in time order covering
+// [0, end).
+func (r *RateSeries) Series(end time.Duration) []RatePoint {
+	n := int(end / r.Bucket)
+	pts := make([]RatePoint, 0, n)
+	for i := 0; i < n; i++ {
+		pts = append(pts, RatePoint{
+			At:   time.Duration(i) * r.Bucket,
+			Rate: r.counts[i] / r.Bucket.Seconds(),
+		})
+	}
+	return pts
+}
+
+// RatePoint is one bucket of a RateSeries.
+type RatePoint struct {
+	At   time.Duration
+	Rate float64
+}

@@ -1,0 +1,152 @@
+package netsim
+
+import "fmt"
+
+// PortHandler receives packets addressed to one local port of a Host.
+type PortHandler interface {
+	HandleSegment(pkt *Packet)
+}
+
+// PortHandlerFunc adapts a function to the PortHandler interface.
+type PortHandlerFunc func(pkt *Packet)
+
+// HandleSegment calls f(pkt).
+func (f PortHandlerFunc) HandleSegment(pkt *Packet) { f(pkt) }
+
+// connKey demuxes established connections: local port plus remote
+// endpoint. Listeners are keyed by local port alone.
+type connKey struct {
+	localPort uint16
+	remote    HostPort
+}
+
+// Host is a convenience node that owns one IP address and demultiplexes
+// incoming segments to per-connection or per-listener handlers, the way a
+// kernel demuxes to sockets. TCP endpoints and simulated servers build on
+// it.
+type Host struct {
+	net       *Network
+	ip        IP
+	conns     map[connKey]PortHandler
+	listeners map[uint16]PortHandler
+	nextPort  uint16
+	dead      bool
+	// Default, when non-nil, receives packets that match no connection or
+	// listener (used to emit RSTs or to implement raw packet drivers).
+	Default PortHandler
+}
+
+// NewHost creates a host, attaches it to the network at ip, and returns
+// it. Ephemeral ports are allocated starting at 32768.
+func NewHost(n *Network, ip IP) *Host {
+	h := &Host{
+		net:       n,
+		ip:        ip,
+		conns:     make(map[connKey]PortHandler),
+		listeners: make(map[uint16]PortHandler),
+		nextPort:  32768,
+	}
+	n.Attach(ip, h)
+	return h
+}
+
+// Network returns the network the host is attached to.
+func (h *Host) Network() *Network { return h.net }
+
+// IP returns the host's address.
+func (h *Host) IP() IP { return h.ip }
+
+// Addr returns the host's address with the given port.
+func (h *Host) Addr(port uint16) HostPort { return HostPort{IP: h.ip, Port: port} }
+
+// AllocPort returns a free ephemeral port. It panics if the port space is
+// exhausted, which indicates a connection leak in a simulation.
+func (h *Host) AllocPort() uint16 {
+	for i := 0; i < 65536; i++ {
+		p := h.nextPort
+		h.nextPort++
+		if h.nextPort == 0 {
+			h.nextPort = 32768
+		}
+		if p == 0 {
+			continue
+		}
+		if _, busy := h.listeners[p]; busy {
+			continue
+		}
+		// A port is reusable when no connection currently uses it locally.
+		if !h.portInUse(p) {
+			return p
+		}
+	}
+	panic(fmt.Sprintf("netsim: host %s out of ephemeral ports", h.ip))
+}
+
+func (h *Host) portInUse(p uint16) bool {
+	for k := range h.conns {
+		if k.localPort == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Listen registers handler for new segments addressed to port that match
+// no established connection.
+func (h *Host) Listen(port uint16, handler PortHandler) {
+	h.listeners[port] = handler
+}
+
+// Unlisten removes the listener on port.
+func (h *Host) Unlisten(port uint16) { delete(h.listeners, port) }
+
+// Register binds an established-connection handler for segments arriving
+// at localPort from remote.
+func (h *Host) Register(localPort uint16, remote HostPort, handler PortHandler) {
+	h.conns[connKey{localPort, remote}] = handler
+}
+
+// Unregister removes an established-connection binding.
+func (h *Host) Unregister(localPort uint16, remote HostPort) {
+	delete(h.conns, connKey{localPort, remote})
+}
+
+// Detach removes the host from the network; pending packets to it are
+// dropped and the host goes silent (a dead machine neither receives nor
+// transmits — timers owned by its protocol stacks must check Alive before
+// emitting packets). Used to model machine failure.
+func (h *Host) Detach() {
+	h.dead = true
+	h.net.Detach(h.ip)
+}
+
+// Reattach re-registers the host on the network after a Detach.
+func (h *Host) Reattach() {
+	h.dead = false
+	h.net.Attach(h.ip, h)
+}
+
+// Alive reports whether the host is attached (not failed).
+func (h *Host) Alive() bool { return !h.dead }
+
+// HandlePacket implements Node. Encapsulated packets are decapsulated
+// before demux, matching IP-in-IP behaviour where the host terminates the
+// tunnel.
+func (h *Host) HandlePacket(pkt *Packet) {
+	if pkt.Outer != nil {
+		inner := *pkt
+		inner.Outer = nil
+		pkt = &inner
+	}
+	if c, ok := h.conns[connKey{pkt.Dst.Port, pkt.Src}]; ok {
+		c.HandleSegment(pkt)
+		return
+	}
+	if l, ok := h.listeners[pkt.Dst.Port]; ok {
+		l.HandleSegment(pkt)
+		return
+	}
+	if h.Default != nil {
+		h.Default.HandleSegment(pkt)
+	}
+}

@@ -1,0 +1,275 @@
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Node is anything attached to the network that can receive packets.
+// HandlePacket is invoked from the event loop with the virtual clock
+// already advanced to the delivery time; implementations must not block.
+type Node interface {
+	HandlePacket(pkt *Packet)
+}
+
+// NodeFunc adapts a function to the Node interface.
+type NodeFunc func(pkt *Packet)
+
+// HandlePacket calls f(pkt).
+func (f NodeFunc) HandlePacket(pkt *Packet) { f(pkt) }
+
+// LatencyFunc computes the one-way delay between two hosts. It is
+// consulted once per packet send.
+type LatencyFunc func(src, dst IP) time.Duration
+
+// TraceEvent records one packet delivery or drop, for timeline plots such
+// as Figure 12(b) of the paper.
+type TraceEvent struct {
+	At      time.Duration
+	Packet  *Packet
+	Dropped bool
+	Reason  string
+}
+
+// event is a scheduled callback on the virtual clock. seq breaks ties so
+// that events scheduled earlier fire earlier, keeping runs deterministic.
+type event struct {
+	at     time.Duration
+	seq    uint64
+	fn     func()
+	cancel *bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Timer is a cancellable scheduled callback.
+type Timer struct {
+	cancelled *bool
+}
+
+// Stop prevents the timer from firing. Stopping an already-fired or
+// already-stopped timer is a no-op.
+func (t *Timer) Stop() {
+	if t != nil && t.cancelled != nil {
+		*t.cancelled = true
+	}
+}
+
+// Network is the discrete-event simulator core. It is not safe for
+// concurrent use: all components run inside its single event loop.
+type Network struct {
+	now     time.Duration
+	seq     uint64
+	events  eventHeap
+	nodes   map[IP]Node
+	rng     *rand.Rand
+	latency LatencyFunc
+	jitter  float64 // fraction of latency, uniform ±jitter
+	dropFn  func(pkt *Packet) bool
+	tracer  func(TraceEvent)
+
+	// Stats counters.
+	Delivered       uint64
+	DroppedNoRoute  uint64
+	DroppedByPolicy uint64
+}
+
+// DefaultLatency models a two-zone topology: addresses in 10.0.0.0/8 are
+// inside the datacenter (150µs one way); everything else is an Internet
+// client (30ms one way to anywhere in the DC). DC-internal hops between
+// the same /8 cost the intra-DC latency.
+func DefaultLatency(src, dst IP) time.Duration {
+	const (
+		intraDC  = 150 * time.Microsecond
+		internet = 30 * time.Millisecond
+	)
+	inDC := func(ip IP) bool { return byte(ip>>24) == 10 }
+	if inDC(src) && inDC(dst) {
+		return intraDC
+	}
+	return internet
+}
+
+// New creates a network with the given RNG seed and the default latency
+// model.
+func New(seed int64) *Network {
+	return &Network{
+		nodes:   make(map[IP]Node),
+		rng:     rand.New(rand.NewSource(seed)),
+		latency: DefaultLatency,
+	}
+}
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration { return n.now }
+
+// Rand returns the network's deterministic RNG. All components should
+// draw randomness from it so runs stay reproducible.
+func (n *Network) Rand() *rand.Rand { return n.rng }
+
+// SetLatency replaces the latency model.
+func (n *Network) SetLatency(f LatencyFunc) { n.latency = f }
+
+// SetJitter sets symmetric uniform jitter as a fraction of base latency
+// (e.g. 0.1 for ±10%). Zero disables jitter.
+func (n *Network) SetJitter(frac float64) { n.jitter = frac }
+
+// SetDropFunc installs a policy that may drop packets in flight (loss
+// injection). A nil function disables drops.
+func (n *Network) SetDropFunc(f func(pkt *Packet) bool) { n.dropFn = f }
+
+// SetTracer installs a packet trace hook. A nil tracer disables tracing.
+func (n *Network) SetTracer(f func(TraceEvent)) { n.tracer = f }
+
+// Attach registers node as the handler for packets addressed to ip.
+// Attaching to an IP that already has a node replaces it.
+func (n *Network) Attach(ip IP, node Node) {
+	if ip == 0 {
+		panic("netsim: cannot attach to the unspecified address")
+	}
+	n.nodes[ip] = node
+}
+
+// Detach removes the node at ip, if any. Subsequent packets to ip are
+// dropped, which is how host failure is modelled.
+func (n *Network) Detach(ip IP) { delete(n.nodes, ip) }
+
+// Attached reports whether a node is currently attached at ip.
+func (n *Network) Attached(ip IP) bool {
+	_, ok := n.nodes[ip]
+	return ok
+}
+
+// Schedule runs fn after delay d of virtual time and returns a
+// cancellable timer. A negative delay is treated as zero.
+func (n *Network) Schedule(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	cancelled := new(bool)
+	n.seq++
+	heap.Push(&n.events, &event{at: n.now + d, seq: n.seq, fn: fn, cancel: cancelled})
+	return &Timer{cancelled: cancelled}
+}
+
+// Send routes pkt toward its destination (Outer.Dst when encapsulated,
+// inner Dst otherwise) after the link latency. The packet must not be
+// mutated by the caller after Send.
+func (n *Network) Send(pkt *Packet) {
+	src, dst := pkt.Src.IP, pkt.Dst.IP
+	if pkt.Outer != nil {
+		src, dst = pkt.Outer.Src, pkt.Outer.Dst
+	}
+	d := n.latency(src, dst)
+	if n.jitter > 0 {
+		d += time.Duration((n.rng.Float64()*2 - 1) * n.jitter * float64(d))
+		if d < 0 {
+			d = 0
+		}
+	}
+	n.Schedule(d, func() { n.deliver(pkt, dst) })
+}
+
+func (n *Network) deliver(pkt *Packet, dst IP) {
+	if n.dropFn != nil && n.dropFn(pkt) {
+		n.DroppedByPolicy++
+		n.trace(pkt, true, "policy drop")
+		return
+	}
+	node, ok := n.nodes[dst]
+	if !ok {
+		n.DroppedNoRoute++
+		n.trace(pkt, true, "no route")
+		return
+	}
+	n.Delivered++
+	n.trace(pkt, false, "")
+	node.HandlePacket(pkt)
+}
+
+func (n *Network) trace(pkt *Packet, dropped bool, reason string) {
+	if n.tracer != nil {
+		n.tracer(TraceEvent{At: n.now, Packet: pkt, Dropped: dropped, Reason: reason})
+	}
+}
+
+// Step executes the next pending event, advancing the clock. It reports
+// whether an event was executed.
+func (n *Network) Step() bool {
+	for n.events.Len() > 0 {
+		e := heap.Pop(&n.events).(*event)
+		if *e.cancel {
+			continue
+		}
+		if e.at > n.now {
+			n.now = e.at
+		}
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the virtual clock would pass deadline, then
+// sets the clock to the deadline. Events scheduled exactly at the
+// deadline are executed.
+func (n *Network) Run(deadline time.Duration) {
+	for n.events.Len() > 0 {
+		// Peek without popping to respect the deadline.
+		next := n.events[0]
+		if *next.cancel {
+			heap.Pop(&n.events)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		n.Step()
+	}
+	if n.now < deadline {
+		n.now = deadline
+	}
+}
+
+// RunFor advances the simulation by d from the current time.
+func (n *Network) RunFor(d time.Duration) { n.Run(n.now + d) }
+
+// RunUntilIdle executes events until the queue drains or maxEvents have
+// run, whichever comes first. It returns the number of events executed.
+// The cap guards against runaway retransmission loops in tests.
+func (n *Network) RunUntilIdle(maxEvents int) int {
+	count := 0
+	for count < maxEvents && n.Step() {
+		count++
+	}
+	return count
+}
+
+// Pending returns the number of queued (possibly cancelled) events.
+func (n *Network) Pending() int { return n.events.Len() }
+
+// String summarizes the network state for debugging.
+func (n *Network) String() string {
+	return fmt.Sprintf("netsim{t=%s nodes=%d pending=%d delivered=%d dropped=%d+%d}",
+		n.now, len(n.nodes), n.events.Len(), n.Delivered, n.DroppedNoRoute, n.DroppedByPolicy)
+}

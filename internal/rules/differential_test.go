@@ -1,0 +1,121 @@
+package rules
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/httpsim"
+	"repro/internal/netsim"
+)
+
+// referenceSelect is an independent, deliberately naive re-implementation
+// of the selection semantics, used as a differential oracle: sort rules
+// by priority (stable), walk them, and apply the same action semantics.
+// It shares no code with Engine.Select beyond the Rule types.
+func referenceSelect(rs []Rule, tables map[string]map[string]Backend, req *httpsim.Request, rnd float64, info BackendInfo) (Backend, bool) {
+	if info == nil {
+		info = allAlive{}
+	}
+	// Stable sort by priority descending (insertion order preserved).
+	sorted := append([]Rule(nil), rs...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].Priority > sorted[j-1].Priority; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	for _, r := range sorted {
+		if !r.Match.Matches(req) {
+			continue
+		}
+		switch r.Action.Type {
+		case ActionTable:
+			key := req.Cookie(r.Action.TableCookie)
+			if key == "" {
+				continue
+			}
+			if b, ok := tables[r.Action.Table][key]; ok && info.Alive(b) {
+				return b, true
+			}
+		case ActionSplit:
+			if b, ok := pickSplit(r.Action.Split, rnd, info); ok {
+				return b, true
+			}
+		}
+	}
+	return Backend{}, false
+}
+
+// TestDifferentialAgainstReference fuzzes random rule tables and requests
+// and checks Engine.Select against the oracle.
+func TestDifferentialAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	backends := make([]Backend, 6)
+	for i := range backends {
+		backends[i] = Backend{
+			Name: fmt.Sprintf("B%d", i),
+			Addr: netsim.HostPort{IP: netsim.IPv4(10, 0, 2, byte(i+1)), Port: 80},
+		}
+	}
+	globs := []string{"*", "*.jpg", "*.css", "/api/*", "/img/*.png", "*.php"}
+	paths := []string{"/a.jpg", "/style.css", "/api/v1/users", "/img/x.png", "/index.php", "/plain"}
+
+	for trial := 0; trial < 300; trial++ {
+		nRules := 1 + rng.Intn(8)
+		rs := make([]Rule, 0, nRules)
+		for i := 0; i < nRules; i++ {
+			r := Rule{
+				Name:     fmt.Sprintf("r%d", i),
+				Priority: rng.Intn(4),
+				Match:    Match{URLGlob: globs[rng.Intn(len(globs))]},
+			}
+			if rng.Intn(5) == 0 {
+				r.Match.CookieName = "session"
+			}
+			if rng.Intn(6) == 0 {
+				r.Action = Action{Type: ActionTable, Table: "tab", TableCookie: "session"}
+			} else {
+				n := 1 + rng.Intn(3)
+				var split []WeightedBackend
+				for k := 0; k < n; k++ {
+					split = append(split, WeightedBackend{
+						Backend: backends[rng.Intn(len(backends))],
+						Weight:  float64(1 + rng.Intn(3)),
+					})
+				}
+				r.Action = Action{Type: ActionSplit, Split: split}
+			}
+			rs = append(rs, r)
+		}
+		e := NewEngine(rs)
+		// Random sticky learnings.
+		tables := map[string]map[string]Backend{"tab": {}}
+		if rng.Intn(2) == 0 {
+			b := backends[rng.Intn(len(backends))]
+			e.Learn("tab", "u1", b)
+			tables["tab"]["u1"] = b
+		}
+		// Random health.
+		info := &StaticInfo{Dead: map[string]bool{}, Loads: map[string]float64{}}
+		for _, b := range backends {
+			if rng.Intn(5) == 0 {
+				info.Dead[b.Name] = true
+			}
+		}
+		req := httpsim.NewRequest(paths[rng.Intn(len(paths))], "svc")
+		if rng.Intn(2) == 0 {
+			req.SetHeader("Cookie", "session=u1")
+		}
+		rnd := rng.Float64()
+
+		gotB, gotOK := Backend{}, false
+		if d := e.Select(req, rnd, info); d.OK {
+			gotB, gotOK = d.Backend, true
+		}
+		wantB, wantOK := referenceSelect(rs, tables, req, rnd, info)
+		if gotOK != wantOK || gotB != wantB {
+			t.Fatalf("trial %d diverged:\n rules=%v\n req=%s cookie=%q rnd=%v dead=%v\n engine=(%v,%v) reference=(%v,%v)",
+				trial, rs, req.Path, req.Header("Cookie"), rnd, info.Dead, gotB, gotOK, wantB, wantOK)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package rules
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Resolver maps backend names appearing in rule text to Backend records.
+type Resolver func(name string) (Backend, bool)
+
+// ParseRules parses the textual rule format, one rule per line:
+//
+//	rule <name> prio=<n> [url=<glob>] [host=<h>] [method=<m>]
+//	     [cookie=<name>[:<glob>]] [header=<name>[:<glob>]]
+//	     (split=<backend>:<weight>,... | table=<table>:<cookie>)
+//
+// Blank lines and lines starting with '#' are ignored. The resolver
+// translates backend names; unknown names are an error so that policy
+// typos fail loudly at install time rather than blackholing traffic.
+func ParseRules(text string, resolve Resolver) ([]Rule, error) {
+	var out []Rule
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		r, err := parseRuleLine(line, resolve)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func parseRuleLine(line string, resolve Resolver) (Rule, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || fields[0] != "rule" {
+		return Rule{}, fmt.Errorf("expected 'rule <name> ...': %q", line)
+	}
+	r := Rule{Name: fields[1]}
+	hasAction := false
+	for _, f := range fields[2:] {
+		kv := strings.SplitN(f, "=", 2)
+		if len(kv) != 2 {
+			return Rule{}, fmt.Errorf("bad field %q", f)
+		}
+		key, val := kv[0], kv[1]
+		switch key {
+		case "prio":
+			p, err := strconv.Atoi(val)
+			if err != nil {
+				return Rule{}, fmt.Errorf("bad priority %q", val)
+			}
+			r.Priority = p
+		case "url":
+			r.Match.URLGlob = val
+		case "host":
+			r.Match.Host = val
+		case "method":
+			r.Match.Method = val
+		case "cookie":
+			name, glob := splitColon(val)
+			r.Match.CookieName, r.Match.CookieGlob = name, glob
+		case "header":
+			name, glob := splitColon(val)
+			r.Match.HeaderName, r.Match.HeaderGlob = name, glob
+		case "split":
+			split, err := parseSplit(val, resolve)
+			if err != nil {
+				return Rule{}, err
+			}
+			r.Action = Action{Type: ActionSplit, Split: split}
+			hasAction = true
+		case "table":
+			table, cookie := splitColon(val)
+			if table == "" || cookie == "" {
+				return Rule{}, fmt.Errorf("table action needs table:cookie, got %q", val)
+			}
+			r.Action = Action{Type: ActionTable, Table: table, TableCookie: cookie}
+			hasAction = true
+		default:
+			return Rule{}, fmt.Errorf("unknown field %q", key)
+		}
+	}
+	if !hasAction {
+		return Rule{}, fmt.Errorf("rule %s has no action", r.Name)
+	}
+	return r, nil
+}
+
+func splitColon(s string) (string, string) {
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		return s[:i], s[i+1:]
+	}
+	return s, ""
+}
+
+func parseSplit(val string, resolve Resolver) ([]WeightedBackend, error) {
+	var out []WeightedBackend
+	for _, part := range strings.Split(val, ",") {
+		name, wstr := splitColon(part)
+		if name == "" {
+			return nil, fmt.Errorf("empty backend in split %q", val)
+		}
+		w := 1.0
+		if wstr != "" {
+			var err error
+			w, err = strconv.ParseFloat(wstr, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad weight %q", wstr)
+			}
+			if w != -1 && w < 0 {
+				return nil, fmt.Errorf("weight %v not allowed (use -1 for least-loaded)", w)
+			}
+		}
+		b, ok := resolve(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown backend %q", name)
+		}
+		out = append(out, WeightedBackend{Backend: b, Weight: w})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("split with no backends")
+	}
+	return out, nil
+}

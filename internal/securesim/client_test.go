@@ -1,0 +1,142 @@
+package securesim
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/httpsim"
+	"repro/internal/netsim"
+	"repro/internal/tcp"
+)
+
+// miniTerminator is a minimal TLS-terminating HTTP endpoint for client
+// tests: handshake via Identity.ServerAccept, then decrypt requests,
+// serve a canned response, encrypt it back.
+func miniTerminator(t *testing.T, n *netsim.Network, id *Identity, body []byte) netsim.HostPort {
+	t.Helper()
+	h := netsim.NewHost(n, netsim.IPv4(10, 0, 9, 1))
+	tcp.Listen(h, 443, func(c *tcp.Conn) tcp.Callbacks {
+		var buf bytes.Buffer
+		var key [32]byte
+		handshaken := false
+		recvOff := uint64(0)
+		sendOff := uint64(0)
+		return tcp.Callbacks{
+			OnData: func(c *tcp.Conn, d []byte) {
+				if !handshaken {
+					buf.Write(d)
+					if is, complete := IsClientHello(buf.Bytes()); !is || !complete {
+						return
+					}
+					hello := buf.Bytes()[:ClientHelloSize]
+					serverHello, k, err := id.ServerAccept(hello)
+					if err != nil {
+						c.Abort()
+						return
+					}
+					key = k
+					handshaken = true
+					c.Write(serverHello)
+					d = buf.Bytes()[ClientHelloSize:]
+					if len(d) == 0 {
+						return
+					}
+				}
+				plain := KeystreamXOR(key, DirClientToServer, recvOff, d)
+				recvOff += uint64(len(d))
+				if bytes.Contains(plain, []byte("\r\n\r\n")) {
+					resp := httpsim.NewResponse(200, body).Marshal()
+					c.Write(KeystreamXOR(key, DirServerToClient, sendOff, resp))
+					sendOff += uint64(len(resp))
+					c.Close()
+				}
+			},
+			OnPeerClose: func(c *tcp.Conn) { c.Close() },
+		}
+	}, tcp.DefaultConfig())
+	return netsim.HostPort{IP: h.IP(), Port: 443}
+}
+
+func TestClientFetchAgainstTerminator(t *testing.T) {
+	n := netsim.New(1)
+	id := testIdentity()
+	addr := miniTerminator(t, n, id, []byte("top secret"))
+	client := netsim.NewHost(n, netsim.IPv4(100, 0, 0, 1))
+	var res *FetchResult
+	Fetch(client, addr, id.Cert, httpsim.NewRequest("/x", "h"), func(r FetchResult) { res = &r })
+	n.RunFor(5 * time.Second)
+	if res == nil {
+		t.Fatal("fetch never resolved")
+	}
+	if res.Err != nil {
+		t.Fatalf("fetch: %v", res.Err)
+	}
+	if string(res.Resp.Body) != "top secret" {
+		t.Fatalf("body: %q", res.Resp.Body)
+	}
+}
+
+func TestClientRejectsWrongCert(t *testing.T) {
+	n := netsim.New(2)
+	id := testIdentity()
+	addr := miniTerminator(t, n, id, []byte("x"))
+	client := netsim.NewHost(n, netsim.IPv4(100, 0, 0, 1))
+	var res *FetchResult
+	Fetch(client, addr, []byte("not-the-cert"), httpsim.NewRequest("/x", "h"), func(r FetchResult) { res = &r })
+	n.RunFor(5 * time.Second)
+	if res == nil || res.Err != ErrBadCert {
+		t.Fatalf("res = %+v, want cert mismatch", res)
+	}
+}
+
+func TestClientFailsOnDeadServer(t *testing.T) {
+	n := netsim.New(3)
+	client := netsim.NewHost(n, netsim.IPv4(100, 0, 0, 1))
+	// Nothing attached at the target address: the TCP dial times out.
+	cfg := tcp.DefaultConfig()
+	_ = cfg
+	var res *FetchResult
+	Fetch(client, netsim.HostPort{IP: netsim.IPv4(10, 0, 9, 9), Port: 443}, []byte("c"),
+		httpsim.NewRequest("/x", "h"), func(r FetchResult) { res = &r })
+	n.RunFor(10 * time.Minute)
+	if res == nil || res.Err == nil {
+		t.Fatalf("res = %+v, want dial failure", res)
+	}
+}
+
+func TestClientHandlesGarbageServerHello(t *testing.T) {
+	n := netsim.New(4)
+	h := netsim.NewHost(n, netsim.IPv4(10, 0, 9, 1))
+	tcp.Listen(h, 443, func(c *tcp.Conn) tcp.Callbacks {
+		return tcp.Callbacks{
+			OnData: func(c *tcp.Conn, d []byte) {
+				c.Write([]byte("NOPE-this-is-not-a-server-hello-at-all!!"))
+			},
+		}
+	}, tcp.DefaultConfig())
+	client := netsim.NewHost(n, netsim.IPv4(100, 0, 0, 1))
+	var res *FetchResult
+	Fetch(client, netsim.HostPort{IP: h.IP(), Port: 443}, []byte("c"),
+		httpsim.NewRequest("/x", "h"), func(r FetchResult) { res = &r })
+	n.RunFor(10 * time.Second)
+	if res == nil || res.Err == nil {
+		t.Fatalf("res = %+v, want hello parse failure", res)
+	}
+}
+
+func TestRandReaderDeterministic(t *testing.T) {
+	a := make([]byte, 32)
+	b := make([]byte, 32)
+	r1 := RandReader(newRand(5))
+	r2 := RandReader(newRand(5))
+	r1.Read(a)
+	r2.Read(b)
+	if !bytes.Equal(a, b) {
+		t.Fatal("RandReader not deterministic for equal seeds")
+	}
+}
+
+// newRand builds a math/rand source for tests.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

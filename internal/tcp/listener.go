@@ -1,0 +1,90 @@
+package tcp
+
+import (
+	"repro/internal/netsim"
+)
+
+// AcceptFunc is invoked for each new inbound connection, before the
+// handshake completes, and returns the callbacks to attach to it. Return
+// zero Callbacks to accept silently; the Accept decision itself cannot be
+// refused (use a RST responder on the host for closed ports).
+type AcceptFunc func(c *Conn) Callbacks
+
+// Listener accepts passive connections on one port of a host.
+type Listener struct {
+	host   *netsim.Host
+	port   uint16
+	cfg    Config
+	accept AcceptFunc
+	closed bool
+
+	// Accepted counts handshakes begun (SYN received for a new tuple).
+	Accepted int
+}
+
+// Listen starts accepting connections on port.
+func Listen(h *netsim.Host, port uint16, accept AcceptFunc, cfg Config) *Listener {
+	l := &Listener{host: h, port: port, cfg: cfg, accept: accept}
+	h.Listen(port, l)
+	return l
+}
+
+// Close stops accepting new connections. Established connections are
+// unaffected.
+func (l *Listener) Close() {
+	if !l.closed {
+		l.closed = true
+		l.host.Unlisten(l.port)
+	}
+}
+
+// HandleSegment implements netsim.PortHandler for segments that match no
+// established connection.
+func (l *Listener) HandleSegment(pkt *netsim.Packet) {
+	if l.closed {
+		return
+	}
+	if !pkt.Flags.Has(netsim.FlagSYN) || pkt.Flags.Has(netsim.FlagACK) {
+		// Non-SYN to a listener: the connection it belonged to is gone.
+		// Answer with RST so the peer aborts quickly (unless it *is* a RST).
+		if !pkt.Flags.Has(netsim.FlagRST) {
+			l.host.Network().Send(&netsim.Packet{
+				Src:   pkt.Dst,
+				Dst:   pkt.Src,
+				Flags: netsim.FlagRST | netsim.FlagACK,
+				Seq:   pkt.Ack,
+				Ack:   pkt.SeqEnd(),
+			})
+		}
+		return
+	}
+	l.Accepted++
+	c := newConn(l.host, pkt.Dst, pkt.Src, Callbacks{}, l.cfg)
+	c.state = StateSynReceived
+	c.iss = c.net.Rand().Uint32()
+	c.sndUna = c.iss
+	c.sndNxt = c.iss + 1
+	c.bufSeq = c.iss + 1
+	c.rcvNxt = pkt.Seq + 1
+	c.cb = l.accept(c)
+	l.host.Register(pkt.Dst.Port, pkt.Src, c)
+	c.sendSegment(netsim.FlagSYN|netsim.FlagACK, c.iss, c.rcvNxt, nil)
+	c.armRtx(c.cfg.SynRTO)
+}
+
+// InstallRSTResponder makes h answer segments that match no connection or
+// listener with a RST, approximating kernel behaviour for closed ports.
+func InstallRSTResponder(h *netsim.Host) {
+	h.Default = netsim.PortHandlerFunc(func(pkt *netsim.Packet) {
+		if pkt.Flags.Has(netsim.FlagRST) {
+			return
+		}
+		h.Network().Send(&netsim.Packet{
+			Src:   pkt.Dst,
+			Dst:   pkt.Src,
+			Flags: netsim.FlagRST | netsim.FlagACK,
+			Seq:   pkt.Ack,
+			Ack:   pkt.SeqEnd(),
+		})
+	})
+}

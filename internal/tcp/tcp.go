@@ -1,0 +1,652 @@
+// Package tcp implements a userspace TCP endpoint on top of the netsim
+// packet network: three-way handshake, cumulative acknowledgments,
+// out-of-order reassembly, retransmission with exponential backoff, slow
+// start / congestion avoidance, and FIN/RST teardown.
+//
+// It exists because Yoda's whole premise is packet-level: the load
+// balancer hand-crafts segments and rewrites sequence numbers, so the
+// clients and backend servers it talks to must run a real TCP state
+// machine for the recovery experiments to mean anything. The
+// implementation favours clarity over completeness (no SACK, no window
+// scaling, no delayed ACKs) but is faithful where the paper depends on
+// behaviour: retransmission timing (first data retransmit at the base
+// RTO, doubling thereafter; SYN retransmit at 3 s as on Ubuntu) and
+// duplicate-segment suppression at the receiver.
+package tcp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// Config carries the tunables of an endpoint. The zero value is not
+// usable; call DefaultConfig.
+type Config struct {
+	MSS             int           // maximum segment payload bytes
+	InitialCwnd     int           // initial congestion window, in segments
+	RTO             time.Duration // base retransmission timeout for data
+	SynRTO          time.Duration // retransmission timeout for SYN / SYN-ACK
+	MaxRTO          time.Duration // backoff ceiling
+	MaxRetries      int           // per-segment retransmit budget before giving up
+	ReceiveWindow   uint32        // advertised receive window, bytes
+	InitialSsthresh uint32        // slow-start threshold, bytes
+}
+
+// DefaultConfig returns the configuration used across the testbed: MSS
+// 1460, IW10, 300ms base RTO (matching the paper's observed 300/600ms
+// retransmits), 3s SYN timeout (Ubuntu's default per §4.2).
+func DefaultConfig() Config {
+	return Config{
+		MSS:             1460,
+		InitialCwnd:     10,
+		RTO:             300 * time.Millisecond,
+		SynRTO:          3 * time.Second,
+		MaxRTO:          60 * time.Second,
+		MaxRetries:      8,
+		ReceiveWindow:   1 << 20,
+		InitialSsthresh: 1 << 20,
+	}
+}
+
+// State is a TCP connection state.
+type State int
+
+// Connection states. Only the states the simulator distinguishes are
+// modelled; TIME_WAIT is collapsed into Closed since the simulated port
+// allocator never reuses a tuple while packets are in flight.
+const (
+	StateSynSent State = iota
+	StateSynReceived
+	StateEstablished
+	StateFinWait   // we sent FIN, waiting for its ACK (and possibly peer FIN)
+	StateCloseWait // peer sent FIN, we have not closed yet
+	StateLastAck   // peer closed, our FIN in flight
+	StateClosed
+)
+
+func (s State) String() string {
+	switch s {
+	case StateSynSent:
+		return "SYN_SENT"
+	case StateSynReceived:
+		return "SYN_RECEIVED"
+	case StateEstablished:
+		return "ESTABLISHED"
+	case StateFinWait:
+		return "FIN_WAIT"
+	case StateCloseWait:
+		return "CLOSE_WAIT"
+	case StateLastAck:
+		return "LAST_ACK"
+	case StateClosed:
+		return "CLOSED"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Errors reported through Callbacks.OnFail.
+var (
+	ErrReset   = errors.New("tcp: connection reset by peer")
+	ErrTimeout = errors.New("tcp: retransmission timeout")
+)
+
+// Callbacks notify the application of connection events. Any field may be
+// nil. Callbacks run inside the netsim event loop and must not block.
+type Callbacks struct {
+	OnEstablished func(c *Conn)
+	OnData        func(c *Conn, data []byte)
+	OnPeerClose   func(c *Conn) // peer's FIN arrived; data delivery is complete
+	OnClose       func(c *Conn) // connection fully closed in both directions
+	OnFail        func(c *Conn, err error)
+}
+
+// seqLT reports a < b in 32-bit sequence space.
+func seqLT(a, b uint32) bool { return int32(a-b) < 0 }
+
+// seqLEQ reports a <= b in 32-bit sequence space.
+func seqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }
+
+// reasmSeg is an out-of-order segment parked for reassembly.
+type reasmSeg struct {
+	seq  uint32
+	data []byte
+	fin  bool
+}
+
+// Conn is one endpoint of a TCP connection.
+type Conn struct {
+	host   *netsim.Host
+	net    *netsim.Network
+	cfg    Config
+	cb     Callbacks
+	local  netsim.HostPort
+	remote netsim.HostPort
+
+	state State
+
+	// Send side.
+	iss       uint32 // initial send sequence
+	sndUna    uint32 // oldest unacknowledged
+	sndNxt    uint32 // next to send
+	sndBuf    []byte // unsent+unacked payload; sndBuf[0] is at seq sndUna (+1 pre-establish)
+	bufSeq    uint32 // sequence number of sndBuf[0]
+	peerWnd   uint32
+	cwnd      uint32
+	ssthresh  uint32
+	finQueued bool
+	finSent   bool
+	finSeq    uint32
+
+	// Receive side.
+	rcvNxt  uint32
+	peerFin bool // peer's FIN has been processed
+	reasm   []reasmSeg
+
+	// Retransmission.
+	rtxTimer   *netsim.Timer
+	rtxBackoff int
+
+	// Stats, exported for tests and experiments.
+	Retransmits int
+	BytesSent   uint64
+	BytesRecv   uint64
+}
+
+// Dial opens an active connection from an ephemeral port on h to remote.
+func Dial(h *netsim.Host, remote netsim.HostPort, cb Callbacks, cfg Config) *Conn {
+	return DialFrom(h, h.AllocPort(), remote, cb, cfg)
+}
+
+// DialFrom opens an active connection from the given local port.
+func DialFrom(h *netsim.Host, localPort uint16, remote netsim.HostPort, cb Callbacks, cfg Config) *Conn {
+	c := newConn(h, netsim.HostPort{IP: h.IP(), Port: localPort}, remote, cb, cfg)
+	c.state = StateSynSent
+	c.iss = c.net.Rand().Uint32()
+	c.sndUna = c.iss
+	c.sndNxt = c.iss + 1
+	c.bufSeq = c.iss + 1
+	h.Register(localPort, remote, c)
+	c.sendSegment(netsim.FlagSYN, c.iss, 0, nil)
+	c.armRtx(c.cfg.SynRTO)
+	return c
+}
+
+func newConn(h *netsim.Host, local, remote netsim.HostPort, cb Callbacks, cfg Config) *Conn {
+	return &Conn{
+		host:     h,
+		net:      h.Network(),
+		cfg:      cfg,
+		cb:       cb,
+		local:    local,
+		remote:   remote,
+		peerWnd:  cfg.ReceiveWindow,
+		cwnd:     uint32(cfg.InitialCwnd * cfg.MSS),
+		ssthresh: cfg.InitialSsthresh,
+	}
+}
+
+// State returns the connection state.
+func (c *Conn) State() State { return c.state }
+
+// LocalAddr returns the local endpoint.
+func (c *Conn) LocalAddr() netsim.HostPort { return c.local }
+
+// RemoteAddr returns the remote endpoint.
+func (c *Conn) RemoteAddr() netsim.HostPort { return c.remote }
+
+// ISN returns the initial send sequence number (used by tests).
+func (c *Conn) ISN() uint32 { return c.iss }
+
+// Write queues payload for transmission. It is an error to write after
+// Close or on a failed connection; the data is silently discarded then.
+func (c *Conn) Write(data []byte) {
+	if c.state == StateClosed || c.finQueued || len(data) == 0 {
+		return
+	}
+	c.sndBuf = append(c.sndBuf, data...)
+	if c.state == StateEstablished || c.state == StateCloseWait {
+		c.trySend()
+	}
+}
+
+// Close queues a FIN after any buffered data. Data already written is
+// still delivered.
+func (c *Conn) Close() {
+	if c.state == StateClosed || c.finQueued {
+		return
+	}
+	c.finQueued = true
+	if c.state == StateEstablished || c.state == StateCloseWait {
+		c.trySend()
+	}
+}
+
+// Abort sends a RST and tears the connection down immediately.
+func (c *Conn) Abort() {
+	if c.state == StateClosed {
+		return
+	}
+	c.sendSegment(netsim.FlagRST, c.sndNxt, c.rcvNxt, nil)
+	c.teardown()
+}
+
+// teardown releases resources without notifying the peer.
+func (c *Conn) teardown() {
+	if c.state == StateClosed {
+		return
+	}
+	c.state = StateClosed
+	if c.rtxTimer != nil {
+		c.rtxTimer.Stop()
+		c.rtxTimer = nil
+	}
+	c.host.Unregister(c.local.Port, c.remote)
+}
+
+func (c *Conn) fail(err error) {
+	if c.state == StateClosed {
+		return
+	}
+	c.teardown()
+	if c.cb.OnFail != nil {
+		c.cb.OnFail(c, err)
+	}
+}
+
+func (c *Conn) sendSegment(flags netsim.TCPFlags, seq, ack uint32, payload []byte) {
+	if !c.host.Alive() {
+		return // a failed machine transmits nothing
+	}
+	pkt := &netsim.Packet{
+		Src:     c.local,
+		Dst:     c.remote,
+		Flags:   flags,
+		Seq:     seq,
+		Ack:     ack,
+		Window:  c.cfg.ReceiveWindow,
+		Payload: payload,
+	}
+	if len(payload) > 0 {
+		c.BytesSent += uint64(len(payload))
+	}
+	c.net.Send(pkt)
+}
+
+// inflight returns bytes sent but not yet acknowledged.
+func (c *Conn) inflight() uint32 { return c.sndNxt - c.sndUna }
+
+// trySend transmits as much buffered data (and the queued FIN) as the
+// congestion and peer windows allow.
+func (c *Conn) trySend() {
+	wnd := c.cwnd
+	if c.peerWnd < wnd {
+		wnd = c.peerWnd
+	}
+	for {
+		// Bytes of sndBuf not yet transmitted start at offset sndNxt-bufSeq.
+		off := int(c.sndNxt - c.bufSeq)
+		if off < 0 || off > len(c.sndBuf) {
+			// FIN-only position or buffer fully streamed.
+			off = len(c.sndBuf)
+		}
+		avail := len(c.sndBuf) - off
+		if avail > 0 {
+			if c.inflight() >= wnd {
+				return
+			}
+			n := c.cfg.MSS
+			if n > avail {
+				n = avail
+			}
+			if room := int(wnd - c.inflight()); n > room {
+				n = room
+			}
+			if n <= 0 {
+				return
+			}
+			seg := append([]byte(nil), c.sndBuf[off:off+n]...)
+			flags := netsim.FlagACK
+			if off+n == len(c.sndBuf) {
+				flags |= netsim.FlagPSH
+			}
+			c.sendSegment(flags, c.sndNxt, c.rcvNxt, seg)
+			c.sndNxt += uint32(n)
+			c.ensureRtx()
+			continue
+		}
+		// All payload streamed; maybe send FIN.
+		if c.finQueued && !c.finSent {
+			c.finSent = true
+			c.finSeq = c.sndNxt
+			c.sendSegment(netsim.FlagFIN|netsim.FlagACK, c.sndNxt, c.rcvNxt, nil)
+			c.sndNxt++
+			if c.state == StateEstablished {
+				c.state = StateFinWait
+			} else if c.state == StateCloseWait {
+				c.state = StateLastAck
+			}
+			c.ensureRtx()
+		}
+		return
+	}
+}
+
+func (c *Conn) ensureRtx() {
+	if c.rtxTimer == nil && c.inflight() > 0 {
+		c.armRtx(c.currentRTO())
+	}
+}
+
+func (c *Conn) currentRTO() time.Duration {
+	rto := c.cfg.RTO
+	for i := 0; i < c.rtxBackoff; i++ {
+		rto *= 2
+		if rto >= c.cfg.MaxRTO {
+			return c.cfg.MaxRTO
+		}
+	}
+	return rto
+}
+
+func (c *Conn) armRtx(d time.Duration) {
+	if c.rtxTimer != nil {
+		c.rtxTimer.Stop()
+	}
+	c.rtxTimer = c.net.Schedule(d, c.onRtxTimeout)
+}
+
+func (c *Conn) onRtxTimeout() {
+	c.rtxTimer = nil
+	if c.state == StateClosed {
+		return
+	}
+	if c.rtxBackoff >= c.cfg.MaxRetries {
+		c.fail(ErrTimeout)
+		return
+	}
+	c.rtxBackoff++
+	c.Retransmits++
+	switch c.state {
+	case StateSynSent:
+		c.sendSegment(netsim.FlagSYN, c.iss, 0, nil)
+		c.armRtx(c.cfg.SynRTO) // Linux keeps the SYN timer fixed-ish; good enough
+		return
+	case StateSynReceived:
+		c.sendSegment(netsim.FlagSYN|netsim.FlagACK, c.iss, c.rcvNxt, nil)
+		c.armRtx(c.cfg.SynRTO)
+		return
+	}
+	// Retransmit the oldest unacked segment; classic multiplicative decrease.
+	c.ssthresh = c.inflight() / 2
+	if min := uint32(2 * c.cfg.MSS); c.ssthresh < min {
+		c.ssthresh = min
+	}
+	c.cwnd = uint32(c.cfg.MSS)
+	c.retransmitOldest()
+	c.armRtx(c.currentRTO())
+}
+
+func (c *Conn) retransmitOldest() {
+	if c.finSent && c.sndUna == c.finSeq {
+		c.sendSegment(netsim.FlagFIN|netsim.FlagACK, c.finSeq, c.rcvNxt, nil)
+		return
+	}
+	off := int(c.sndUna - c.bufSeq)
+	if off < 0 || off >= len(c.sndBuf) {
+		return
+	}
+	n := c.cfg.MSS
+	if n > len(c.sndBuf)-off {
+		n = len(c.sndBuf) - off
+	}
+	seg := append([]byte(nil), c.sndBuf[off:off+n]...)
+	c.sendSegment(netsim.FlagACK|netsim.FlagPSH, c.sndUna, c.rcvNxt, seg)
+}
+
+// HandleSegment implements netsim.PortHandler.
+func (c *Conn) HandleSegment(pkt *netsim.Packet) {
+	if c.state == StateClosed {
+		return
+	}
+	if pkt.Flags.Has(netsim.FlagRST) {
+		c.fail(ErrReset)
+		return
+	}
+	c.peerWnd = pkt.Window
+	if c.peerWnd == 0 {
+		c.peerWnd = 1 // never wedge: simulate persist probes trivially
+	}
+	switch c.state {
+	case StateSynSent:
+		c.handleSynSent(pkt)
+	case StateSynReceived:
+		c.handleSynReceived(pkt)
+	default:
+		c.handleEstablished(pkt)
+	}
+}
+
+func (c *Conn) handleSynSent(pkt *netsim.Packet) {
+	if !pkt.Flags.Has(netsim.FlagSYN | netsim.FlagACK) {
+		return
+	}
+	if pkt.Ack != c.iss+1 {
+		return // stale
+	}
+	c.rcvNxt = pkt.Seq + 1
+	c.sndUna = pkt.Ack
+	c.rtxBackoff = 0
+	if c.rtxTimer != nil {
+		c.rtxTimer.Stop()
+		c.rtxTimer = nil
+	}
+	c.state = StateEstablished
+	c.sendSegment(netsim.FlagACK, c.sndNxt, c.rcvNxt, nil)
+	if c.cb.OnEstablished != nil {
+		c.cb.OnEstablished(c)
+	}
+	c.trySend()
+}
+
+func (c *Conn) handleSynReceived(pkt *netsim.Packet) {
+	if pkt.Flags.Has(netsim.FlagSYN) && !pkt.Flags.Has(netsim.FlagACK) {
+		// Duplicate SYN: retransmit our SYN-ACK.
+		c.sendSegment(netsim.FlagSYN|netsim.FlagACK, c.iss, c.rcvNxt, nil)
+		return
+	}
+	if !pkt.Flags.Has(netsim.FlagACK) || pkt.Ack != c.iss+1 {
+		return
+	}
+	c.sndUna = pkt.Ack
+	c.rtxBackoff = 0
+	if c.rtxTimer != nil {
+		c.rtxTimer.Stop()
+		c.rtxTimer = nil
+	}
+	c.state = StateEstablished
+	if c.cb.OnEstablished != nil {
+		c.cb.OnEstablished(c)
+	}
+	// The handshake ACK may carry data (common when the client sends the
+	// HTTP request immediately).
+	if len(pkt.Payload) > 0 || pkt.Flags.Has(netsim.FlagFIN) {
+		c.handleEstablished(pkt)
+		return
+	}
+	c.trySend()
+}
+
+func (c *Conn) handleEstablished(pkt *netsim.Packet) {
+	if pkt.Flags.Has(netsim.FlagACK) {
+		c.processAck(pkt.Ack)
+		if c.state == StateClosed {
+			return
+		}
+	}
+	progressed := false
+	if len(pkt.Payload) > 0 || pkt.Flags.Has(netsim.FlagFIN) {
+		progressed = c.processData(pkt)
+	}
+	if progressed || len(pkt.Payload) > 0 || pkt.Flags.Has(netsim.FlagFIN) {
+		// Acknowledge received data (also re-ACKs duplicates).
+		c.sendSegment(netsim.FlagACK, c.sndNxt, c.rcvNxt, nil)
+	}
+	c.maybeFinish()
+	if c.state != StateClosed {
+		c.trySend()
+	}
+}
+
+func (c *Conn) processAck(ack uint32) {
+	if !seqLT(c.sndUna, ack) || !seqLEQ(ack, c.sndNxt) {
+		return // duplicate or out-of-range
+	}
+	acked := ack - c.sndUna
+	c.sndUna = ack
+	c.rtxBackoff = 0
+	// Release acknowledged bytes from the buffer. FIN occupies sequence
+	// space but no buffer space.
+	dataAcked := acked
+	if c.finSent && seqLT(c.finSeq, ack) {
+		dataAcked--
+	}
+	drop := int(c.sndUna - c.bufSeq)
+	if c.finSent && seqLT(c.finSeq, c.sndUna) {
+		drop = len(c.sndBuf)
+	}
+	if drop > len(c.sndBuf) {
+		drop = len(c.sndBuf)
+	}
+	if drop > 0 {
+		c.sndBuf = c.sndBuf[drop:]
+		c.bufSeq += uint32(drop)
+	}
+	_ = dataAcked
+	// Congestion window growth: slow start below ssthresh, else additive.
+	if c.cwnd < c.ssthresh {
+		c.cwnd += uint32(c.cfg.MSS)
+	} else {
+		c.cwnd += uint32(c.cfg.MSS) * uint32(c.cfg.MSS) / c.cwnd
+	}
+	if c.rtxTimer != nil {
+		c.rtxTimer.Stop()
+		c.rtxTimer = nil
+	}
+	if c.inflight() > 0 {
+		c.armRtx(c.currentRTO())
+	}
+}
+
+// processData ingests payload/FIN, returns whether rcvNxt advanced.
+func (c *Conn) processData(pkt *netsim.Packet) bool {
+	seq := pkt.Seq
+	data := pkt.Payload
+	fin := pkt.Flags.Has(netsim.FlagFIN)
+
+	// Trim data already received.
+	if seqLT(seq, c.rcvNxt) {
+		skip := c.rcvNxt - seq
+		if uint32(len(data)) <= skip {
+			if !fin || c.peerFin {
+				return false
+			}
+			data = nil
+			seq = c.rcvNxt
+			if seqLT(pkt.SeqEnd()-1, c.rcvNxt) {
+				return false // entirely old, FIN included
+			}
+		} else {
+			data = data[skip:]
+			seq = c.rcvNxt
+		}
+	}
+	if seq != c.rcvNxt {
+		// Out of order: park for reassembly.
+		c.stashReasm(reasmSeg{seq: seq, data: append([]byte(nil), data...), fin: fin})
+		return false
+	}
+	c.ingest(data, fin)
+	// Drain any contiguous parked segments.
+	for {
+		idx := -1
+		for i, s := range c.reasm {
+			if seqLEQ(s.seq, c.rcvNxt) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			break
+		}
+		s := c.reasm[idx]
+		c.reasm = append(c.reasm[:idx], c.reasm[idx+1:]...)
+		d := s.data
+		if skip := c.rcvNxt - s.seq; skip > 0 {
+			if uint32(len(d)) <= skip {
+				d = nil
+			} else {
+				d = d[skip:]
+			}
+		}
+		c.ingest(d, s.fin)
+	}
+	return true
+}
+
+func (c *Conn) stashReasm(s reasmSeg) {
+	for _, e := range c.reasm {
+		if e.seq == s.seq && len(e.data) >= len(s.data) {
+			return // duplicate
+		}
+	}
+	c.reasm = append(c.reasm, s)
+	sort.Slice(c.reasm, func(i, j int) bool { return seqLT(c.reasm[i].seq, c.reasm[j].seq) })
+}
+
+func (c *Conn) ingest(data []byte, fin bool) {
+	if len(data) > 0 {
+		c.rcvNxt += uint32(len(data))
+		c.BytesRecv += uint64(len(data))
+		if c.cb.OnData != nil {
+			c.cb.OnData(c, data)
+		}
+	}
+	if fin && !c.peerFin {
+		c.peerFin = true
+		c.rcvNxt++
+		switch c.state {
+		case StateEstablished:
+			c.state = StateCloseWait
+		case StateFinWait:
+			// Both directions closing; maybeFinish completes it.
+		}
+		if c.cb.OnPeerClose != nil {
+			c.cb.OnPeerClose(c)
+		}
+	}
+}
+
+// maybeFinish closes the connection once both FINs are exchanged and ours
+// is acknowledged.
+func (c *Conn) maybeFinish() {
+	if c.state == StateClosed {
+		return
+	}
+	ourFinAcked := c.finSent && seqLT(c.finSeq, c.sndUna)
+	if ourFinAcked && c.peerFin {
+		c.teardown()
+		if c.cb.OnClose != nil {
+			c.cb.OnClose(c)
+		}
+	} else if c.state == StateLastAck && ourFinAcked {
+		c.teardown()
+		if c.cb.OnClose != nil {
+			c.cb.OnClose(c)
+		}
+	}
+}

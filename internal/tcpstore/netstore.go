@@ -1,0 +1,187 @@
+package tcpstore
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/memcache"
+	"repro/internal/netsim"
+)
+
+// NetStore is TCPStore over real sockets: the same K-replica consistent-
+// hashing layout as Store, but issuing operations to real memcached-
+// protocol servers (this repository's memcache.NetServer or a stock
+// memcached) with goroutine-level parallelism standing in for the
+// simulator's virtual concurrency. It exists to demonstrate the client
+// design outside the simulator and to back the real-TCP benchmarks.
+type NetStore struct {
+	mu       sync.Mutex
+	ring     *Ring
+	replicas int
+	expiry   int
+	conns    map[netsim.HostPort]*memcache.NetClient
+	addrs    map[netsim.HostPort]string
+	timeout  time.Duration
+}
+
+// NewNetStore builds a store over real server addresses ("host:port").
+// Ring positions must be stable identifiers, so each address is assigned
+// a synthetic HostPort key in insertion order.
+func NewNetStore(addrs []string, replicas int, expirySeconds int) *NetStore {
+	if replicas <= 0 {
+		replicas = 1
+	}
+	ns := &NetStore{
+		replicas: replicas,
+		expiry:   expirySeconds,
+		conns:    make(map[netsim.HostPort]*memcache.NetClient),
+		addrs:    make(map[netsim.HostPort]string),
+		timeout:  2 * time.Second,
+	}
+	keys := make([]netsim.HostPort, 0, len(addrs))
+	for i, a := range addrs {
+		key := netsim.HostPort{IP: netsim.IPv4(10, 0, 3, byte(i+1)), Port: uint16(11211)}
+		ns.addrs[key] = a
+		keys = append(keys, key)
+	}
+	ns.ring = NewRing(keys)
+	return ns
+}
+
+// Close tears down every connection.
+func (ns *NetStore) Close() {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	for _, c := range ns.conns {
+		c.Close()
+	}
+	ns.conns = map[netsim.HostPort]*memcache.NetClient{}
+}
+
+func (ns *NetStore) conn(key netsim.HostPort) (*memcache.NetClient, error) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if c, ok := ns.conns[key]; ok {
+		return c, nil
+	}
+	c, err := memcache.DialNet(ns.addrs[key], ns.timeout)
+	if err != nil {
+		return nil, err
+	}
+	ns.conns[key] = c
+	return c, nil
+}
+
+// Set writes value to all K replicas in parallel and returns nil if at
+// least one replica stored it (matching Store's recoverability
+// semantics).
+func (ns *NetStore) Set(key string, value []byte) error {
+	replicas := ns.ring.Pick(key, ns.replicas)
+	if len(replicas) == 0 {
+		return ErrAllReplicasFailed
+	}
+	errs := make(chan error, len(replicas))
+	for _, r := range replicas {
+		r := r
+		go func() {
+			c, err := ns.conn(r)
+			if err != nil {
+				errs <- err
+				return
+			}
+			errs <- c.Set(key, value, 0, ns.expiry)
+		}()
+	}
+	ok := 0
+	var last error
+	for range replicas {
+		if err := <-errs; err != nil {
+			last = err
+		} else {
+			ok++
+		}
+	}
+	if ok == 0 {
+		if last != nil {
+			return last
+		}
+		return ErrAllReplicasFailed
+	}
+	return nil
+}
+
+// Get reads from all replicas in parallel; the first hit wins.
+func (ns *NetStore) Get(key string) ([]byte, bool, error) {
+	replicas := ns.ring.Pick(key, ns.replicas)
+	if len(replicas) == 0 {
+		return nil, false, ErrAllReplicasFailed
+	}
+	type res struct {
+		val []byte
+		ok  bool
+		err error
+	}
+	out := make(chan res, len(replicas))
+	for _, r := range replicas {
+		r := r
+		go func() {
+			c, err := ns.conn(r)
+			if err != nil {
+				out <- res{err: err}
+				return
+			}
+			it, ok, err := c.Get(key)
+			out <- res{val: it.Value, ok: ok, err: err}
+		}()
+	}
+	errs := 0
+	var lastErr error
+	for range replicas {
+		r := <-out
+		if r.ok {
+			return r.val, true, nil
+		}
+		if r.err != nil {
+			errs++
+			lastErr = r.err
+		}
+	}
+	if errs == len(replicas) {
+		return nil, false, lastErr
+	}
+	return nil, false, nil
+}
+
+// Delete removes key from all replicas.
+func (ns *NetStore) Delete(key string) error {
+	replicas := ns.ring.Pick(key, ns.replicas)
+	if len(replicas) == 0 {
+		return ErrAllReplicasFailed
+	}
+	errs := make(chan error, len(replicas))
+	for _, r := range replicas {
+		r := r
+		go func() {
+			c, err := ns.conn(r)
+			if err != nil {
+				errs <- err
+				return
+			}
+			_, err = c.Delete(key)
+			errs <- err
+		}()
+	}
+	ok := 0
+	var last error
+	for range replicas {
+		if err := <-errs; err != nil {
+			last = err
+		} else {
+			ok++
+		}
+	}
+	if ok == 0 {
+		return last
+	}
+	return nil
+}

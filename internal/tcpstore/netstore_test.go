@@ -1,0 +1,115 @@
+package tcpstore
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/memcache"
+)
+
+// startFleet launches n real memcached-protocol servers on loopback.
+func startFleet(t testing.TB, n int) ([]string, []*memcache.NetServer) {
+	t.Helper()
+	var addrs []string
+	var srvs []*memcache.NetServer
+	for i := 0; i < n; i++ {
+		srv, err := memcache.ListenAndServe("127.0.0.1:0", memcache.NewEngine(0, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, srv.Addr())
+		srvs = append(srvs, srv)
+	}
+	t.Cleanup(func() {
+		for _, s := range srvs {
+			s.Close()
+		}
+	})
+	return addrs, srvs
+}
+
+func TestNetStoreSetGetDelete(t *testing.T) {
+	addrs, _ := startFleet(t, 3)
+	ns := NewNetStore(addrs, 2, 0)
+	defer ns.Close()
+	if err := ns.Set("flow:1", []byte("state")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := ns.Get("flow:1")
+	if err != nil || !ok || string(v) != "state" {
+		t.Fatalf("get: %q %v %v", v, ok, err)
+	}
+	if err := ns.Delete("flow:1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := ns.Get("flow:1"); ok {
+		t.Fatal("get after delete")
+	}
+}
+
+func TestNetStoreReplicatesAcrossServers(t *testing.T) {
+	addrs, srvs := startFleet(t, 4)
+	ns := NewNetStore(addrs, 2, 0)
+	defer ns.Close()
+	for i := 0; i < 20; i++ {
+		if err := ns.Set(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 0
+	for _, s := range srvs {
+		total += s.Engine.Stats().CurrItems
+	}
+	if total != 40 {
+		t.Fatalf("replicas stored = %d, want 20 keys × 2", total)
+	}
+}
+
+func TestNetStoreSurvivesReplicaFailure(t *testing.T) {
+	addrs, srvs := startFleet(t, 3)
+	ns := NewNetStore(addrs, 2, 0)
+	defer ns.Close()
+	if err := ns.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the first server holding the key; the other replica answers.
+	for _, s := range srvs {
+		if _, ok := s.Engine.Get("k"); ok {
+			s.Close()
+			break
+		}
+	}
+	ns.Close() // force reconnects so the dead server is redialed (and fails)
+	ns2 := NewNetStore(addrs, 2, 0)
+	defer ns2.Close()
+	v, ok, err := ns2.Get("k")
+	if !ok || string(v) != "v" {
+		t.Fatalf("get after replica death: %q %v %v", v, ok, err)
+	}
+}
+
+func TestNetStoreNoServers(t *testing.T) {
+	ns := NewNetStore(nil, 2, 0)
+	if err := ns.Set("k", []byte("v")); err != ErrAllReplicasFailed {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := ns.Get("k"); err != ErrAllReplicasFailed {
+		t.Fatalf("err = %v", err)
+	}
+	if err := ns.Delete("k"); err != ErrAllReplicasFailed {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func BenchmarkNetStoreSetReplicated(b *testing.B) {
+	addrs, _ := startFleet(b, 3)
+	ns := NewNetStore(addrs, 2, 0)
+	defer ns.Close()
+	value := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ns.Set(fmt.Sprintf("flow:%d", i%1000), value); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package tcpstore
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/memcache"
+	"repro/internal/netsim"
+	"repro/internal/tcp"
+)
+
+// ErrAllReplicasFailed is reported when no replica server accepted an
+// operation.
+var ErrAllReplicasFailed = errors.New("tcpstore: all replicas failed")
+
+// Config tunes a TCPStore client.
+type Config struct {
+	// Replicas is K, the number of Memcached servers each key is stored
+	// on. The paper's persistence experiments use 2; 1 degenerates to
+	// plain Memcached (the Figure 10/11 baseline).
+	Replicas int
+	// WriteConcern is how many replica ACKs a Set waits for before
+	// reporting success. 0 means all replicas. The paper ACKs the client
+	// only after the state is persisted, so the default waits for all.
+	WriteConcern int
+	// Expiry is the TTL in seconds attached to flow-state entries; flows
+	// that die without cleanup age out. 0 disables expiry.
+	Expiry int
+	// OpTimeout bounds how long an operation waits for replica replies
+	// before resolving with whatever has answered: a dead Memcached
+	// server must not wedge load balancing until TCP gives up on it
+	// (the controller's monitor replaces dead servers within 600 ms, but
+	// in-flight operations need their own bound). 0 disables the timeout.
+	OpTimeout time.Duration
+	TCP       tcp.Config
+}
+
+// DefaultConfig matches the paper's deployment: 2 replicas, wait for
+// both, 10-minute TTL as a leak backstop, 1 s operation bound.
+func DefaultConfig() Config {
+	return Config{Replicas: 2, WriteConcern: 0, Expiry: 600, OpTimeout: time.Second, TCP: tcp.DefaultConfig()}
+}
+
+// Stats counts client-side operation outcomes.
+type Stats struct {
+	Sets, Gets, Deletes uint64
+	Hits, Misses        uint64
+	ReplicaErrors       uint64
+	Timeouts            uint64
+}
+
+// Store is a TCPStore client bound to one Yoda instance's host. It keeps
+// one long-lived connection per Memcached server (lazily opened) and
+// fans each operation out to the key's K replicas in parallel.
+type Store struct {
+	host  *netsim.Host
+	cfg   Config
+	ring  *Ring
+	conns map[netsim.HostPort]*memcache.SimClient
+
+	Stats Stats
+}
+
+// New creates a store client over the given Memcached servers.
+func New(host *netsim.Host, servers []netsim.HostPort, cfg Config) *Store {
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	return &Store{
+		host:  host,
+		cfg:   cfg,
+		ring:  NewRing(servers),
+		conns: make(map[netsim.HostPort]*memcache.SimClient),
+	}
+}
+
+// SetServers replaces the server set (controller-driven reconfiguration).
+// Existing connections to removed servers are closed.
+func (s *Store) SetServers(servers []netsim.HostPort) {
+	s.ring = NewRing(servers)
+	keep := make(map[netsim.HostPort]bool, len(servers))
+	for _, sv := range servers {
+		keep[sv] = true
+	}
+	for hp, c := range s.conns {
+		if !keep[hp] {
+			c.Close()
+			delete(s.conns, hp)
+		}
+	}
+}
+
+// Replicas returns the configured replication factor.
+func (s *Store) Replicas() int { return s.cfg.Replicas }
+
+func (s *Store) conn(server netsim.HostPort) *memcache.SimClient {
+	if c, ok := s.conns[server]; ok && c.Up() {
+		return c
+	}
+	c := memcache.DialSim(s.host, server, s.cfg.TCP, nil)
+	s.conns[server] = c
+	return c
+}
+
+// Set stores value under key on all K replicas concurrently. cb fires
+// once the write concern is met (nil error), all replicas have failed, or
+// the operation timeout expires (success if anything was stored by then).
+func (s *Store) Set(key string, value []byte, cb func(error)) {
+	s.Stats.Sets++
+	replicas := s.ring.Pick(key, s.cfg.Replicas)
+	if len(replicas) == 0 {
+		cb(ErrAllReplicasFailed)
+		return
+	}
+	need := s.cfg.WriteConcern
+	if need <= 0 || need > len(replicas) {
+		need = len(replicas)
+	}
+	acks, fails, done := 0, 0, false
+	timer := s.armOpTimeout(&done, func() {
+		if acks > 0 {
+			cb(nil)
+		} else {
+			cb(ErrAllReplicasFailed)
+		}
+	})
+	for _, server := range replicas {
+		s.conn(server).Set(key, value, 0, s.cfg.Expiry, func(r memcache.SimResult) {
+			if done {
+				return
+			}
+			if r.Err != nil || r.Reply.Type != memcache.ReplyStored {
+				fails++
+				s.Stats.ReplicaErrors++
+			} else {
+				acks++
+			}
+			if acks >= need {
+				done = true
+				timer.Stop()
+				cb(nil)
+			} else if fails+acks == len(replicas) {
+				done = true
+				timer.Stop()
+				if acks > 0 {
+					cb(nil) // stored somewhere: recoverable
+				} else {
+					cb(ErrAllReplicasFailed)
+				}
+			}
+		})
+	}
+}
+
+// armOpTimeout schedules the operation bound; on expiry it marks the op
+// done and runs resolve. Returns a stoppable timer (nil when disabled).
+func (s *Store) armOpTimeout(done *bool, resolve func()) *netsim.Timer {
+	if s.cfg.OpTimeout <= 0 {
+		return nil
+	}
+	return s.host.Network().Schedule(s.cfg.OpTimeout, func() {
+		if *done {
+			return
+		}
+		*done = true
+		s.Stats.Timeouts++
+		resolve()
+	})
+}
+
+// Get fetches key: the operation goes to all replicas concurrently and
+// the first hit wins. ok=false with nil error means a clean miss on
+// every reachable replica.
+func (s *Store) Get(key string, cb func(value []byte, ok bool, err error)) {
+	s.Stats.Gets++
+	replicas := s.ring.Pick(key, s.cfg.Replicas)
+	if len(replicas) == 0 {
+		cb(nil, false, ErrAllReplicasFailed)
+		return
+	}
+	misses, errs, done := 0, 0, false
+	timer := s.armOpTimeout(&done, func() {
+		s.Stats.Misses++
+		if misses > 0 {
+			cb(nil, false, nil) // a reachable replica answered "no such key"
+		} else {
+			cb(nil, false, ErrAllReplicasFailed)
+		}
+	})
+	for _, server := range replicas {
+		s.conn(server).Get(key, func(r memcache.SimResult) {
+			if done {
+				return
+			}
+			switch {
+			case r.Err == nil && len(r.Reply.Items) > 0:
+				done = true
+				timer.Stop()
+				s.Stats.Hits++
+				cb(r.Reply.Items[0].Value, true, nil)
+			case r.Err != nil:
+				errs++
+				s.Stats.ReplicaErrors++
+			default:
+				misses++
+			}
+			if !done && misses+errs == len(replicas) {
+				done = true
+				timer.Stop()
+				s.Stats.Misses++
+				if errs == len(replicas) {
+					cb(nil, false, ErrAllReplicasFailed)
+				} else {
+					cb(nil, false, nil)
+				}
+			}
+		})
+	}
+}
+
+// Delete removes key from all replicas. cb fires when every replica has
+// answered; err is non-nil only if every replica failed.
+func (s *Store) Delete(key string, cb func(error)) {
+	s.Stats.Deletes++
+	replicas := s.ring.Pick(key, s.cfg.Replicas)
+	if len(replicas) == 0 {
+		if cb != nil {
+			cb(ErrAllReplicasFailed)
+		}
+		return
+	}
+	answered, errs := 0, 0
+	done := false
+	timer := s.armOpTimeout(&done, func() {
+		if cb == nil {
+			return
+		}
+		if answered > errs {
+			cb(nil)
+		} else {
+			cb(ErrAllReplicasFailed)
+		}
+	})
+	for _, server := range replicas {
+		s.conn(server).Delete(key, func(r memcache.SimResult) {
+			if done {
+				return
+			}
+			answered++
+			if r.Err != nil {
+				errs++
+				s.Stats.ReplicaErrors++
+			}
+			if answered == len(replicas) {
+				done = true
+				timer.Stop()
+				if cb == nil {
+					return
+				}
+				if errs == len(replicas) {
+					cb(ErrAllReplicasFailed)
+				} else {
+					cb(nil)
+				}
+			}
+		})
+	}
+}
+
+// Latency measurement helper: TimedSet behaves like Set and reports the
+// operation latency to the callback, used by the Figure 10 experiment.
+func (s *Store) TimedSet(key string, value []byte, cb func(lat time.Duration, err error)) {
+	start := s.host.Network().Now()
+	s.Set(key, value, func(err error) {
+		cb(s.host.Network().Now()-start, err)
+	})
+}
