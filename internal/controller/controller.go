@@ -58,7 +58,7 @@ type Controller struct {
 
 	deadInstances  map[netsim.IP]bool
 	lastStoreCount int
-	timers         []*netsim.Timer
+	timers         []netsim.Timer
 	running        bool
 
 	// Provision creates a new Yoda instance when the scaling loop needs

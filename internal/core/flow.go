@@ -54,8 +54,8 @@ type flow struct {
 	tls *flowTLS
 
 	// Timers.
-	idleTimer *netsim.Timer
-	dialTimer *netsim.Timer
+	idleTimer netsim.Timer
+	dialTimer netsim.Timer
 	dialTries int
 
 	start      time.Duration // SYN arrival
@@ -308,9 +308,7 @@ func (in *Instance) sendServerSyn(f *flow) {
 		Window: 1 << 20,
 	}, in.IP())
 	f.dialTries++
-	if f.dialTimer != nil {
-		f.dialTimer.Stop()
-	}
+	f.dialTimer.Stop()
 	f.dialTimer = in.net.Schedule(3*time.Second, func() {
 		if f.phase != phaseDialing || in.flows[f.clientTuple()] != f {
 			return
@@ -336,10 +334,7 @@ func (in *Instance) serverHandshakePacket(f *flow, pkt *netsim.Packet) {
 	if pkt.Ack != f.clientDataBase() {
 		return // stale handshake
 	}
-	if f.dialTimer != nil {
-		f.dialTimer.Stop()
-		f.dialTimer = nil
-	}
+	f.dialTimer.Stop()
 	f.s = pkt.Seq
 	// Translation: the backend's first data byte (S+1) must surface at the
 	// client's next expected sequence number (after the SYN-ACK and, for
@@ -387,7 +382,10 @@ func (in *Instance) serverHandshakePacket(f *flow, pkt *netsim.Packet) {
 }
 
 // forwardClientBytes sends raw client payload to the backend in MSS-sized
-// segments, preserving the client's sequence numbers.
+// segments, preserving the client's sequence numbers. Payloads are
+// capacity-capped sub-slices of data (zero-copy): the caller relinquishes
+// the buffer (reqBuf is nilled after the forward), so the bytes are
+// immutable from here on.
 func (in *Instance) forwardClientBytes(f *flow, seq uint32, data []byte) {
 	const mss = 1460
 	for off := 0; off < len(data); off += mss {
@@ -396,14 +394,13 @@ func (in *Instance) forwardClientBytes(f *flow, seq uint32, data []byte) {
 			end = len(data)
 		}
 		in.CPU.Charge(in.net.Now(), in.cfg.CPUPerPacket)
-		in.l4.SendViaSNAT(&netsim.Packet{
-			Src: f.snat, Dst: f.server,
-			Flags:   netsim.FlagACK | netsim.FlagPSH,
-			Seq:     seq + uint32(off),
-			Ack:     f.s + 1,
-			Window:  1 << 20,
-			Payload: append([]byte(nil), data[off:end]...),
-		}, in.IP())
+		pkt := in.net.AllocPacket()
+		pkt.Src, pkt.Dst = f.snat, f.server
+		pkt.Flags = netsim.FlagACK | netsim.FlagPSH
+		pkt.Seq, pkt.Ack = seq+uint32(off), f.s+1
+		pkt.Window = 1 << 20
+		pkt.Payload = data[off:end:end]
+		in.l4.SendViaSNAT(pkt, in.IP())
 	}
 }
 
@@ -446,15 +443,12 @@ func (in *Instance) tunnelFromClient(f *flow, pkt *netsim.Packet) {
 	if pkt.Flags.Has(netsim.FlagFIN) {
 		f.clientFin = true
 	}
-	fwd := &netsim.Packet{
-		Src:     f.snat,
-		Dst:     f.server,
-		Flags:   pkt.Flags,
-		Seq:     pkt.Seq,
-		Ack:     pkt.Ack - f.delta,
-		Window:  pkt.Window,
-		Payload: f.tlsDecryptFromClient(pkt.Seq, pkt.Payload),
-	}
+	fwd := in.net.AllocPacket()
+	fwd.Src, fwd.Dst = f.snat, f.server
+	fwd.Flags = pkt.Flags
+	fwd.Seq, fwd.Ack = pkt.Seq, pkt.Ack-f.delta
+	fwd.Window = pkt.Window
+	fwd.Payload = f.tlsDecryptFromClient(pkt.Seq, pkt.Payload)
 	in.l4.SendViaSNAT(fwd, in.IP())
 	in.maybeFinish(f)
 }
@@ -488,15 +482,12 @@ func (in *Instance) tunnelFromServer(f *flow, pkt *netsim.Packet) {
 	if seqDiff(end, f.toClientNext) > 0 {
 		f.toClientNext = end
 	}
-	fwd := &netsim.Packet{
-		Src:     f.vip,
-		Dst:     f.client,
-		Flags:   pkt.Flags,
-		Seq:     pkt.Seq + f.delta,
-		Ack:     pkt.Ack,
-		Window:  pkt.Window,
-		Payload: f.tlsEncryptToClient(pkt.Seq, pkt.Payload),
-	}
+	fwd := in.net.AllocPacket()
+	fwd.Src, fwd.Dst = f.vip, f.client
+	fwd.Flags = pkt.Flags
+	fwd.Seq, fwd.Ack = pkt.Seq+f.delta, pkt.Ack
+	fwd.Window = pkt.Window
+	fwd.Payload = f.tlsEncryptToClient(pkt.Seq, pkt.Payload)
 	in.net.Send(fwd)
 	in.maybeFinish(f)
 }
@@ -522,12 +513,8 @@ func (in *Instance) teardown(f *flow, deleteStore bool) {
 	if f.server.IP != 0 && in.flows[f.serverTuple()] == f {
 		delete(in.flows, f.serverTuple())
 	}
-	if f.idleTimer != nil {
-		f.idleTimer.Stop()
-	}
-	if f.dialTimer != nil {
-		f.dialTimer.Stop()
-	}
+	f.idleTimer.Stop()
+	f.dialTimer.Stop()
 	if f.server.IP != 0 {
 		in.releaseSNATPort(f.snat.Port)
 	}

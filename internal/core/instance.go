@@ -1,7 +1,6 @@
 package core
 
 import (
-	"hash/fnv"
 	"time"
 
 	"repro/internal/l4lb"
@@ -197,11 +196,18 @@ func (in *Instance) Fail() {
 	in.pending = make(map[netsim.FourTuple][]*netsim.Packet)
 }
 
+// FNV-1a constants, inlined to keep the per-SYN hash allocation-free
+// (hash/fnv returns its state behind an interface, which escapes).
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
 // isnHash derives the instance's client-facing ISN from the client tuple.
 // Every instance computes the same value, so a SYN-ACK can be regenerated
-// by any instance without consulting TCPStore (§4.1).
+// by any instance without consulting TCPStore (§4.1). The digest is
+// bit-identical to fnv.New64a over the same 12-byte encoding.
 func isnHash(client, vip netsim.HostPort) uint32 {
-	h := fnv.New64a()
 	var b [12]byte
 	put := func(off int, v uint32) {
 		b[off], b[off+1], b[off+2], b[off+3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
@@ -210,9 +216,11 @@ func isnHash(client, vip netsim.HostPort) uint32 {
 	b[4], b[5] = byte(client.Port>>8), byte(client.Port)
 	put(6, uint32(vip.IP))
 	b[10], b[11] = byte(vip.Port>>8), byte(vip.Port)
-	h.Write(b[:])
-	x := h.Sum64()
-	return uint32(x ^ (x >> 32))
+	h := fnvOffset64
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime64
+	}
+	return uint32(h ^ (h >> 32))
 }
 
 // allocSNATPort hands out the next free port in the instance's SNAT
@@ -236,8 +244,16 @@ func (in *Instance) releaseSNATPort(p uint16) { delete(in.snatInUse, p) }
 
 // handlePacket is the packet driver entry point: every balanced packet
 // the L4 LB forwards to this instance lands here (memcached traffic is
-// demuxed earlier by the host's connection table).
+// demuxed earlier by the host's connection table). The instance is the
+// packet's terminal consumer: every path either copies the bytes it
+// keeps (request assembly, recovery queue) or forwards them in a fresh
+// packet, so the struct is released back to the pool on return.
 func (in *Instance) handlePacket(pkt *netsim.Packet) {
+	in.processPacket(pkt)
+	in.net.ReleasePacket(pkt)
+}
+
+func (in *Instance) processPacket(pkt *netsim.Packet) {
 	if in.dead {
 		return
 	}

@@ -297,9 +297,7 @@ func (in *Instance) kaSendSwitchSyn(f *flow) {
 		Window: 1 << 20,
 	}, in.IP())
 	f.dialTries++
-	if f.dialTimer != nil {
-		f.dialTimer.Stop()
-	}
+	f.dialTimer.Stop()
 	f.dialTimer = in.net.Schedule(3*time.Second, func() {
 		if !ka.switching || in.flows[f.clientTuple()] != f {
 			return
@@ -318,10 +316,7 @@ func (in *Instance) kaCompleteSwitch(f *flow, pkt *netsim.Packet) {
 	if pkt.Ack != ka.pendReq.startSeq {
 		return // stale
 	}
-	if f.dialTimer != nil {
-		f.dialTimer.Stop()
-		f.dialTimer = nil
-	}
+	f.dialTimer.Stop()
 	f.s = pkt.Seq
 	// Rebase translation: the client has already received bytes up to
 	// toClientNext in its own view; the new server starts at S+1.

@@ -78,16 +78,14 @@ func (cl *Client) attempt(addr netsim.HostPort, req *Request, res *FetchResult, 
 	finished := false
 
 	var conn *tcp.Conn
-	var timeout *netsim.Timer
+	var timeout netsim.Timer
 
 	finish := func(resp *Response, err error) {
 		if finished {
 			return
 		}
 		finished = true
-		if timeout != nil {
-			timeout.Stop()
-		}
+		timeout.Stop()
 		if err != nil && retriesLeft > 0 {
 			cl.attempt(addr, req, res, retriesLeft-1, done)
 			return

@@ -17,7 +17,6 @@
 package l4lb
 
 import (
-	"hash/fnv"
 	"time"
 
 	"repro/internal/netsim"
@@ -196,6 +195,7 @@ func (lb *LB) handleVIPPacket(vip netsim.IP, pkt *netsim.Packet) {
 		insts := m.vipMap[vip]
 		if len(insts) == 0 {
 			lb.NoInstanceDrops++
+			lb.net.ReleasePacket(pkt)
 			return
 		}
 		inst = rendezvousPick(tuple, insts)
@@ -205,8 +205,15 @@ func (lb *LB) handleVIPPacket(vip netsim.IP, pkt *netsim.Packet) {
 }
 
 func (lb *LB) forward(pkt *netsim.Packet, vip, inst netsim.IP) {
-	fwd := pkt.Clone()
-	fwd.Outer = &netsim.Encap{Src: vip, Dst: inst}
+	// The mux only adds an outer header; the inner packet is untouched.
+	// A pooled packet is owned by us (the VIP was its terminal address),
+	// so it can be encapsulated in place and re-sent; otherwise take a
+	// pooled shallow copy sharing the payload — never a payload clone.
+	fwd := pkt
+	if !pkt.Pooled() {
+		fwd = lb.net.ShallowClone(pkt)
+	}
+	fwd.SetOuter(vip, inst)
 	lb.Forwarded++
 	if lb.cfg.ForwardHop > 0 {
 		lb.net.Schedule(lb.cfg.ForwardHop, func() { lb.net.Send(fwd) })
@@ -254,9 +261,16 @@ func (lb *LB) AffinityCount() int {
 	return n
 }
 
-// tupleHash hashes a tuple with a salt, via FNV-1a.
+// FNV-1a constants, inlined: hash/fnv's hash.Hash64 interface escapes to
+// the heap, which costs an allocation on every forwarded packet.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// tupleHash hashes a tuple with a salt, via FNV-1a (bit-identical to
+// fnv.New64a over the same 20-byte encoding).
 func tupleHash(ft netsim.FourTuple, salt uint64) uint64 {
-	h := fnv.New64a()
 	var b [20]byte
 	put32 := func(off int, v uint32) {
 		b[off] = byte(v >> 24)
@@ -272,8 +286,11 @@ func tupleHash(ft netsim.FourTuple, salt uint64) uint64 {
 	b[11] = byte(ft.Dst.Port)
 	put32(12, uint32(salt>>32))
 	put32(16, uint32(salt))
-	h.Write(b[:])
-	return mix64(h.Sum64())
+	h := fnvOffset64
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime64
+	}
+	return mix64(h)
 }
 
 // mix64 is the splitmix64 finalizer; it spreads the small input

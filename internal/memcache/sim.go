@@ -2,7 +2,7 @@ package memcache
 
 import (
 	"errors"
-	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/metrics"
@@ -161,6 +161,9 @@ type SimClient struct {
 	pending []func(SimResult)
 	up      bool
 	onDown  func()
+	// scratch is the reused command-encoding buffer; tcp.Conn.Write
+	// copies the bytes into its send buffer, so reuse across ops is safe.
+	scratch []byte
 }
 
 // DialSim opens a client connection from host to server. onDown, if
@@ -215,25 +218,33 @@ func (c *SimClient) send(cmd []byte, multiLine bool, cb func(SimResult)) {
 
 // Set stores value under key, invoking cb with the outcome.
 func (c *SimClient) Set(key string, value []byte, flags uint32, exptime int, cb func(SimResult)) {
-	cmd := appendStorageCmd(nil, "set", key, value, flags, exptime)
-	c.send(cmd, false, cb)
+	c.scratch = appendStorageCmd(c.scratch[:0], "set", key, value, flags, exptime)
+	c.send(c.scratch, false, cb)
 }
 
 // Get fetches key; the callback's Reply.Items is empty on a miss.
 func (c *SimClient) Get(key string, cb func(SimResult)) {
-	c.send([]byte("get "+key+"\r\n"), true, cb)
+	c.scratch = append(append(append(c.scratch[:0], "get "...), key...), '\r', '\n')
+	c.send(c.scratch, true, cb)
 }
 
 // Delete removes key.
 func (c *SimClient) Delete(key string, cb func(SimResult)) {
-	c.send([]byte("delete "+key+"\r\n"), false, cb)
+	c.scratch = append(append(append(c.scratch[:0], "delete "...), key...), '\r', '\n')
+	c.send(c.scratch, false, cb)
 }
 
 func appendStorageCmd(dst []byte, verb, key string, value []byte, flags uint32, exptime int) []byte {
 	dst = append(dst, verb...)
 	dst = append(dst, ' ')
 	dst = append(dst, key...)
-	dst = append(dst, fmt.Sprintf(" %d %d %d\r\n", flags, exptime, len(value))...)
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, uint64(flags), 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, int64(exptime), 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, int64(len(value)), 10)
+	dst = append(dst, '\r', '\n')
 	dst = append(dst, value...)
 	dst = append(dst, '\r', '\n')
 	return dst

@@ -134,9 +134,14 @@ func (h *Host) Alive() bool { return !h.dead }
 // tunnel.
 func (h *Host) HandlePacket(pkt *Packet) {
 	if pkt.Outer != nil {
-		inner := *pkt
-		inner.Outer = nil
-		pkt = &inner
+		if pkt.Pooled() {
+			// The host owns a pooled packet; strip the tunnel in place.
+			pkt.Outer = nil
+		} else {
+			inner := *pkt
+			inner.Outer = nil
+			pkt = &inner
+		}
 	}
 	if c, ok := h.conns[connKey{pkt.Dst.Port, pkt.Src}]; ok {
 		c.HandleSegment(pkt)

@@ -133,10 +133,16 @@ func TestTimerStop(t *testing.T) {
 	if fired {
 		t.Fatal("stopped timer fired")
 	}
-	// Stopping again must be harmless, as must stopping a nil timer.
+	// Stopping again must be harmless, as must stopping a zero timer.
 	tm.Stop()
-	var nilTimer *Timer
-	nilTimer.Stop()
+	var zeroTimer Timer
+	zeroTimer.Stop()
+	if zeroTimer.Active() {
+		t.Fatal("zero timer reports active")
+	}
+	if tm.Active() {
+		t.Fatal("stopped timer reports active")
+	}
 }
 
 func TestRunDeadline(t *testing.T) {

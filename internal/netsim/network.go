@@ -1,7 +1,6 @@
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -33,60 +32,33 @@ type TraceEvent struct {
 	Reason  string
 }
 
-// event is a scheduled callback on the virtual clock. seq breaks ties so
-// that events scheduled earlier fire earlier, keeping runs deterministic.
-type event struct {
-	at     time.Duration
-	seq    uint64
-	fn     func()
-	cancel *bool
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-
-// Timer is a cancellable scheduled callback.
-type Timer struct {
-	cancelled *bool
-}
-
-// Stop prevents the timer from firing. Stopping an already-fired or
-// already-stopped timer is a no-op.
-func (t *Timer) Stop() {
-	if t != nil && t.cancelled != nil {
-		*t.cancelled = true
-	}
-}
-
 // Network is the discrete-event simulator core. It is not safe for
 // concurrent use: all components run inside its single event loop.
 type Network struct {
 	now     time.Duration
 	seq     uint64
-	events  eventHeap
 	nodes   map[IP]Node
 	rng     *rand.Rand
 	latency LatencyFunc
 	jitter  float64 // fraction of latency, uniform ±jitter
 	dropFn  func(pkt *Packet) bool
 	tracer  func(TraceEvent)
+
+	// Scheduler state (see sched.go): a timer wheel for near events, a
+	// typed heap for far ones, and a small heap for the cursor's slot.
+	curSlot          int64
+	curHeap          eventQueue
+	slots            [wheelSize][]*event
+	occupied         [wheelSize / 64]uint64
+	overflow         eventQueue
+	queued           int // events in the scheduler, including cancelled
+	cancelledPending int // cancelled events not yet drained
+
+	// Freelists (see pool.go). The loop is single-threaded, so these are
+	// plain slices with no locking.
+	evFree  []*event
+	pktFree []*Packet
+	bufFree [][]byte
 
 	// Stats counters.
 	Delivered       uint64
@@ -139,6 +111,8 @@ func (n *Network) SetJitter(frac float64) { n.jitter = frac }
 func (n *Network) SetDropFunc(f func(pkt *Packet) bool) { n.dropFn = f }
 
 // SetTracer installs a packet trace hook. A nil tracer disables tracing.
+// While a tracer is installed, delivered packets are exempted from pool
+// recycling so the tracer may retain them.
 func (n *Network) SetTracer(f func(TraceEvent)) { n.tracer = f }
 
 // Attach registers node as the handler for packets addressed to ip.
@@ -162,19 +136,21 @@ func (n *Network) Attached(ip IP) bool {
 
 // Schedule runs fn after delay d of virtual time and returns a
 // cancellable timer. A negative delay is treated as zero.
-func (n *Network) Schedule(d time.Duration, fn func()) *Timer {
+func (n *Network) Schedule(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
-	cancelled := new(bool)
+	e := n.allocEvent()
 	n.seq++
-	heap.Push(&n.events, &event{at: n.now + d, seq: n.seq, fn: fn, cancel: cancelled})
-	return &Timer{cancelled: cancelled}
+	e.at, e.seq, e.kind, e.fn = n.now+d, n.seq, evFunc, fn
+	n.scheduleEvent(e)
+	return Timer{net: n, ev: e, gen: e.gen}
 }
 
 // Send routes pkt toward its destination (Outer.Dst when encapsulated,
 // inner Dst otherwise) after the link latency. The packet must not be
-// mutated by the caller after Send.
+// mutated by the caller after Send. Delivery is a typed event on the
+// scheduler — no closure is allocated per send.
 func (n *Network) Send(pkt *Packet) {
 	src, dst := pkt.Src.IP, pkt.Dst.IP
 	if pkt.Outer != nil {
@@ -187,19 +163,28 @@ func (n *Network) Send(pkt *Packet) {
 			d = 0
 		}
 	}
-	n.Schedule(d, func() { n.deliver(pkt, dst) })
+	e := n.allocEvent()
+	n.seq++
+	e.at, e.seq, e.kind, e.pkt, e.dst = n.now+d, n.seq, evDeliver, pkt, dst
+	n.scheduleEvent(e)
 }
 
 func (n *Network) deliver(pkt *Packet, dst IP) {
+	if n.tracer != nil {
+		// The tracer may retain the packet; keep it out of the pool.
+		pkt.pooled = false
+	}
 	if n.dropFn != nil && n.dropFn(pkt) {
 		n.DroppedByPolicy++
 		n.trace(pkt, true, "policy drop")
+		n.ReleasePacket(pkt)
 		return
 	}
 	node, ok := n.nodes[dst]
 	if !ok {
 		n.DroppedNoRoute++
 		n.trace(pkt, true, "no route")
+		n.ReleasePacket(pkt)
 		return
 	}
 	n.Delivered++
@@ -213,41 +198,49 @@ func (n *Network) trace(pkt *Packet, dropped bool, reason string) {
 	}
 }
 
-// Step executes the next pending event, advancing the clock. It reports
-// whether an event was executed.
-func (n *Network) Step() bool {
-	for n.events.Len() > 0 {
-		e := heap.Pop(&n.events).(*event)
-		if *e.cancel {
-			continue
-		}
-		if e.at > n.now {
-			n.now = e.at
-		}
-		e.fn()
-		return true
+// execute pops the event nextEvent positioned at the top of curHeap,
+// recycles the record, advances the clock, and runs the occurrence.
+func (n *Network) execute(e *event) {
+	n.curHeap.pop()
+	n.queued--
+	if e.at > n.now {
+		n.now = e.at
 	}
-	return false
+	kind, fn, pkt, dst := e.kind, e.fn, e.pkt, e.dst
+	n.freeEvent(e)
+	if kind == evDeliver {
+		n.deliver(pkt, dst)
+		return
+	}
+	fn()
+}
+
+// Step executes the next pending event, advancing the clock. It reports
+// whether an event was executed. Cancelled events are drained and
+// recycled as they are encountered, never re-scanned.
+func (n *Network) Step() bool {
+	e := n.nextEvent()
+	if e == nil {
+		return false
+	}
+	n.execute(e)
+	return true
 }
 
 // Run executes events until the virtual clock would pass deadline, then
 // sets the clock to the deadline. Events scheduled exactly at the
 // deadline are executed.
 func (n *Network) Run(deadline time.Duration) {
-	for n.events.Len() > 0 {
-		// Peek without popping to respect the deadline.
-		next := n.events[0]
-		if *next.cancel {
-			heap.Pop(&n.events)
-			continue
-		}
-		if next.at > deadline {
+	for {
+		e := n.nextEvent()
+		if e == nil || e.at > deadline {
 			break
 		}
-		n.Step()
+		n.execute(e)
 	}
 	if n.now < deadline {
 		n.now = deadline
+		n.syncCursor()
 	}
 }
 
@@ -265,11 +258,11 @@ func (n *Network) RunUntilIdle(maxEvents int) int {
 	return count
 }
 
-// Pending returns the number of queued (possibly cancelled) events.
-func (n *Network) Pending() int { return n.events.Len() }
+// Pending returns the number of live (not cancelled) queued events.
+func (n *Network) Pending() int { return n.queued - n.cancelledPending }
 
 // String summarizes the network state for debugging.
 func (n *Network) String() string {
 	return fmt.Sprintf("netsim{t=%s nodes=%d pending=%d delivered=%d dropped=%d+%d}",
-		n.now, len(n.nodes), n.events.Len(), n.Delivered, n.DroppedNoRoute, n.DroppedByPolicy)
+		n.now, len(n.nodes), n.Pending(), n.Delivered, n.DroppedNoRoute, n.DroppedByPolicy)
 }

@@ -50,7 +50,10 @@ type Encap struct {
 }
 
 // Packet is a TCP/IP segment in flight. Packets are treated as immutable
-// once sent; forwarders that need to alter headers must Clone first.
+// once sent. A pooled packet (from Network.AllocPacket) is owned by
+// whoever holds it: the final receiver either releases it back to the
+// pool or mutates headers in place and re-Sends it, transferring
+// ownership. Non-pooled packets must never be mutated after Send.
 type Packet struct {
 	Src, Dst HostPort
 	Flags    TCPFlags
@@ -61,17 +64,38 @@ type Packet struct {
 	// Outer, when non-nil, is an IP-in-IP encapsulation header. Routing
 	// uses Outer.Dst; the receiver decapsulates and sees the inner packet.
 	Outer *Encap
+
+	// outerStore backs Outer for pooled packets so encapsulating a packet
+	// does not allocate. pooled marks packets eligible for recycling via
+	// Network.ReleasePacket; it is cleared while the packet sits on the
+	// freelist to catch double releases.
+	outerStore Encap
+	pooled     bool
 }
 
-// Clone returns a deep copy of the packet, safe to mutate.
+// Pooled reports whether the packet came from the network's packet pool
+// and may therefore be mutated in place (the holder owns it) and must
+// eventually be released or re-sent.
+func (p *Packet) Pooled() bool { return p.pooled }
+
+// SetOuter encapsulates the packet, storing the outer header inline to
+// avoid an allocation.
+func (p *Packet) SetOuter(src, dst IP) {
+	p.outerStore = Encap{Src: src, Dst: dst}
+	p.Outer = &p.outerStore
+}
+
+// Clone returns a deep copy of the packet, safe to mutate. The copy is
+// not pooled and is never recycled.
 func (p *Packet) Clone() *Packet {
 	q := *p
+	q.pooled = false
 	if p.Payload != nil {
 		q.Payload = append([]byte(nil), p.Payload...)
 	}
 	if p.Outer != nil {
-		o := *p.Outer
-		q.Outer = &o
+		q.outerStore = *p.Outer
+		q.Outer = &q.outerStore
 	}
 	return &q
 }

@@ -1,0 +1,77 @@
+package netsim
+
+// Pooling for the simulator hot path. The event loop is single-threaded,
+// so freelists are plain slices — no sync.Pool, no locks, no per-get
+// interface conversions.
+//
+// Ownership discipline for pooled packets:
+//   - The sender builds a packet with AllocPacket and hands ownership to
+//     the network via Send.
+//   - deliver hands ownership to the destination node. Forwarders that
+//     re-Send the packet (possibly after mutating headers in place)
+//     transfer ownership onward; terminal consumers call ReleasePacket
+//     once they have copied out whatever payload bytes they keep.
+//   - Payload sub-slices handed to OnData callbacks are read-only and
+//     must not be retained past the callback unless copied.
+//   - While a tracer is installed, deliver clears the pooled flag so
+//     retained trace packets are never recycled under the tracer.
+
+// AllocPacket returns a zeroed packet from the pool (or a fresh one),
+// marked pooled. The caller owns it until Send.
+func (n *Network) AllocPacket() *Packet {
+	if k := len(n.pktFree); k > 0 {
+		p := n.pktFree[k-1]
+		n.pktFree = n.pktFree[:k-1]
+		p.pooled = true
+		return p
+	}
+	return &Packet{pooled: true}
+}
+
+// ReleasePacket returns a pooled packet to the pool. Releasing a
+// non-pooled (or already-released) packet is a no-op, so handlers can
+// call it unconditionally on every packet they terminate.
+func (n *Network) ReleasePacket(p *Packet) {
+	if p == nil || !p.pooled {
+		return
+	}
+	*p = Packet{} // drop payload and header refs; pooled=false guards double release
+	n.pktFree = append(n.pktFree, p)
+}
+
+// ShallowClone returns a pooled copy of p sharing its payload slice.
+// Used by forwarders that must not mutate a non-pooled original but do
+// not need a private copy of the bytes.
+func (n *Network) ShallowClone(p *Packet) *Packet {
+	q := n.AllocPacket()
+	pooled := q.pooled
+	*q = *p
+	q.pooled = pooled
+	if p.Outer != nil {
+		q.outerStore = *p.Outer
+		q.Outer = &q.outerStore
+	}
+	return q
+}
+
+// AllocBuf returns a byte slice with length n and capacity >= n from the
+// buffer pool. Contents are unspecified; the caller must overwrite them.
+func (nw *Network) AllocBuf(n int) []byte {
+	if k := len(nw.bufFree); k > 0 {
+		b := nw.bufFree[k-1]
+		if cap(b) >= n {
+			nw.bufFree = nw.bufFree[:k-1]
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+// ReleaseBuf returns a buffer obtained from AllocBuf to the pool. The
+// caller must not use the slice (or any sub-slice of it) afterwards.
+func (nw *Network) ReleaseBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	nw.bufFree = append(nw.bufFree, b[:0])
+}

@@ -39,8 +39,14 @@ func (l *Listener) Close() {
 }
 
 // HandleSegment implements netsim.PortHandler for segments that match no
-// established connection.
+// established connection. The listener is the packet's terminal
+// consumer and releases it on return.
 func (l *Listener) HandleSegment(pkt *netsim.Packet) {
+	l.handleSegment(pkt)
+	l.host.Network().ReleasePacket(pkt)
+}
+
+func (l *Listener) handleSegment(pkt *netsim.Packet) {
 	if l.closed {
 		return
 	}
@@ -48,13 +54,7 @@ func (l *Listener) HandleSegment(pkt *netsim.Packet) {
 		// Non-SYN to a listener: the connection it belonged to is gone.
 		// Answer with RST so the peer aborts quickly (unless it *is* a RST).
 		if !pkt.Flags.Has(netsim.FlagRST) {
-			l.host.Network().Send(&netsim.Packet{
-				Src:   pkt.Dst,
-				Dst:   pkt.Src,
-				Flags: netsim.FlagRST | netsim.FlagACK,
-				Seq:   pkt.Ack,
-				Ack:   pkt.SeqEnd(),
-			})
+			sendRST(l.host.Network(), pkt)
 		}
 		return
 	}
@@ -72,19 +72,22 @@ func (l *Listener) HandleSegment(pkt *netsim.Packet) {
 	c.armRtx(c.cfg.SynRTO)
 }
 
+// sendRST answers pkt with a RST+ACK using a pooled packet.
+func sendRST(n *netsim.Network, pkt *netsim.Packet) {
+	rst := n.AllocPacket()
+	rst.Src, rst.Dst = pkt.Dst, pkt.Src
+	rst.Flags = netsim.FlagRST | netsim.FlagACK
+	rst.Seq, rst.Ack = pkt.Ack, pkt.SeqEnd()
+	n.Send(rst)
+}
+
 // InstallRSTResponder makes h answer segments that match no connection or
 // listener with a RST, approximating kernel behaviour for closed ports.
 func InstallRSTResponder(h *netsim.Host) {
 	h.Default = netsim.PortHandlerFunc(func(pkt *netsim.Packet) {
-		if pkt.Flags.Has(netsim.FlagRST) {
-			return
+		if !pkt.Flags.Has(netsim.FlagRST) {
+			sendRST(h.Network(), pkt)
 		}
-		h.Network().Send(&netsim.Packet{
-			Src:   pkt.Dst,
-			Dst:   pkt.Src,
-			Flags: netsim.FlagRST | netsim.FlagACK,
-			Seq:   pkt.Ack,
-			Ack:   pkt.SeqEnd(),
-		})
+		h.Network().ReleasePacket(pkt)
 	})
 }

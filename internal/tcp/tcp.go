@@ -111,11 +111,24 @@ func seqLT(a, b uint32) bool { return int32(a-b) < 0 }
 // seqLEQ reports a <= b in 32-bit sequence space.
 func seqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }
 
-// reasmSeg is an out-of-order segment parked for reassembly.
+// reasmSeg is an out-of-order segment parked for reassembly. data is a
+// read-only reference into the sender's send buffer (zero-copy); the
+// ownership rules in DESIGN.md guarantee those bytes are never
+// overwritten while a reference can still be read.
 type reasmSeg struct {
 	seq  uint32
 	data []byte
 	fin  bool
+}
+
+// rtxBuf tracks a pooled buffer holding a retransmitted segment's
+// payload copy. It is returned to the network's buffer pool once the
+// cumulative ACK passes end: at that point the receiver has consumed the
+// bytes and any still-in-flight duplicate will be trimmed by sequence
+// number without its content being read.
+type rtxBuf struct {
+	end uint32 // sequence number just past the copied payload
+	buf []byte
 }
 
 // Conn is one endpoint of a TCP connection.
@@ -148,8 +161,10 @@ type Conn struct {
 	reasm   []reasmSeg
 
 	// Retransmission.
-	rtxTimer   *netsim.Timer
+	rtxTimer   netsim.Timer
 	rtxBackoff int
+	rtxFn      func()   // c.onRtxTimeout, bound once to avoid per-arm allocation
+	rtxBufs    []rtxBuf // pooled copies backing in-flight retransmits
 
 	// Stats, exported for tests and experiments.
 	Retransmits int
@@ -177,7 +192,7 @@ func DialFrom(h *netsim.Host, localPort uint16, remote netsim.HostPort, cb Callb
 }
 
 func newConn(h *netsim.Host, local, remote netsim.HostPort, cb Callbacks, cfg Config) *Conn {
-	return &Conn{
+	c := &Conn{
 		host:     h,
 		net:      h.Network(),
 		cfg:      cfg,
@@ -188,6 +203,8 @@ func newConn(h *netsim.Host, local, remote netsim.HostPort, cb Callbacks, cfg Co
 		cwnd:     uint32(cfg.InitialCwnd * cfg.MSS),
 		ssthresh: cfg.InitialSsthresh,
 	}
+	c.rtxFn = c.onRtxTimeout
+	return c
 }
 
 // State returns the connection state.
@@ -241,10 +258,10 @@ func (c *Conn) teardown() {
 		return
 	}
 	c.state = StateClosed
-	if c.rtxTimer != nil {
-		c.rtxTimer.Stop()
-		c.rtxTimer = nil
-	}
+	c.rtxTimer.Stop()
+	// rtxBufs are NOT released here: retransmitted packets referencing
+	// them may still be in flight, and the conn going away does not stop
+	// their delivery. They are garbage-collected with the conn.
 	c.host.Unregister(c.local.Port, c.remote)
 }
 
@@ -262,15 +279,11 @@ func (c *Conn) sendSegment(flags netsim.TCPFlags, seq, ack uint32, payload []byt
 	if !c.host.Alive() {
 		return // a failed machine transmits nothing
 	}
-	pkt := &netsim.Packet{
-		Src:     c.local,
-		Dst:     c.remote,
-		Flags:   flags,
-		Seq:     seq,
-		Ack:     ack,
-		Window:  c.cfg.ReceiveWindow,
-		Payload: payload,
-	}
+	pkt := c.net.AllocPacket()
+	pkt.Src, pkt.Dst = c.local, c.remote
+	pkt.Flags, pkt.Seq, pkt.Ack = flags, seq, ack
+	pkt.Window = c.cfg.ReceiveWindow
+	pkt.Payload = payload
 	if len(payload) > 0 {
 		c.BytesSent += uint64(len(payload))
 	}
@@ -309,7 +322,11 @@ func (c *Conn) trySend() {
 			if n <= 0 {
 				return
 			}
-			seg := append([]byte(nil), c.sndBuf[off:off+n]...)
+			// Zero-copy: hand out a capacity-capped sub-slice of sndBuf.
+			// Safe because sndBuf is only ever re-sliced forward on ACK and
+			// appended past the high-water mark, so bytes below any
+			// previously transmitted offset are never overwritten.
+			seg := c.sndBuf[off : off+n : off+n]
 			flags := netsim.FlagACK
 			if off+n == len(c.sndBuf) {
 				flags |= netsim.FlagPSH
@@ -337,7 +354,7 @@ func (c *Conn) trySend() {
 }
 
 func (c *Conn) ensureRtx() {
-	if c.rtxTimer == nil && c.inflight() > 0 {
+	if !c.rtxTimer.Active() && c.inflight() > 0 {
 		c.armRtx(c.currentRTO())
 	}
 }
@@ -354,14 +371,12 @@ func (c *Conn) currentRTO() time.Duration {
 }
 
 func (c *Conn) armRtx(d time.Duration) {
-	if c.rtxTimer != nil {
-		c.rtxTimer.Stop()
-	}
-	c.rtxTimer = c.net.Schedule(d, c.onRtxTimeout)
+	c.rtxTimer.Stop()
+	c.rtxTimer = c.net.Schedule(d, c.rtxFn)
 }
 
 func (c *Conn) onRtxTimeout() {
-	c.rtxTimer = nil
+	c.rtxTimer = netsim.Timer{}
 	if c.state == StateClosed {
 		return
 	}
@@ -404,12 +419,28 @@ func (c *Conn) retransmitOldest() {
 	if n > len(c.sndBuf)-off {
 		n = len(c.sndBuf) - off
 	}
-	seg := append([]byte(nil), c.sndBuf[off:off+n]...)
+	// Copy-on-retransmit: retransmits get a private pooled copy so the
+	// zero-copy invariant (in-flight slices reference sndBuf strictly
+	// below the append watermark) only has to hold for first
+	// transmissions. processAck recycles the copy once the cumulative
+	// ACK covers it.
+	seg := c.net.AllocBuf(n)
+	copy(seg, c.sndBuf[off:off+n])
+	c.rtxBufs = append(c.rtxBufs, rtxBuf{end: c.sndUna + uint32(n), buf: seg})
 	c.sendSegment(netsim.FlagACK|netsim.FlagPSH, c.sndUna, c.rcvNxt, seg)
 }
 
-// HandleSegment implements netsim.PortHandler.
+// HandleSegment implements netsim.PortHandler. The connection is the
+// packet's terminal consumer: any payload bytes that outlive this call
+// (reassembly queue, application callbacks) are either referenced
+// independently of the packet struct or copied by the application, so
+// the struct is released back to the pool on return.
 func (c *Conn) HandleSegment(pkt *netsim.Packet) {
+	c.handleSegment(pkt)
+	c.net.ReleasePacket(pkt)
+}
+
+func (c *Conn) handleSegment(pkt *netsim.Packet) {
 	if c.state == StateClosed {
 		return
 	}
@@ -441,10 +472,7 @@ func (c *Conn) handleSynSent(pkt *netsim.Packet) {
 	c.rcvNxt = pkt.Seq + 1
 	c.sndUna = pkt.Ack
 	c.rtxBackoff = 0
-	if c.rtxTimer != nil {
-		c.rtxTimer.Stop()
-		c.rtxTimer = nil
-	}
+	c.rtxTimer.Stop()
 	c.state = StateEstablished
 	c.sendSegment(netsim.FlagACK, c.sndNxt, c.rcvNxt, nil)
 	if c.cb.OnEstablished != nil {
@@ -464,10 +492,7 @@ func (c *Conn) handleSynReceived(pkt *netsim.Packet) {
 	}
 	c.sndUna = pkt.Ack
 	c.rtxBackoff = 0
-	if c.rtxTimer != nil {
-		c.rtxTimer.Stop()
-		c.rtxTimer = nil
-	}
+	c.rtxTimer.Stop()
 	c.state = StateEstablished
 	if c.cb.OnEstablished != nil {
 		c.cb.OnEstablished(c)
@@ -527,16 +552,27 @@ func (c *Conn) processAck(ack uint32) {
 		c.bufSeq += uint32(drop)
 	}
 	_ = dataAcked
+	// Recycle retransmit copies the cumulative ACK now covers. Any
+	// still-in-flight duplicate referencing one is entirely below the
+	// receiver's rcvNxt and gets trimmed without its bytes being read.
+	if len(c.rtxBufs) > 0 {
+		i := 0
+		for i < len(c.rtxBufs) && seqLEQ(c.rtxBufs[i].end, c.sndUna) {
+			c.net.ReleaseBuf(c.rtxBufs[i].buf)
+			c.rtxBufs[i].buf = nil
+			i++
+		}
+		if i > 0 {
+			c.rtxBufs = append(c.rtxBufs[:0], c.rtxBufs[i:]...)
+		}
+	}
 	// Congestion window growth: slow start below ssthresh, else additive.
 	if c.cwnd < c.ssthresh {
 		c.cwnd += uint32(c.cfg.MSS)
 	} else {
 		c.cwnd += uint32(c.cfg.MSS) * uint32(c.cfg.MSS) / c.cwnd
 	}
-	if c.rtxTimer != nil {
-		c.rtxTimer.Stop()
-		c.rtxTimer = nil
-	}
+	c.rtxTimer.Stop()
 	if c.inflight() > 0 {
 		c.armRtx(c.currentRTO())
 	}
@@ -566,8 +602,9 @@ func (c *Conn) processData(pkt *netsim.Packet) bool {
 		}
 	}
 	if seq != c.rcvNxt {
-		// Out of order: park for reassembly.
-		c.stashReasm(reasmSeg{seq: seq, data: append([]byte(nil), data...), fin: fin})
+		// Out of order: park for reassembly. The slice is retained as-is
+		// (zero-copy); see reasmSeg for why that is safe.
+		c.stashReasm(reasmSeg{seq: seq, data: data, fin: fin})
 		return false
 	}
 	c.ingest(data, fin)

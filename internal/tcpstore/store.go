@@ -94,8 +94,13 @@ func (s *Store) SetServers(servers []netsim.HostPort) {
 func (s *Store) Replicas() int { return s.cfg.Replicas }
 
 func (s *Store) conn(server netsim.HostPort) *memcache.SimClient {
-	if c, ok := s.conns[server]; ok && c.Up() {
-		return c
+	if c, ok := s.conns[server]; ok {
+		if c.Up() {
+			return c
+		}
+		// Close the dead client before replacing it so its remaining
+		// connection state and timers are torn down rather than leaked.
+		c.Close()
 	}
 	c := memcache.DialSim(s.host, server, s.cfg.TCP, nil)
 	s.conns[server] = c
@@ -153,10 +158,11 @@ func (s *Store) Set(key string, value []byte, cb func(error)) {
 }
 
 // armOpTimeout schedules the operation bound; on expiry it marks the op
-// done and runs resolve. Returns a stoppable timer (nil when disabled).
-func (s *Store) armOpTimeout(done *bool, resolve func()) *netsim.Timer {
+// done and runs resolve. Returns a stoppable timer (the inert zero
+// Timer when disabled).
+func (s *Store) armOpTimeout(done *bool, resolve func()) netsim.Timer {
 	if s.cfg.OpTimeout <= 0 {
-		return nil
+		return netsim.Timer{}
 	}
 	return s.host.Network().Schedule(s.cfg.OpTimeout, func() {
 		if *done {

