@@ -67,6 +67,10 @@ type Controller struct {
 
 	// Traffic accumulates per-VIP request counts from instance stats.
 	Traffic map[netsim.IP]uint64
+	// SNATExhausted accumulates dials rejected for lack of SNAT ports
+	// across the cluster (from instance stats; a non-zero rate means the
+	// per-instance port slices need widening).
+	SNATExhausted uint64
 	// Detections counts instance failures detected.
 	Detections int
 	// ScaleOuts counts scale-out actions taken.
@@ -263,11 +267,29 @@ func (ct *Controller) scheduleStats() {
 		for _, in := range ct.liveInstances() {
 			for vip, st := range in.ReadStats() {
 				ct.Traffic[vip] += st.NewFlows
+				ct.SNATExhausted += st.SNATExhausted
 			}
 		}
 		ct.scheduleStats()
 	})
 	ct.timers = append(ct.timers, t)
+}
+
+// BarrierHealth sums write-barrier outcomes across live instances: the
+// cluster-wide persistence health view. Degraded or Aborted climbing
+// means flows are being balanced that the cluster cannot (or, under
+// StrictPersist, refused to) recover — the operator-facing symptom of a
+// sick TCPStore, visible before any instance actually fails.
+func (ct *Controller) BarrierHealth() core.BarrierStats {
+	var total core.BarrierStats
+	for _, in := range ct.liveInstances() {
+		b := in.Barrier
+		total.Commits += b.Commits
+		total.Degraded += b.Degraded
+		total.Aborted += b.Aborted
+		total.Timeouts += b.Timeouts
+	}
+	return total
 }
 
 func (ct *Controller) scheduleScaling() {

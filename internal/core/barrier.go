@@ -1,0 +1,77 @@
+package core
+
+import "repro/internal/tcpstore"
+
+// The write barrier is the dataplane's one way to persist flow state:
+// "write these records to TCPStore, then continue, or take this failure
+// path". It is how the paper's §4.1 invariant — state reaches the store
+// before the packet that created it is acknowledged — shows up in code:
+// the acknowledgement (SYN-ACK, ACK-to-server, ServerHello) lives in the
+// commit continuation, so it structurally cannot be sent early.
+//
+// Failure policy. By default the barrier degrades: if the store is
+// unreachable it counts the loss and runs the commit anyway, because
+// availability of new connections beats recoverability (a dead TCPStore
+// degrades Yoda to HAProxy semantics — the paper assumes the store is
+// up). With Config.StrictPersist the barrier instead takes the failure
+// path when no replica stored a record, so the flow is never
+// acknowledged in a state the cluster cannot recover.
+
+// BarrierStats counts barrier resolutions. Commits, Degraded and
+// Aborted are disjoint; Timeouts is counted in addition (a timed-out
+// barrier also resolves as one of the other three).
+type BarrierStats struct {
+	// Commits: every record reached every replica.
+	Commits uint64
+	// Degraded: some replica write failed but the commit ran anyway
+	// (default policy, or the record is still on ≥1 replica).
+	Degraded uint64
+	// Aborted: StrictPersist and a record is unrecoverable — the failure
+	// continuation ran and the acknowledgement was never sent.
+	Aborted uint64
+	// Timeouts: the store resolved at OpTimeout rather than by replies.
+	Timeouts uint64
+}
+
+// writeBarrier persists entries in one batched store round trip, then
+// runs commit — or fail, when StrictPersist is set and some record
+// ended up on zero replicas. Exactly one of commit/fail runs, and only
+// if f is still the live flow for its client tuple (a flow torn down
+// while the write was in flight gets neither). fail may be nil, which
+// forces the degrade path even under StrictPersist (used where no
+// sensible abort exists).
+func (in *Instance) writeBarrier(f *flow, entries []tcpstore.Entry, commit func(), fail func(error)) {
+	storeStart := in.net.Now()
+	in.store.SetMulti(entries, func(res tcpstore.SetResult) {
+		in.StorageLat.Add(in.net.Now() - storeStart)
+		if in.flows[f.clientTuple()] != f {
+			return // flow torn down while the write was in flight
+		}
+		if res.TimedOut {
+			in.Barrier.Timeouts++
+		}
+		switch {
+		case res.Err != nil && in.cfg.StrictPersist && fail != nil:
+			in.Barrier.Aborted++
+			fail(res.Err)
+			return
+		case res.Err != nil || res.Failed > 0:
+			in.Barrier.Degraded++
+		default:
+			in.Barrier.Commits++
+		}
+		commit()
+	})
+}
+
+// barrierEntries builds the store records for a flow: the client-tuple
+// orientation always, plus the server-tuple orientation once a backend
+// is bound (both directions must recover to the same flow, Figure 3).
+func barrierEntries(f *flow, phase FlowPhase, bothTuples bool) []tcpstore.Entry {
+	rec := f.record(phase).Marshal()
+	entries := []tcpstore.Entry{{Key: FlowKey(f.clientTuple()), Value: rec}}
+	if bothTuples {
+		entries = append(entries, tcpstore.Entry{Key: FlowKey(f.serverTuple()), Value: rec})
+	}
+	return entries
+}

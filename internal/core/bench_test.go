@@ -28,7 +28,7 @@ func benchTunnelSetup(n *netsim.Network) (*Instance, *flow) {
 		c:             5000,
 		s:             9000,
 		delta:         ^uint32(3999), // 5000 - 9000 in sequence space
-		phase:         phaseTunnel,
+		state:         stateTunnel,
 		clientNextSeq: 1001,
 		toClientNext:  5001,
 	}

@@ -9,14 +9,6 @@ import (
 	"repro/internal/securesim"
 )
 
-type flowPhase int
-
-const (
-	phaseConn    flowPhase = iota // client handshake done or in progress; no backend yet
-	phaseDialing                  // backend SYN sent, storage-b not yet confirmed
-	phaseTunnel                   // translating packets between client and backend
-)
-
 // flow is the in-memory state for one balanced connection. Everything
 // needed to take the flow over after a failure is mirrored in TCPStore;
 // the rest (buffers, parsers, timers) is reconstructible.
@@ -31,7 +23,7 @@ type flow struct {
 	s         uint32 // backend ISN
 	delta     uint32 // seqToClient = seqFromServer + delta
 
-	phase       flowPhase
+	state       flowState // see state.go
 	backendName string
 	keepAlive   bool
 	recovered   bool
@@ -107,7 +99,7 @@ func (in *Instance) newClientFlow(pkt *netsim.Packet) {
 		c:             isnHash(pkt.Src, pkt.Dst),
 		clientNextSeq: pkt.Seq + 1,
 		toClientNext:  isnHash(pkt.Src, pkt.Dst) + 1,
-		phase:         phaseConn,
+		state:         stateConn,
 		ooo:           make(map[uint32][]byte),
 		start:         now,
 		lastActive:    now,
@@ -117,18 +109,11 @@ func (in *Instance) newClientFlow(pkt *netsim.Packet) {
 	in.armIdle(f)
 	// storage-a: the SYN header goes to TCPStore before the SYN-ACK, so a
 	// failed instance's successor can regenerate the handshake state.
-	rec := f.record(PhaseConn)
-	storeStart := now
-	in.store.Set(FlowKey(f.clientTuple()), rec.Marshal(), func(err error) {
-		in.StorageLat.Add(in.net.Now() - storeStart)
-		if in.flows[f.clientTuple()] != f {
-			return // flow torn down while the write was in flight
-		}
-		// Even if the store write failed we proceed: availability of new
-		// connections beats recoverability (the paper's store is assumed
-		// up; a dead TCPStore degrades Yoda to HAProxy semantics).
-		in.sendSynAck(f)
-	})
+	// Under StrictPersist an unrecoverable flow is dropped unanswered —
+	// the client's SYN retransmission retries the whole sequence.
+	in.writeBarrier(f, barrierEntries(f, PhaseConn, false),
+		func() { in.sendSynAck(f) },
+		func(error) { in.teardown(f, false) })
 }
 
 func (in *Instance) sendSynAck(f *flow) {
@@ -176,11 +161,11 @@ func (in *Instance) connPhaseClientPacket(f *flow, pkt *netsim.Packet) {
 		// Retransmission of data we already hold (e.g. the instance died
 		// after storage-a and we recovered): if the backend dial is already
 		// running, just wait; otherwise fall through to try selection.
-		if f.phase != phaseConn {
+		if f.state != stateConn {
 			return
 		}
 	}
-	if f.phase != phaseConn {
+	if f.state != stateConn {
 		return // backend dial in progress; data is buffered for forwarding
 	}
 	if in.tlsAdvance(f, prevLen) {
@@ -192,7 +177,7 @@ func (in *Instance) connPhaseClientPacket(f *flow, pkt *netsim.Packet) {
 // tryDispatchRequest parses the (plaintext) request buffer and starts the
 // backend dial when the header is complete.
 func (in *Instance) tryDispatchRequest(f *flow) {
-	if f.phase != phaseConn {
+	if f.state != stateConn {
 		return
 	}
 	req, err := httpsim.ParseRequestHeader(f.reqBuf)
@@ -270,21 +255,30 @@ func (in *Instance) selectAndDial(f *flow, req *httpsim.Request) {
 	if decision.Rule.Action.Type == rules.ActionTable {
 		// refresh sticky pin lazily below once the flow is established
 	}
-	f.phase = phaseDialing
+	// The SNAT port is claimed before any flow state mutates so an
+	// exhausted range rejects cleanly: silently reusing an in-use port
+	// would splice two live flows onto one backend tuple.
+	port, ok := in.allocSNATPort()
+	if !ok {
+		in.statsFor(f.vip.IP).SNATExhausted++
+		in.reject(f, 503, "snat ports exhausted")
+		return
+	}
+	in.setState(f, stateDialing)
 	f.dialStart = in.net.Now()
 	f.server = decision.Backend.Addr
 	f.backendName = decision.Backend.Name
 	// TLS flows stay pinned to their backend: re-selection would require
 	// re-inspecting ciphertext mid-stream (documented simplification).
 	f.keepAlive = req.KeepAlive() && f.tls == nil
-	f.snat = netsim.HostPort{IP: f.vip.IP, Port: in.allocSNATPort()}
+	f.snat = netsim.HostPort{IP: f.vip.IP, Port: port}
 	in.flows[f.serverTuple()] = f
 	// Learn sticky bindings so subsequent sessions pin (Table 3 rule-4).
 	if ck := sessionCookie(req); ck != "" {
 		engine.Learn("cookie-table", ck, decision.Backend)
 	}
 	in.net.Schedule(lookup, func() {
-		if in.flows[f.clientTuple()] != f || f.phase != phaseDialing {
+		if in.flows[f.clientTuple()] != f || f.state != stateDialing {
 			return
 		}
 		in.sendServerSyn(f)
@@ -310,7 +304,7 @@ func (in *Instance) sendServerSyn(f *flow) {
 	f.dialTries++
 	f.dialTimer.Stop()
 	f.dialTimer = in.net.Schedule(3*time.Second, func() {
-		if f.phase != phaseDialing || in.flows[f.clientTuple()] != f {
+		if f.state != stateDialing || in.flows[f.clientTuple()] != f {
 			return
 		}
 		if f.dialTries >= 3 {
@@ -342,20 +336,12 @@ func (in *Instance) serverHandshakePacket(f *flow, pkt *netsim.Packet) {
 	f.delta = f.toClientDataBase() - (f.s + 1)
 	f.toClientNext = f.toClientDataBase()
 	// storage-b: persist the full translation state under both tuple
-	// orientations before ACKing the server (Figure 3).
-	rec := f.record(PhaseTunnel).Marshal()
-	remaining := 2
-	storeStart := in.net.Now()
-	proceed := func(err error) {
-		remaining--
-		if remaining > 0 {
+	// orientations before ACKing the server (Figure 3). The two records
+	// ride one batched store round trip.
+	in.writeBarrier(f, barrierEntries(f, PhaseTunnel, true), func() {
+		if f.state != stateDialing {
 			return
 		}
-		in.StorageLat.Add(in.net.Now() - storeStart)
-		if in.flows[f.clientTuple()] != f || f.phase != phaseDialing {
-			return
-		}
-		f.phase = phaseTunnel
 		// The "connection" component of Figure 9: backend selection through
 		// the backend handshake and storage-b (waiting for the client's
 		// request is not the LB's doing and is excluded).
@@ -365,6 +351,9 @@ func (in *Instance) serverHandshakePacket(f *flow, pkt *netsim.Packet) {
 			// Only the first request goes to this backend; pipelined
 			// requests already buffered are re-selected individually.
 			toForward = in.initKeepAlive(f)
+			in.setState(f, stateKATunnel)
+		} else {
+			in.setState(f, stateTunnel)
 		}
 		// ACK the SYN-ACK and forward the buffered request bytes in the
 		// client's own sequence space.
@@ -376,9 +365,9 @@ func (in *Instance) serverHandshakePacket(f *flow, pkt *netsim.Packet) {
 		}, in.IP())
 		in.forwardClientBytes(f, f.clientDataBase(), toForward)
 		f.reqBuf = nil
-	}
-	in.store.Set(FlowKey(f.clientTuple()), rec, proceed)
-	in.store.Set(FlowKey(f.serverTuple()), rec, proceed)
+	}, func(error) {
+		in.reject(f, 503, "flow state not persisted")
+	})
 }
 
 // forwardClientBytes sends raw client payload to the backend in MSS-sized
@@ -426,18 +415,19 @@ func (in *Instance) reject(f *flow, code int, reason string) {
 
 // --- tunneling phase ---
 
+// abortToServer propagates a client RST to the backend and drops state.
+// Both tunnel states route client RSTs here.
+func (in *Instance) abortToServer(f *flow, pkt *netsim.Packet) {
+	in.l4.SendViaSNAT(&netsim.Packet{
+		Src: f.snat, Dst: f.server,
+		Flags: netsim.FlagRST, Seq: pkt.Seq, Ack: pkt.Ack - f.delta,
+	}, in.IP())
+	in.teardown(f, true)
+}
+
 func (in *Instance) tunnelFromClient(f *flow, pkt *netsim.Packet) {
 	if pkt.Flags.Has(netsim.FlagRST) {
-		// Propagate the abort and drop state.
-		in.l4.SendViaSNAT(&netsim.Packet{
-			Src: f.snat, Dst: f.server,
-			Flags: netsim.FlagRST, Seq: pkt.Seq, Ack: pkt.Ack - f.delta,
-		}, in.IP())
-		in.teardown(f, true)
-		return
-	}
-	if f.keepAlive && f.ka != nil {
-		in.kaFromClient(f, pkt)
+		in.abortToServer(f, pkt)
 		return
 	}
 	if pkt.Flags.Has(netsim.FlagFIN) {
@@ -454,10 +444,6 @@ func (in *Instance) tunnelFromClient(f *flow, pkt *netsim.Packet) {
 }
 
 func (in *Instance) tunnelFromServer(f *flow, pkt *netsim.Packet) {
-	if f.keepAlive && f.ka != nil {
-		in.kaFromServer(f, pkt)
-		return
-	}
 	if pkt.Flags.Has(netsim.FlagRST) {
 		in.net.Send(&netsim.Packet{
 			Src: f.vip, Dst: f.client,
@@ -572,20 +558,58 @@ func (in *Instance) TerminateBackendFlows(backend netsim.HostPort) int {
 
 // --- failure recovery ---
 
+// pendingQueue holds packets for one unknown tuple while TCPStore is
+// consulted. Queues are bounded (per tuple and instance-wide) and carry
+// an expiry timer: an attacker spraying orphan ACKs, or a wedged store
+// lookup, must not grow instance memory without limit.
+type pendingQueue struct {
+	pkts   []*netsim.Packet
+	expire netsim.Timer
+}
+
+// dropPending discards a recovery queue, accounting every queued packet
+// as a lookup miss.
+func (in *Instance) dropPending(tuple netsim.FourTuple, q *pendingQueue) {
+	delete(in.pending, tuple)
+	in.pendingTotal -= len(q.pkts)
+	q.expire.Stop()
+	in.LookupMisses += uint64(len(q.pkts))
+}
+
 // recoverFlow handles a packet for which no local flow exists: another
 // instance owned it. Packets queue while TCPStore is consulted.
 func (in *Instance) recoverFlow(tuple netsim.FourTuple, pkt *netsim.Packet) {
 	if q, ok := in.pending[tuple]; ok {
-		in.pending[tuple] = append(q, pkt.Clone())
-		return
-	}
-	in.pending[tuple] = []*netsim.Packet{pkt.Clone()}
-	in.store.Get(FlowKey(tuple), func(value []byte, ok bool, err error) {
-		if in.dead {
+		if len(q.pkts) >= in.cfg.PendingPerTuple || in.pendingTotal >= in.cfg.PendingTotal {
+			in.LookupMisses++ // dropped: the sender's retransmit retries
 			return
 		}
-		queued := in.pending[tuple]
+		q.pkts = append(q.pkts, pkt.Clone())
+		in.pendingTotal++
+		return
+	}
+	if in.pendingTotal >= in.cfg.PendingTotal {
+		in.LookupMisses++
+		return
+	}
+	q := &pendingQueue{pkts: []*netsim.Packet{pkt.Clone()}}
+	in.pending[tuple] = q
+	in.pendingTotal++
+	if in.cfg.PendingExpiry > 0 {
+		q.expire = in.net.Schedule(in.cfg.PendingExpiry, func() {
+			if in.pending[tuple] == q {
+				in.dropPending(tuple, q)
+			}
+		})
+	}
+	in.store.Get(FlowKey(tuple), func(value []byte, ok bool, err error) {
+		if in.dead || in.pending[tuple] != q {
+			return // instance failed, or the queue already expired
+		}
+		queued := q.pkts
 		delete(in.pending, tuple)
+		in.pendingTotal -= len(queued)
+		q.expire.Stop()
 		if !ok || err != nil {
 			in.LookupMisses++
 			// State is gone (flow already finished, or never stored): reset
@@ -644,10 +668,10 @@ func (in *Instance) installRecovered(rec *Record) *flow {
 	}
 	switch rec.Phase {
 	case PhaseConn:
-		f.phase = phaseConn
+		f.state = stateConn
 		f.toClientNext = f.toClientDataBase()
 	case PhaseTunnel:
-		f.phase = phaseTunnel
+		f.state = stateTunnel
 		f.server = rec.Server
 		f.snat = rec.SNAT
 		f.s = rec.S

@@ -39,6 +39,18 @@ type Config struct {
 	// FinLinger is how long a fully-closed flow's state lingers before
 	// cleanup (covers retransmitted FINs).
 	FinLinger time.Duration
+	// StrictPersist makes the write barrier take its failure path when a
+	// record reached zero replicas, instead of the default
+	// degrade-and-proceed (see barrier.go). Off by default: the paper
+	// favours availability over recoverability when the store is down.
+	StrictPersist bool
+	// PendingPerTuple / PendingTotal bound the recovery queues holding
+	// packets while a TCPStore lookup is in flight; PendingExpiry drops a
+	// queue whose lookup never resolves. Overflow and expiry drops count
+	// as LookupMisses — the sender's retransmission retries.
+	PendingPerTuple int
+	PendingTotal    int
+	PendingExpiry   time.Duration
 }
 
 // DefaultConfig returns the calibrated instance configuration.
@@ -53,6 +65,9 @@ func DefaultConfig() Config {
 		SNATCount:       2000,
 		FlowIdleTimeout: 2 * time.Minute,
 		FinLinger:       time.Second,
+		PendingPerTuple: 16,
+		PendingTotal:    1024,
+		PendingExpiry:   2 * time.Second,
 	}
 }
 
@@ -62,6 +77,10 @@ type VIPStats struct {
 	Packets     uint64
 	NewFlows    uint64
 	PayloadByte uint64
+	// SNATExhausted counts dials rejected because the instance's SNAT
+	// port slice had no free port (the flow gets a 503, never a silently
+	// spliced port).
+	SNATExhausted uint64
 }
 
 // Instance is one Yoda L7 load-balancer instance.
@@ -76,11 +95,12 @@ type Instance struct {
 	info      rules.BackendInfo                 // backend health/load view
 	tlsIdents map[netsim.IP]*securesim.Identity // per-VIP SSL termination identities
 
-	flows     map[netsim.FourTuple]*flow
-	pending   map[netsim.FourTuple][]*netsim.Packet // packets awaiting a TCPStore lookup
-	snatNext  uint16
-	snatInUse map[uint16]bool
-	dead      bool
+	flows        map[netsim.FourTuple]*flow
+	pending      map[netsim.FourTuple]*pendingQueue // packets awaiting a TCPStore lookup
+	pendingTotal int                                // packets across all pending queues
+	snatNext     uint16
+	snatInUse    map[uint16]bool
+	dead         bool
 
 	CPU *metrics.CPUMeter
 
@@ -92,10 +112,14 @@ type Instance struct {
 	// "Connection" component of Figure 9.
 	ConnLat *metrics.DurationHistogram
 
+	// Barrier counts write-barrier resolutions (see barrier.go); the
+	// controller aggregates it cluster-wide to watch persistence health.
+	Barrier BarrierStats
+
 	// Counters.
 	Stats        map[netsim.IP]*VIPStats
 	Recovered    uint64 // flows resurrected from TCPStore
-	LookupMisses uint64 // orphan packets with no recoverable state
+	LookupMisses uint64 // orphan packets with no recoverable state, or dropped while queued
 	Reselections uint64 // HTTP/1.1 backend switches
 }
 
@@ -112,7 +136,7 @@ func NewInstance(host *netsim.Host, lb *l4lb.LB, store *tcpstore.Store, cfg Conf
 		engines:    make(map[netsim.IP]*rules.Engine),
 		tlsIdents:  make(map[netsim.IP]*securesim.Identity),
 		flows:      make(map[netsim.FourTuple]*flow),
-		pending:    make(map[netsim.FourTuple][]*netsim.Packet),
+		pending:    make(map[netsim.FourTuple]*pendingQueue),
 		snatNext:   cfg.SNATBase,
 		snatInUse:  make(map[uint16]bool),
 		CPU:        metrics.NewCPUMeter(cfg.Cores),
@@ -193,7 +217,8 @@ func (in *Instance) Fail() {
 	in.dead = true
 	in.host.Detach()
 	in.flows = make(map[netsim.FourTuple]*flow)
-	in.pending = make(map[netsim.FourTuple][]*netsim.Packet)
+	in.pending = make(map[netsim.FourTuple]*pendingQueue)
+	in.pendingTotal = 0
 }
 
 // FNV-1a constants, inlined to keep the per-SYN hash allocation-free
@@ -224,20 +249,20 @@ func isnHash(client, vip netsim.HostPort) uint32 {
 }
 
 // allocSNATPort hands out the next free port in the instance's SNAT
-// range. Ports return to the pool in releaseSNATPort when flows finish.
-func (in *Instance) allocSNATPort() uint16 {
+// range; ok=false when the range is exhausted. Ports return to the pool
+// in releaseSNATPort when flows finish. An exhausted range must refuse
+// rather than reuse: handing a live flow's port to a second flow makes
+// both map to the same backend tuple and corrupts the SNAT table.
+func (in *Instance) allocSNATPort() (port uint16, ok bool) {
 	for i := uint16(0); i < in.cfg.SNATCount; i++ {
 		p := in.cfg.SNATBase + (in.snatNext-in.cfg.SNATBase+i)%in.cfg.SNATCount
 		if !in.snatInUse[p] {
 			in.snatInUse[p] = true
 			in.snatNext = p + 1
-			return p
+			return p, true
 		}
 	}
-	// Range exhausted: reuse round-robin (old flows are likely dead).
-	p := in.cfg.SNATBase + (in.snatNext-in.cfg.SNATBase)%in.cfg.SNATCount
-	in.snatNext = p + 1
-	return p
+	return 0, false
 }
 
 func (in *Instance) releaseSNATPort(p uint16) { delete(in.snatInUse, p) }
@@ -278,27 +303,9 @@ func (in *Instance) processPacket(pkt *netsim.Packet) {
 
 func (in *Instance) dispatch(f *flow, pkt *netsim.Packet) {
 	f.touch(in.net.Now())
-	fromClient := pkt.Src == f.client
-	switch f.phase {
-	case phaseConn:
-		if fromClient {
-			in.connPhaseClientPacket(f, pkt)
-		}
-		// Packets from the server cannot arrive in this phase: the server
-		// connection does not exist yet.
-	case phaseDialing:
-		if fromClient {
-			// Buffer client data that arrives while the backend handshake
-			// or storage-b is in flight.
-			in.connPhaseClientPacket(f, pkt)
-		} else {
-			in.serverHandshakePacket(f, pkt)
-		}
-	case phaseTunnel:
-		if fromClient {
-			in.tunnelFromClient(f, pkt)
-		} else {
-			in.tunnelFromServer(f, pkt)
-		}
+	if pkt.Src == f.client {
+		f.state.clientPacket(in, f, pkt)
+	} else {
+		f.state.serverPacket(in, f, pkt)
 	}
 }

@@ -47,9 +47,13 @@ type kaState struct {
 	serverNextSeq uint32
 	serverOOO     map[uint32][]byte
 
-	// Backend switching.
-	switching bool
-	pendReq   *kaRequest
+	// Backend switching. committing marks the window where the new
+	// backend's SYN-ACK arrived and the rewritten flow record is inside
+	// the write barrier: retransmitted SYN-ACKs must not re-enter the
+	// commit.
+	switching  bool
+	committing bool
+	pendReq    *kaRequest
 
 	// A client FIN that must be forwarded once all held data flushes.
 	finPending bool
@@ -278,9 +282,17 @@ func (in *Instance) kaSwitchBackend(f *flow, next kaRequest, backend rules.Backe
 	in.l4.ClearSNAT(oldServerTuple)
 	in.releaseSNATPort(f.snat.Port)
 
+	// Releasing first means a switch can always reclaim its own port even
+	// when the range is otherwise full.
+	port, ok := in.allocSNATPort()
+	if !ok {
+		in.statsFor(f.vip.IP).SNATExhausted++
+		in.reject(f, 503, "snat ports exhausted")
+		return
+	}
 	f.server = backend.Addr
 	f.backendName = backend.Name
-	f.snat = netsim.HostPort{IP: f.vip.IP, Port: in.allocSNATPort()}
+	f.snat = netsim.HostPort{IP: f.vip.IP, Port: port}
 	in.flows[f.serverTuple()] = f
 	ka.switching = true
 	ka.pendReq = &next
@@ -299,7 +311,7 @@ func (in *Instance) kaSendSwitchSyn(f *flow) {
 	f.dialTries++
 	f.dialTimer.Stop()
 	f.dialTimer = in.net.Schedule(3*time.Second, func() {
-		if !ka.switching || in.flows[f.clientTuple()] != f {
+		if !ka.switching || ka.committing || in.flows[f.clientTuple()] != f {
 			return
 		}
 		if f.dialTries >= 3 {
@@ -313,8 +325,8 @@ func (in *Instance) kaSendSwitchSyn(f *flow) {
 // kaCompleteSwitch finishes a backend switch on the new server's SYN-ACK.
 func (in *Instance) kaCompleteSwitch(f *flow, pkt *netsim.Packet) {
 	ka := f.ka
-	if pkt.Ack != ka.pendReq.startSeq {
-		return // stale
+	if ka.committing || pkt.Ack != ka.pendReq.startSeq {
+		return // already mid-commit, or stale
 	}
 	f.dialTimer.Stop()
 	f.s = pkt.Seq
@@ -324,21 +336,30 @@ func (in *Instance) kaCompleteSwitch(f *flow, pkt *netsim.Packet) {
 	ka.serverNextSeq = f.s + 1
 	ka.respBuf = nil
 	ka.serverOOO = make(map[uint32][]byte)
-	// Update the decoupled state so recovery lands on the new backend.
-	rec := f.record(PhaseTunnel).Marshal()
-	in.store.Set(FlowKey(f.clientTuple()), rec, func(error) {})
-	in.store.Set(FlowKey(f.serverTuple()), rec, func(error) {})
-	// ACK and replay the pending request.
-	in.l4.SendViaSNAT(&netsim.Packet{
-		Src: f.snat, Dst: f.server,
-		Flags: netsim.FlagACK,
-		Seq:   ka.pendReq.startSeq, Ack: f.s + 1,
-		Window: 1 << 20,
-	}, in.IP())
-	in.forwardClientBytes(f, ka.pendReq.startSeq, ka.pendReq.raw)
-	ka.respOutstanding++
-	ka.switching = false
-	ka.pendReq = nil
+	ka.committing = true
+	// Rewrite the decoupled state so recovery lands on the new backend —
+	// before the ACK and request replay, the same persist-before-ACK rule
+	// the first dial obeys (storage-b applied to re-selection).
+	in.writeBarrier(f, barrierEntries(f, PhaseTunnel, true), func() {
+		if !ka.switching {
+			return
+		}
+		// ACK and replay the pending request.
+		in.l4.SendViaSNAT(&netsim.Packet{
+			Src: f.snat, Dst: f.server,
+			Flags: netsim.FlagACK,
+			Seq:   ka.pendReq.startSeq, Ack: f.s + 1,
+			Window: 1 << 20,
+		}, in.IP())
+		in.forwardClientBytes(f, ka.pendReq.startSeq, ka.pendReq.raw)
+		ka.respOutstanding++
+		ka.switching = false
+		ka.committing = false
+		ka.pendReq = nil
+	}, func(error) {
+		ka.committing = false
+		in.reject(f, 503, "flow state not persisted")
+	})
 }
 
 // kaFromServer processes a server packet on an inspected keep-alive flow.

@@ -1,0 +1,102 @@
+package core
+
+import "repro/internal/netsim"
+
+// The flow lifecycle as an explicit state machine. Each state owns the
+// handling of packets arriving from the client side and from the server
+// side; transitions happen only through (*Instance).setState, and every
+// transition that makes new state recoverable is gated by a write
+// barrier (barrier.go) so the TCPStore record lands before the packet
+// that created the state is acknowledged (§4.1).
+//
+//	        SYN                    backend selected          storage-b barrier
+//	client ────▶ Conn ───────────────▶ Dialing ──────────────▶ Tunnel
+//	              │                       │                       │
+//	              │ TLS hello             │ SYN-ACK + barrier     └▶ KeepAliveTunnel
+//	              ▼ (sub-state: f.tls,    ▼                          (HTTP/1.1 inspected
+//	        key persisted via barrier   reject on                     tunnel; kaState
+//	        before the ServerHello)     exhaustion/refusal            sub-states: switching,
+//	                                                                  committing)
+//
+// The TLS handshake is a guarded sub-state of Conn (f.tls plus
+// tlsAdvance) rather than a top-level state: it shares Conn's segment
+// assembly, retransmission and FIN handling wholesale and differs only
+// in how assembled bytes are interpreted. Likewise the keep-alive
+// backend switch is a sub-state of KeepAliveTunnel (kaState.switching /
+// kaState.committing) because the client-facing tunnel keeps running
+// while the server side redials.
+
+// flowState is one state of the per-flow machine.
+type flowState interface {
+	name() string
+	// clientPacket handles a packet from the client side of the flow.
+	clientPacket(in *Instance, f *flow, pkt *netsim.Packet)
+	// serverPacket handles a packet from the backend side of the flow.
+	serverPacket(in *Instance, f *flow, pkt *netsim.Packet)
+}
+
+// The state singletons. Comparisons use interface equality (the states
+// are stateless empty structs; per-flow data lives on flow/kaState).
+var (
+	stateConn     flowState = connState{}
+	stateDialing  flowState = dialingState{}
+	stateTunnel   flowState = tunnelState{}
+	stateKATunnel flowState = kaTunnelState{}
+)
+
+// setState transitions a flow. All transitions funnel through here so
+// the machine has a single audit point.
+func (in *Instance) setState(f *flow, s flowState) { f.state = s }
+
+// connState: client handshake done or in progress; no backend yet.
+// Storage-a (and the TLS session key, when terminating) is persisted
+// from this state.
+type connState struct{}
+
+func (connState) name() string { return "conn" }
+func (connState) clientPacket(in *Instance, f *flow, pkt *netsim.Packet) {
+	in.connPhaseClientPacket(f, pkt)
+}
+func (connState) serverPacket(in *Instance, f *flow, pkt *netsim.Packet) {
+	// No backend connection exists yet; a server packet here is stale.
+}
+
+// dialingState: backend SYN sent, storage-b not yet confirmed. Client
+// data keeps buffering; the server side completes the handshake.
+type dialingState struct{}
+
+func (dialingState) name() string { return "dialing" }
+func (dialingState) clientPacket(in *Instance, f *flow, pkt *netsim.Packet) {
+	in.connPhaseClientPacket(f, pkt)
+}
+func (dialingState) serverPacket(in *Instance, f *flow, pkt *netsim.Packet) {
+	in.serverHandshakePacket(f, pkt)
+}
+
+// tunnelState: pure sequence-translating tunnel between client and
+// backend.
+type tunnelState struct{}
+
+func (tunnelState) name() string { return "tunnel" }
+func (tunnelState) clientPacket(in *Instance, f *flow, pkt *netsim.Packet) {
+	in.tunnelFromClient(f, pkt)
+}
+func (tunnelState) serverPacket(in *Instance, f *flow, pkt *netsim.Packet) {
+	in.tunnelFromServer(f, pkt)
+}
+
+// kaTunnelState: inspected HTTP/1.1 keep-alive tunnel — client payloads
+// are framed into requests that may re-select backends (§5.2).
+type kaTunnelState struct{}
+
+func (kaTunnelState) name() string { return "ka-tunnel" }
+func (kaTunnelState) clientPacket(in *Instance, f *flow, pkt *netsim.Packet) {
+	if pkt.Flags.Has(netsim.FlagRST) {
+		in.abortToServer(f, pkt)
+		return
+	}
+	in.kaFromClient(f, pkt)
+}
+func (kaTunnelState) serverPacket(in *Instance, f *flow, pkt *netsim.Packet) {
+	in.kaFromServer(f, pkt)
+}

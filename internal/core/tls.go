@@ -104,15 +104,16 @@ func (in *Instance) tlsAdvance(f *flow, prevLen int) bool {
 	}
 	// Persist the session key before the ServerHello acknowledges the
 	// hello (the hello will never be retransmitted once ACKed, and the
-	// key cannot be recomputed without it).
-	rec := f.record(PhaseConn)
-	in.store.Set(FlowKey(f.clientTuple()), rec.Marshal(), func(error) {
-		if in.flows[f.clientTuple()] != f {
-			return
-		}
+	// key cannot be recomputed without it). Under StrictPersist a flow
+	// whose key is unrecoverable is dropped before the hello is ACKed:
+	// the client's hello retransmissions hit a dead tuple and it retries
+	// with a fresh connection.
+	in.writeBarrier(f, barrierEntries(f, PhaseConn, false), func() {
 		in.sendServerHello(f, serverHello)
 		// Early data may already contain the full request.
 		in.tryDispatchRequest(f)
+	}, func(error) {
+		in.teardown(f, false)
 	})
 	return true
 }

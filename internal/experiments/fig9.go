@@ -74,9 +74,12 @@ func RunFig9(cfg Fig9Config) *Fig9Result {
 			conn.Merge(in.ConnLat)
 		}
 		res.YodaStorage = storage.Median()
-		// ConnLat includes the storage writes that gate the phase change;
-		// report the connection component net of storage, as the paper
-		// separates the two.
+		// StorageLat holds one sample per write barrier: storage-a and the
+		// batched storage-b (its two records ride a single SetMulti round
+		// trip), so a flow's storage cost is 2× the per-op median.
+		// ConnLat includes the storage-b barrier that gates the tunnel
+		// transition; report the connection component net of storage, as
+		// the paper separates the two.
 		res.YodaConnection = conn.Median() - 2*res.YodaStorage
 		if res.YodaConnection < 0 {
 			res.YodaConnection = 0

@@ -157,6 +157,29 @@ func (c *NetClient) Set(key string, value []byte, flags uint32, exptime int) err
 	return nil
 }
 
+// SetMulti stores all items in one batched mset round trip and returns
+// the server's stored-record count.
+func (c *NetClient) SetMulti(items []Item, exptime int) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return 0, ErrClientClosed
+	}
+	cmd := appendMSetCmd(nil, items, exptime)
+	if _, err := c.conn.Write(cmd); err != nil {
+		return 0, err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return 0, err
+	}
+	var n int
+	if _, serr := fmt.Sscanf(line, "MSTORED %d", &n); serr != nil {
+		return 0, fmt.Errorf("memcache: mset: %s", line)
+	}
+	return n, nil
+}
+
 // Get fetches key; ok=false means a miss.
 func (c *NetClient) Get(key string) (Item, bool, error) {
 	c.mu.Lock()

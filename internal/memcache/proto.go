@@ -61,6 +61,8 @@ func (s *Session) step() (resp []byte, ok bool) {
 	switch cmd {
 	case "set", "add", "replace", "cas", "append", "prepend":
 		return s.storageCommand(cmd, fields[1:], raw, nl)
+	case "mset":
+		return s.msetCommand(fields[1:], raw, nl)
 	case "incr", "decr":
 		s.buf.Next(nl + 2)
 		if len(fields) < 3 {
@@ -213,6 +215,68 @@ func (s *Session) storageCommand(cmd string, args []string, raw []byte, nl int) 
 		return nil, true
 	}
 	return []byte(reply), true
+}
+
+// MaxBatchRecords bounds the record count of one mset command, so a
+// corrupt count cannot make the session buffer unboundedly.
+const MaxBatchRecords = 1024
+
+// msetCommand handles the batched storage extension:
+//
+//	mset <n>\r\n
+//	<key> <flags> <exptime> <bytes>\r\n<data>\r\n   (× n)
+//
+// answered by a single "MSTORED <n>\r\n" line once every record is
+// stored. A replicated multi-key write therefore costs one round trip
+// per server regardless of the record count; TCPStore's SetMulti is the
+// intended client.
+func (s *Session) msetCommand(args []string, raw []byte, nl int) ([]byte, bool) {
+	if len(args) < 1 {
+		s.buf.Next(nl + 2)
+		return []byte("CLIENT_ERROR bad command line\r\n"), true
+	}
+	n, err := strconv.Atoi(args[0])
+	if err != nil || n <= 0 || n > MaxBatchRecords {
+		s.buf.Next(nl + 2)
+		return []byte("CLIENT_ERROR bad record count\r\n"), true
+	}
+	items := make([]Item, 0, n)
+	pos := nl + 2
+	for i := 0; i < n; i++ {
+		rest := raw[pos:]
+		rnl := bytes.Index(rest, []byte("\r\n"))
+		if rnl < 0 {
+			return nil, false // record header still arriving
+		}
+		rf := strings.Fields(string(rest[:rnl]))
+		if len(rf) != 4 {
+			s.buf.Next(pos + rnl + 2)
+			return []byte("CLIENT_ERROR bad record line\r\n"), true
+		}
+		flags, err1 := strconv.ParseUint(rf[1], 10, 32)
+		exptime, err2 := strconv.Atoi(rf[2])
+		size, err3 := strconv.Atoi(rf[3])
+		if err1 != nil || err2 != nil || err3 != nil || size < 0 || size > 8<<20 || len(rf[0]) > 250 {
+			s.buf.Next(pos + rnl + 2)
+			return []byte("CLIENT_ERROR bad data chunk\r\n"), true
+		}
+		need := pos + rnl + 2 + size + 2
+		if len(raw) < need {
+			return nil, false // data block still arriving
+		}
+		items = append(items, Item{
+			Key:     rf[0],
+			Value:   append([]byte(nil), rest[rnl+2:rnl+2+size]...),
+			Flags:   uint32(flags),
+			Expires: expiry(exptime, s.engine.now()),
+		})
+		pos = need
+	}
+	s.buf.Next(pos)
+	for _, it := range items {
+		s.engine.Set(it)
+	}
+	return []byte(fmt.Sprintf("MSTORED %d\r\n", len(items))), true
 }
 
 func (s *Session) getCommand(withCAS bool, keys []string) []byte {

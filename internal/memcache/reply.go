@@ -22,6 +22,7 @@ const (
 	ReplyError
 	ReplyVersion
 	ReplyStats
+	ReplyMStored // batched mset result; N carries the stored count
 )
 
 // Reply is one parsed server response.
@@ -29,6 +30,7 @@ type Reply struct {
 	Type  ReplyType
 	Items []Item   // for ReplyValues
 	CAS   []uint64 // parallel to Items when gets was used
+	N     int      // stored-record count for ReplyMStored
 	Raw   string   // first line, for errors/version/stats
 }
 
@@ -149,6 +151,12 @@ func singleLineReply(line string) Reply {
 		return Reply{Type: ReplyTouched, Raw: line}
 	case line == "OK":
 		return Reply{Type: ReplyOK, Raw: line}
+	case strings.HasPrefix(line, "MSTORED "):
+		n, err := strconv.Atoi(line[len("MSTORED "):])
+		if err != nil || n < 0 {
+			return Reply{Type: ReplyError, Raw: line}
+		}
+		return Reply{Type: ReplyMStored, N: n, Raw: line}
 	case strings.HasPrefix(line, "VERSION"):
 		return Reply{Type: ReplyVersion, Raw: line}
 	default:

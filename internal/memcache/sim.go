@@ -121,7 +121,13 @@ func countCommands(d []byte) int {
 		if d[i] == '\r' && d[i+1] == '\n' {
 			line := d[start:i]
 			if isCommandLine(line) {
-				n++
+				// A batched mset stores N records: the batch saves round
+				// trips, not server work, so it charges N ops.
+				if cnt, ok := msetCount(line); ok {
+					n += cnt
+				} else {
+					n++
+				}
 			}
 			start = i + 2
 		}
@@ -129,8 +135,21 @@ func countCommands(d []byte) int {
 	return n
 }
 
+// msetCount parses the record count of an "mset <n>" command line.
+func msetCount(line []byte) (int, bool) {
+	const p = "mset "
+	if len(line) <= len(p) || string(line[:len(p)]) != p {
+		return 0, false
+	}
+	cnt, err := strconv.Atoi(string(line[len(p):]))
+	if err != nil || cnt <= 0 {
+		return 1, true // malformed count still costs one parse
+	}
+	return cnt, true
+}
+
 func isCommandLine(line []byte) bool {
-	verbs := []string{"get", "gets", "set", "add", "replace", "cas", "append", "prepend",
+	verbs := []string{"get", "gets", "set", "mset", "add", "replace", "cas", "append", "prepend",
 		"incr", "decr", "delete", "touch", "stats", "version", "flush_all", "quit"}
 	for _, v := range verbs {
 		if len(line) >= len(v) && string(line[:len(v)]) == v &&
@@ -222,6 +241,14 @@ func (c *SimClient) Set(key string, value []byte, flags uint32, exptime int, cb 
 	c.send(c.scratch, false, cb)
 }
 
+// SetMulti stores all items in one pipelined mset command: a single
+// write and a single MSTORED reply regardless of the record count, so a
+// multi-record state write costs one round trip on the wire.
+func (c *SimClient) SetMulti(items []Item, exptime int, cb func(SimResult)) {
+	c.scratch = appendMSetCmd(c.scratch[:0], items, exptime)
+	c.send(c.scratch, false, cb)
+}
+
 // Get fetches key; the callback's Reply.Items is empty on a miss.
 func (c *SimClient) Get(key string, cb func(SimResult)) {
 	c.scratch = append(append(append(c.scratch[:0], "get "...), key...), '\r', '\n')
@@ -232,6 +259,28 @@ func (c *SimClient) Get(key string, cb func(SimResult)) {
 func (c *SimClient) Delete(key string, cb func(SimResult)) {
 	c.scratch = append(append(append(c.scratch[:0], "delete "...), key...), '\r', '\n')
 	c.send(c.scratch, false, cb)
+}
+
+// appendMSetCmd encodes a batched mset into dst (the caller's reused
+// scratch buffer; see SimClient.scratch).
+func appendMSetCmd(dst []byte, items []Item, exptime int) []byte {
+	dst = append(dst, "mset "...)
+	dst = strconv.AppendInt(dst, int64(len(items)), 10)
+	dst = append(dst, '\r', '\n')
+	for i := range items {
+		it := &items[i]
+		dst = append(dst, it.Key...)
+		dst = append(dst, ' ')
+		dst = strconv.AppendUint(dst, uint64(it.Flags), 10)
+		dst = append(dst, ' ')
+		dst = strconv.AppendInt(dst, int64(exptime), 10)
+		dst = append(dst, ' ')
+		dst = strconv.AppendInt(dst, int64(len(it.Value)), 10)
+		dst = append(dst, '\r', '\n')
+		dst = append(dst, it.Value...)
+		dst = append(dst, '\r', '\n')
+	}
+	return dst
 }
 
 func appendStorageCmd(dst []byte, verb, key string, value []byte, flags uint32, exptime int) []byte {

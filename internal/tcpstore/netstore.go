@@ -110,6 +110,81 @@ func (ns *NetStore) Set(key string, value []byte) error {
 	return nil
 }
 
+// SetMulti writes every entry to its K replicas using one batched mset
+// round trip per server (the real-socket analogue of Store.SetMulti).
+// It returns nil when every entry reached at least one replica.
+func (ns *NetStore) SetMulti(entries []Entry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	type batch struct {
+		server netsim.HostPort
+		items  []memcache.Item
+		idxs   []int
+	}
+	var batches []*batch
+	byServer := make(map[netsim.HostPort]*batch, ns.replicas)
+	acks := make([]int, len(entries))
+	for i, e := range entries {
+		replicas := ns.ring.Pick(e.Key, ns.replicas)
+		for _, server := range replicas {
+			b, ok := byServer[server]
+			if !ok {
+				b = &batch{server: server}
+				byServer[server] = b
+				batches = append(batches, b)
+			}
+			b.items = append(b.items, memcache.Item{Key: e.Key, Value: e.Value})
+			b.idxs = append(b.idxs, i)
+		}
+	}
+	if len(batches) == 0 {
+		return ErrAllReplicasFailed
+	}
+	type outcome struct {
+		b      *batch
+		stored int
+	}
+	out := make(chan outcome, len(batches))
+	for _, b := range batches {
+		b := b
+		go func() {
+			c, err := ns.conn(b.server)
+			if err != nil {
+				out <- outcome{b: b}
+				return
+			}
+			if len(b.items) == 1 {
+				if serr := c.Set(b.items[0].Key, b.items[0].Value, 0, ns.expiry); serr == nil {
+					out <- outcome{b: b, stored: 1}
+				} else {
+					out <- outcome{b: b}
+				}
+				return
+			}
+			n, merr := c.SetMulti(b.items, ns.expiry)
+			if merr != nil {
+				n = 0
+			}
+			out <- outcome{b: b, stored: n}
+		}()
+	}
+	for range batches {
+		o := <-out
+		for j, idx := range o.b.idxs {
+			if j < o.stored {
+				acks[idx]++
+			}
+		}
+	}
+	for i := range entries {
+		if acks[i] == 0 {
+			return ErrAllReplicasFailed
+		}
+	}
+	return nil
+}
+
 // Get reads from all replicas in parallel; the first hit wins.
 func (ns *NetStore) Get(key string) ([]byte, bool, error) {
 	replicas := ns.ring.Pick(key, ns.replicas)

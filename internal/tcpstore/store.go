@@ -44,9 +44,36 @@ func DefaultConfig() Config {
 // Stats counts client-side operation outcomes.
 type Stats struct {
 	Sets, Gets, Deletes uint64
-	Hits, Misses        uint64
-	ReplicaErrors       uint64
-	Timeouts            uint64
+	// BatchSets counts SetMulti operations; BatchRecords the records
+	// they carried (records ÷ ops is the achieved batching factor).
+	BatchSets    uint64
+	BatchRecords uint64
+	// PartialWrites counts operations that resolved with a record stored
+	// on some but not all of its replicas (recoverable, but degraded).
+	PartialWrites uint64
+	Hits, Misses  uint64
+	ReplicaErrors uint64
+	Timeouts      uint64
+}
+
+// Entry is one record of a batched write.
+type Entry struct {
+	Key   string
+	Value []byte
+}
+
+// SetResult is the resolved outcome of a batched write: the per-op
+// counters the dataplane's write barrier consumes.
+type SetResult struct {
+	// Err is nil when every record is recoverable (stored on at least
+	// one replica by resolution time).
+	Err error
+	// Acked and Failed count replica-level write outcomes across all
+	// records of the operation.
+	Acked, Failed int
+	// TimedOut reports that the operation resolved at OpTimeout instead
+	// of by replica replies.
+	TimedOut bool
 }
 
 // Store is a TCPStore client bound to one Yoda instance's host. It keeps
@@ -154,6 +181,122 @@ func (s *Store) Set(key string, value []byte, cb func(error)) {
 				}
 			}
 		})
+	}
+}
+
+// SetMulti stores every entry on its K replicas in one batched round
+// trip: entries are grouped into one pipelined mset command per replica
+// server (a plain set when a server receives a single record), so the
+// wire cost is one request/reply exchange per server regardless of the
+// record count. cb fires exactly once — when every entry has met the
+// write concern, when all batches have resolved, or at OpTimeout —
+// with the per-replica outcome tally.
+//
+// Grouping preserves entry order and a deterministic server order; the
+// simulator's bit-identical-trace guarantee depends on the issue order
+// of the underlying writes.
+func (s *Store) SetMulti(entries []Entry, cb func(SetResult)) {
+	s.Stats.BatchSets++
+	s.Stats.BatchRecords += uint64(len(entries))
+	if len(entries) == 0 {
+		cb(SetResult{})
+		return
+	}
+	type batch struct {
+		server netsim.HostPort
+		items  []memcache.Item
+		idxs   []int // entry indices, for per-entry accounting
+	}
+	var batches []*batch
+	byServer := make(map[netsim.HostPort]*batch, s.cfg.Replicas)
+	acks := make([]int, len(entries))
+	concern := make([]int, len(entries))
+	for i, e := range entries {
+		replicas := s.ring.Pick(e.Key, s.cfg.Replicas)
+		concern[i] = s.cfg.WriteConcern
+		if concern[i] <= 0 || concern[i] > len(replicas) {
+			concern[i] = len(replicas)
+		}
+		for _, server := range replicas {
+			b, ok := byServer[server]
+			if !ok {
+				b = &batch{server: server}
+				byServer[server] = b
+				batches = append(batches, b)
+			}
+			b.items = append(b.items, memcache.Item{Key: e.Key, Value: e.Value})
+			b.idxs = append(b.idxs, i)
+		}
+	}
+	if len(batches) == 0 {
+		cb(SetResult{Err: ErrAllReplicasFailed, TimedOut: false})
+		return
+	}
+	res := SetResult{}
+	replied, done := 0, false
+	resolve := func(timedOut bool) {
+		res.TimedOut = timedOut
+		for i := range entries {
+			switch {
+			case acks[i] == 0:
+				res.Err = ErrAllReplicasFailed
+			case acks[i] < concern[i]:
+				s.Stats.PartialWrites++
+			}
+		}
+		cb(res)
+	}
+	timer := s.armOpTimeout(&done, func() { resolve(true) })
+	finishBatch := func(b *batch, stored int) {
+		for j, idx := range b.idxs {
+			if j < stored {
+				acks[idx]++
+				res.Acked++
+			} else {
+				res.Failed++
+				s.Stats.ReplicaErrors++
+			}
+		}
+		replied++
+		met := true
+		for i := range entries {
+			if acks[i] < concern[i] {
+				met = false
+				break
+			}
+		}
+		if met || replied == len(batches) {
+			done = true
+			timer.Stop()
+			resolve(false)
+		}
+	}
+	for _, b := range batches {
+		b := b
+		handle := func(r memcache.SimResult) {
+			if done {
+				return
+			}
+			stored := 0
+			switch {
+			case r.Err != nil:
+				// connection-level failure: nothing in this batch stored
+			case r.Reply.Type == memcache.ReplyMStored:
+				stored = r.Reply.N
+			case r.Reply.Type == memcache.ReplyStored:
+				stored = 1
+			}
+			if stored > len(b.idxs) {
+				stored = len(b.idxs)
+			}
+			finishBatch(b, stored)
+		}
+		conn := s.conn(b.server)
+		if len(b.items) == 1 {
+			conn.Set(b.items[0].Key, b.items[0].Value, 0, s.cfg.Expiry, handle)
+		} else {
+			conn.SetMulti(b.items, s.cfg.Expiry, handle)
+		}
 	}
 }
 

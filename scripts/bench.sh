@@ -26,6 +26,8 @@ go test -run '^$' -bench 'BenchmarkFlowFastPath' -benchmem \
   ./internal/core/ | tee -a "$MICRO_LOG"
 go test -run '^$' -bench 'BenchmarkSimulatorThroughput' -benchmem \
   . | tee -a "$MICRO_LOG"
+go test -run '^$' -bench 'BenchmarkStorageB' -benchtime 2000x \
+  ./internal/tcpstore/ | tee -a "$MICRO_LOG"
 
 if [[ "${FAST:-0}" != "1" ]]; then
   echo "== figure benchmarks (one run each; Fig13 takes minutes) =="
@@ -45,6 +47,12 @@ TIMER_NS="$(pick "$MICRO_LOG" BenchmarkNetsimTimerChurn 3)"
 TCP_MBS="$(awk '$1 ~ /^BenchmarkTCPThroughput/ {for(i=1;i<NF;i++) if($(i+1)=="MB/s") print $i}' "$MICRO_LOG" | head -1)"
 FLOW_NS="$(pick "$MICRO_LOG" BenchmarkFlowFastPath 3)"
 SIM_NS="$(pick "$MICRO_LOG" BenchmarkSimulatorThroughput 3)"
+# metric <log> <BenchmarkName> <unit>: extract a named custom metric.
+metric() { awk -v b="$2" -v u="$3" '$1 ~ "^"b {for(i=1;i<NF;i++) if($(i+1)==u) print $i}' "$1" | head -1; }
+SB_BATCH_RT="$(metric "$MICRO_LOG" BenchmarkStorageBBatched roundtrips/write)"
+SB_SEQ_RT="$(metric "$MICRO_LOG" BenchmarkStorageBSequential roundtrips/write)"
+SB_BATCH_US="$(metric "$MICRO_LOG" BenchmarkStorageBBatched virtual-µs/write)"
+SB_SEQ_US="$(metric "$MICRO_LOG" BenchmarkStorageBSequential virtual-µs/write)"
 
 jsonnum() { [[ -n "${1:-}" ]] && echo "$1" || echo "null"; }
 
@@ -89,6 +97,10 @@ cat > "$OUT" <<EOF
     "tcp_throughput_MB_s": $(jsonnum "$TCP_MBS"),
     "flow_fast_path_ns_op": $(jsonnum "$FLOW_NS"),
     "simulator_throughput_ns_op": $(jsonnum "$SIM_NS"),
+    "storage_b_batched_roundtrips_per_write": $(jsonnum "$SB_BATCH_RT"),
+    "storage_b_sequential_roundtrips_per_write": $(jsonnum "$SB_SEQ_RT"),
+    "storage_b_batched_virtual_us": $(jsonnum "$SB_BATCH_US"),
+    "storage_b_sequential_virtual_us": $(jsonnum "$SB_SEQ_US"),
     "fig10_wall_s": $FIG10_S,
     "fig12_wall_s": $FIG12_S,
     "fig13_wall_s": $FIG13_S

@@ -10,6 +10,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== dataplane fast-fail (vet + race on core/tcpstore) =="
+# The write-barrier dataplane and its store client are where regressions
+# bite hardest; vet and race them first so a broken barrier fails in
+# seconds, not after the full suite.
+go vet ./internal/core/ ./internal/tcpstore/
+go test -race ./internal/core/ ./internal/tcpstore/
+
 echo "== go vet =="
 go vet ./...
 
