@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	yodasim -exp table1|fig6|fig9|fig10|fig12|fig12b|fig13|fig14|cpu|all [-seed N]
+//	yodasim -exp table1|fig6|fig9|fig10|fig12|fig12b|fig13|fig14|cpu|upgrade|all [-seed N]
 package main
 
 import (
@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, fig6, fig9, fig10, fig12, fig12b, fig13, fig14, cpu, all")
+	exp := flag.String("exp", "all", "experiment to run: table1, fig6, fig9, fig10, fig12, fig12b, fig13, fig14, cpu, upgrade, all")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.Parse()
 
@@ -64,9 +64,14 @@ func main() {
 			cfg.Seed = *seed
 			return experiments.RunCPU(cfg)
 		},
+		"upgrade": func() fmt.Stringer {
+			cfg := experiments.DefaultUpgradeConfig()
+			cfg.Seed = *seed
+			return experiments.RunUpgrade(cfg)
+		},
 	}
 
-	order := []string{"table1", "fig6", "fig9", "fig10", "cpu", "fig12", "fig12b", "fig13", "fig14"}
+	order := []string{"table1", "fig6", "fig9", "fig10", "cpu", "fig12", "fig12b", "fig13", "fig14", "upgrade"}
 	if *exp != "all" {
 		run, ok := runners[*exp]
 		if !ok {

@@ -104,6 +104,24 @@ func (c *Client) FailInstance(idx int) error {
 	return c.send(http.MethodPost, fmt.Sprintf("/v1/instances/%d/fail", idx), struct{}{}, nil)
 }
 
+// Reconfig applies a target assignment (service → instance indexes)
+// through the reconfiguration engine.
+func (c *Client) Reconfig(assignments map[string][]int) error {
+	return c.send(http.MethodPost, "/v1/reconfig", ReconfigRequest{Assignments: assignments}, nil)
+}
+
+// StartUpgrade begins a rolling upgrade of every live instance.
+func (c *Client) StartUpgrade() error {
+	return c.send(http.MethodPost, "/v1/reconfig", ReconfigRequest{Upgrade: true}, nil)
+}
+
+// ReconfigStatus reports the reconfiguration engine's stats.
+func (c *Client) ReconfigStatus() (ReconfigStatus, error) {
+	var out ReconfigStatus
+	err := c.get("/v1/reconfig/status", &out)
+	return out, err
+}
+
 // Run advances the simulation by d of virtual time.
 func (c *Client) Run(d time.Duration) (time.Duration, error) {
 	var out RunResponse

@@ -1,0 +1,103 @@
+package adminapi_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestReconfigEndpoint applies a target assignment over the API and
+// watches it complete through the status endpoint.
+func TestReconfigEndpoint(t *testing.T) {
+	w := newAPIWorld(t)
+	if _, err := w.cl.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Move the "shop" VIP from all 3 instances to the first 2.
+	if err := w.cl.Reconfig(map[string][]int{"shop": {0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := w.cl.ReconfigStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Done {
+		t.Fatalf("reconfig done before the simulation advanced: %+v", st)
+	}
+	if _, err := w.cl.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st, err = w.cl.ReconfigStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done || st.Running {
+		t.Fatalf("reconfig not done: %+v", st)
+	}
+	if st.MovesApplied != 1 || st.RulesRemoved != 1 {
+		t.Fatalf("moves=%d rulesRemoved=%d, want 1/1", st.MovesApplied, st.RulesRemoved)
+	}
+	// The VIP listing reflects the shrink: rules only on two instances.
+	vips, err := w.cl.VIPs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vips) != 1 || len(vips[0].Instances) != 2 {
+		t.Fatalf("vips = %+v, want shop on 2 instances", vips)
+	}
+}
+
+// TestReconfigEndpointValidation rejects unknown services, bad indexes
+// and empty requests.
+func TestReconfigEndpointValidation(t *testing.T) {
+	w := newAPIWorld(t)
+	if err := w.cl.Reconfig(map[string][]int{"nope": {0}}); err == nil || !strings.Contains(err.Error(), "unknown service") {
+		t.Fatalf("unknown service: %v", err)
+	}
+	if err := w.cl.Reconfig(map[string][]int{"shop": {99}}); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("bad index: %v", err)
+	}
+	if err := w.cl.Reconfig(nil); err == nil {
+		t.Fatal("empty request accepted")
+	}
+}
+
+// TestUpgradeEndpoint starts a rolling upgrade over the API and runs it
+// to completion.
+func TestUpgradeEndpoint(t *testing.T) {
+	w := newAPIWorld(t)
+	if _, err := w.cl.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.cl.StartUpgrade(); err != nil {
+		t.Fatal(err)
+	}
+	// A second trigger while running is rejected.
+	if err := w.cl.StartUpgrade(); err == nil {
+		t.Fatal("concurrent upgrade accepted")
+	}
+	if _, err := w.cl.Run(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st, err := w.cl.ReconfigStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Upgrade == nil {
+		t.Fatalf("no upgrade status: %+v", st)
+	}
+	up := st.Upgrade
+	if !up.Done || up.Err != "" || up.Upgraded != 3 || up.Skipped != 0 {
+		t.Fatalf("upgrade = %+v, want 3/3 done", up)
+	}
+	insts, err := w.cl.Instances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range insts {
+		if !in.Alive || in.Rules == 0 {
+			t.Fatalf("instance after upgrade: %+v", in)
+		}
+	}
+}

@@ -13,8 +13,11 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/controller"
+	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/reconfig"
 	"repro/internal/rules"
+	"repro/internal/tcpstore"
 )
 
 // Server bridges HTTP requests to a simulated cluster and its
@@ -50,6 +53,8 @@ func (s *Server) Start(addr string) error {
 	mux.HandleFunc("/v1/policies/", s.handlePolicy)
 	mux.HandleFunc("/v1/backends", s.handleBackends)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/reconfig", s.handleReconfig)
+	mux.HandleFunc("/v1/reconfig/status", s.handleReconfigStatus)
 	mux.HandleFunc("/v1/run", s.handleRun)
 	s.httpSrv = &http.Server{Handler: mux}
 	go s.httpSrv.Serve(lis)
@@ -237,6 +242,106 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		InstancesAdded: s.ct.InstancesAdded,
 		TrafficPerVIP:  traffic,
 	})
+}
+
+// handleReconfig handles POST /v1/reconfig: apply a target assignment
+// through the reconfiguration engine, or start a rolling upgrade.
+func (s *Server) handleReconfig(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req ReconfigRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case req.Upgrade:
+		var opt reconfig.UpgradeOptions
+		if req.RestartDelay != "" {
+			d, err := parseDuration(req.RestartDelay)
+			if err != nil || d <= 0 {
+				writeErr(w, http.StatusBadRequest, "bad restartDelay %q", req.RestartDelay)
+				return
+			}
+			opt.RestartDelay = d
+		}
+		if err := s.ct.StartRollingUpgrade(core.DefaultConfig(), tcpstore.DefaultConfig(), opt, nil); err != nil {
+			writeErr(w, http.StatusConflict, "upgrade: %v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "upgrade started"})
+	case len(req.Assignments) > 0:
+		target := make(map[netsim.IP][]netsim.IP, len(req.Assignments))
+		for service, idxs := range req.Assignments {
+			vip, ok := s.c.VIPs[service]
+			if !ok {
+				writeErr(w, http.StatusNotFound, "unknown service %q", service)
+				return
+			}
+			var ips []netsim.IP
+			for _, idx := range idxs {
+				if idx < 0 || idx >= len(s.c.Yoda) {
+					writeErr(w, http.StatusBadRequest, "instance %d out of range", idx)
+					return
+				}
+				ips = append(ips, s.c.Yoda[idx].IP())
+			}
+			target[vip] = ips
+		}
+		if err := s.ct.ApplyTarget(target); err != nil {
+			writeErr(w, http.StatusConflict, "reconfig: %v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "reconfig started"})
+	default:
+		writeErr(w, http.StatusBadRequest, "need assignments or upgrade:true")
+	}
+}
+
+// handleReconfigStatus handles GET /v1/reconfig/status.
+func (s *Server) handleReconfigStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.ct.ReconfigStats()
+	out := ReconfigStatus{
+		Running:             st.Running,
+		Done:                st.Done,
+		Waves:               st.Waves,
+		MovesApplied:        st.MovesApplied,
+		MigratedFlows:       st.MigratedFlows,
+		DrainedFlows:        st.DrainedFlows,
+		ReleasedFlows:       st.ReleasedFlows,
+		BrokenFlows:         st.BrokenFlows,
+		ResurrectedFlows:    st.ResurrectedFlows,
+		MaxWaveMigratedFrac: st.MaxWaveMigratedFrac,
+		PeakInstanceFlows:   st.PeakInstanceFlows,
+		RulesRemoved:        st.RulesRemoved,
+		DurationMs:          float64(st.Duration) / float64(time.Millisecond),
+	}
+	if up := s.ct.UpgradeStats(); up.Instances > 0 || up.Running || up.Done {
+		us := UpgradeStatus{
+			Instances: up.Instances,
+			Upgraded:  up.Upgraded,
+			Skipped:   up.Skipped,
+			Running:   up.Running,
+			Done:      up.Done,
+			Phase:     up.Phase,
+			Err:       up.Err,
+		}
+		if up.Current != 0 {
+			us.Current = up.Current.String()
+		}
+		out.Upgrade = &us
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {

@@ -60,6 +60,51 @@ type RunResponse struct {
 	VirtualTime string `json:"virtualTime"`
 }
 
+// ReconfigRequest triggers a live reconfiguration. Exactly one of the
+// two modes is used: Assignments moves VIP→instance mappings to a target
+// (service name → instance indexes, as listed by /v1/instances); Upgrade
+// starts a rolling upgrade of every live instance under fresh default
+// configs.
+type ReconfigRequest struct {
+	Assignments map[string][]int `json:"assignments,omitempty"`
+	Upgrade     bool             `json:"upgrade,omitempty"`
+	// RestartDelay overrides the simulated per-instance reboot time for
+	// upgrades (Go duration string; empty = default).
+	RestartDelay string `json:"restartDelay,omitempty"`
+}
+
+// ReconfigStatus reports the reconfiguration engine's stats, plus the
+// rolling upgrade's when one has been started.
+type ReconfigStatus struct {
+	Running             bool    `json:"running"`
+	Done                bool    `json:"done"`
+	Waves               int     `json:"waves"`
+	MovesApplied        int     `json:"movesApplied"`
+	MigratedFlows       uint64  `json:"migratedFlows"`
+	DrainedFlows        uint64  `json:"drainedFlows"`
+	ReleasedFlows       uint64  `json:"releasedFlows"`
+	BrokenFlows         uint64  `json:"brokenFlows"`
+	ResurrectedFlows    uint64  `json:"resurrectedFlows"`
+	MaxWaveMigratedFrac float64 `json:"maxWaveMigratedFrac"`
+	PeakInstanceFlows   int     `json:"peakInstanceFlows"`
+	RulesRemoved        int     `json:"rulesRemoved"`
+	DurationMs          float64 `json:"durationMs"`
+
+	Upgrade *UpgradeStatus `json:"upgrade,omitempty"`
+}
+
+// UpgradeStatus reports a rolling upgrade's progress.
+type UpgradeStatus struct {
+	Instances int    `json:"instances"`
+	Upgraded  int    `json:"upgraded"`
+	Skipped   int    `json:"skipped"`
+	Running   bool   `json:"running"`
+	Done      bool   `json:"done"`
+	Current   string `json:"current,omitempty"`
+	Phase     string `json:"phase,omitempty"`
+	Err       string `json:"err,omitempty"`
+}
+
 // ErrorResponse carries an API error.
 type ErrorResponse struct {
 	Error string `json:"error"`

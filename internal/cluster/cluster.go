@@ -103,6 +103,30 @@ func (c *Cluster) AddYodaN(n int, cfg core.Config, storeCfg tcpstore.Config) {
 	}
 }
 
+// RestartYoda reboots the Yoda instance in slot i: the host detaches (in
+// case it was still attached), a fresh core.Instance with the given
+// configs replaces the old one on the same host/IP, and the host rejoins
+// the network. All in-memory state of the old incarnation (flows, rules,
+// quarantined SNAT ports) is gone — exactly a process restart under a new
+// core.Config, the rolling-upgrade primitive. The new incarnation gets a
+// fresh SNAT port slice: ports of the old slice may still be referenced
+// by flows that migrated to other instances during the pre-restart drain.
+func (c *Cluster) RestartYoda(i int, cfg core.Config, storeCfg tcpstore.Config) *core.Instance {
+	old := c.Yoda[i]
+	h := old.Host()
+	old.Store().Close() // abort store connections before the host wipes
+	old.Fail()          // silence the old incarnation and drop its state
+	h.Reset()           // kernel state wipe: old conns/listeners are gone
+	c.nextYoda++
+	cfg.SNATBase = 20000 + uint16(c.nextYoda)*cfg.SNATCount
+	st := tcpstore.New(h, c.StoreAddrs, storeCfg)
+	inst := core.NewInstance(h, c.L4, st, cfg)
+	inst.SetBackendInfo(c.Health)
+	h.Reattach()
+	c.Yoda[i] = inst
+	return inst
+}
+
 // AddHAProxy starts one HAProxy-style baseline instance.
 func (c *Cluster) AddHAProxy(cfg haproxy.Config) *haproxy.Instance {
 	c.nextProxy++

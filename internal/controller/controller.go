@@ -8,12 +8,14 @@
 package controller
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/assignment"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/reconfig"
 	"repro/internal/rules"
 	"repro/internal/tcpstore"
 )
@@ -31,6 +33,11 @@ type Config struct {
 	ScaleInterval time.Duration
 	CPUHigh       float64
 	CPUTarget     float64
+
+	// Reconfig tunes the live reconfiguration engine assignments are
+	// applied through (δ migration bound, drain timings). The zero value
+	// means single-wave rollouts with default drain timings.
+	Reconfig reconfig.Options
 }
 
 // DefaultConfig matches the paper's deployment.
@@ -56,10 +63,17 @@ type Controller struct {
 	// maintains at the L4 LB.
 	vipInstances map[netsim.IP][]netsim.IP
 
-	deadInstances  map[netsim.IP]bool
+	// deadInstances maps a detected-dead instance to the (sorted) VIPs it
+	// held at detection time, so a later revival can re-admit it.
+	deadInstances  map[netsim.IP][]netsim.IP
 	lastStoreCount int
 	timers         []netsim.Timer
 	running        bool
+
+	// exec is the live reconfiguration engine; upgrader drives rolling
+	// upgrades through it.
+	exec     *reconfig.Executor
+	upgrader *reconfig.Upgrader
 
 	// Provision creates a new Yoda instance when the scaling loop needs
 	// one. Defaults to cluster.AddYoda with default configs.
@@ -73,6 +87,8 @@ type Controller struct {
 	SNATExhausted uint64
 	// Detections counts instance failures detected.
 	Detections int
+	// Revivals counts dead instances detected alive again and re-admitted.
+	Revivals int
 	// ScaleOuts counts scale-out actions taken.
 	ScaleOuts int
 	// InstancesAdded counts instances added by scaling.
@@ -86,12 +102,21 @@ func New(c *cluster.Cluster, cfg Config) *Controller {
 		cfg:           cfg,
 		policies:      make(map[netsim.IP][]rules.Rule),
 		vipInstances:  make(map[netsim.IP][]netsim.IP),
-		deadInstances: make(map[netsim.IP]bool),
+		deadInstances: make(map[netsim.IP][]netsim.IP),
 		Traffic:       make(map[netsim.IP]uint64),
 	}
 	ct.Provision = func() *core.Instance {
 		return c.AddYoda(core.DefaultConfig(), tcpstore.DefaultConfig())
 	}
+	ct.exec = reconfig.NewExecutor(reconfig.Env{
+		Net:       c.Net,
+		L4:        c.L4,
+		Instances: func() []*core.Instance { return ct.C.Yoda },
+		RulesFor:  func(vip netsim.IP) []rules.Rule { return ct.policies[vip] },
+		OnMapping: func(vip netsim.IP, insts []netsim.IP) {
+			ct.vipInstances[vip] = append([]netsim.IP(nil), insts...)
+		},
+	}, cfg.Reconfig)
 	return ct
 }
 
@@ -137,26 +162,123 @@ func (ct *Controller) RemoveVIP(vip netsim.IP) {
 }
 
 // ApplyAssignment pushes a computed VIP→instance assignment onto the
-// cluster: rules are installed on newly assigned instances first, then
-// the L4 mappings are switched (staggered, as real muxes update
-// non-atomically), then rules are removed from instances that lost the
-// VIP after a drain delay.
-func (ct *Controller) ApplyAssignment(vips []netsim.IP, a *assignment.Assignment, idToVIP func(int) netsim.IP) {
-	for vid, instIdxs := range a.ByVIP {
+// cluster through the reconfiguration engine: rules are installed on
+// newly assigned instances first, then the L4 mappings are switched
+// (staggered, as real muxes update non-atomically), then — once the
+// losing instances' residual flows have drained — the losers' rules are
+// removed, reclaiming their rule capacity. Waves respect the configured
+// δ migration bound. Returns reconfig.ErrBusy while a previous rollout
+// is still draining.
+func (ct *Controller) ApplyAssignment(vips []netsim.IP, a *assignment.Assignment, idToVIP func(int) netsim.IP) error {
+	vids := make([]int, 0, len(a.ByVIP))
+	for vid := range a.ByVIP {
+		vids = append(vids, vid)
+	}
+	sort.Ints(vids)
+	target := make(map[netsim.IP][]netsim.IP, len(vids))
+	for _, vid := range vids {
 		vip := idToVIP(vid)
-		rs := ct.policies[vip]
 		var ips []netsim.IP
-		for _, idx := range instIdxs {
+		for _, idx := range a.ByVIP[vid] {
 			if idx < 0 || idx >= len(ct.C.Yoda) {
 				continue
 			}
-			in := ct.C.Yoda[idx]
-			in.InstallRules(vip, rs)
-			ips = append(ips, in.IP())
+			ips = append(ips, ct.C.Yoda[idx].IP())
 		}
-		ct.vipInstances[vip] = ips
-		ct.C.L4.SetMapping(vip, ips) // staggered across muxes
+		target[vip] = ips
 	}
+	return ct.ApplyTarget(target)
+}
+
+// ApplyTarget moves the cluster to the given VIP→instance mapping via
+// the reconfiguration engine (see ApplyAssignment). VIPs absent from
+// target keep their current mapping.
+func (ct *Controller) ApplyTarget(target map[netsim.IP][]netsim.IP) error {
+	st := reconfig.State{
+		Current: ct.mappingSnapshot(),
+		Target:  target,
+		Flows:   ct.flowSnapshot(target),
+	}
+	plan, err := reconfig.NewPlan(st, ct.exec.Options())
+	if err != nil {
+		return err
+	}
+	return ct.exec.Start(plan, nil)
+}
+
+// ReconfigStats returns the current (or last finished) reconfiguration's
+// stats.
+func (ct *Controller) ReconfigStats() reconfig.Stats { return ct.exec.Stats() }
+
+// ReconfigRunning reports whether a reconfiguration is executing.
+func (ct *Controller) ReconfigRunning() bool { return ct.exec.Running() }
+
+// StartRollingUpgrade upgrades every currently live instance, one at a
+// time: drain through a δ-bounded reconfig plan, restart under the new
+// configs, re-admit. onDone may be nil. Returns reconfig.ErrBusy while
+// an upgrade or a reconfiguration is already running.
+func (ct *Controller) StartRollingUpgrade(cfg core.Config, storeCfg tcpstore.Config, opt reconfig.UpgradeOptions, onDone func(reconfig.UpgradeStats)) error {
+	if ct.upgrader != nil && ct.upgrader.Running() {
+		return reconfig.ErrBusy
+	}
+	up := reconfig.NewUpgrader(ct.exec, opt)
+	up.Mappings = ct.mappingSnapshot
+	up.Restart = func(ip netsim.IP) {
+		for i, in := range ct.C.Yoda {
+			if in.IP() == ip {
+				ct.C.RestartYoda(i, cfg, storeCfg)
+				return
+			}
+		}
+	}
+	var order []netsim.IP
+	for _, in := range ct.liveInstances() {
+		order = append(order, in.IP())
+	}
+	if err := up.Start(order, onDone); err != nil {
+		return err
+	}
+	ct.upgrader = up
+	return nil
+}
+
+// UpgradeStats returns the current (or last finished) rolling upgrade's
+// stats.
+func (ct *Controller) UpgradeStats() reconfig.UpgradeStats {
+	if ct.upgrader == nil {
+		return reconfig.UpgradeStats{}
+	}
+	return ct.upgrader.Stats()
+}
+
+// UpgradeRunning reports whether a rolling upgrade is in progress.
+func (ct *Controller) UpgradeRunning() bool {
+	return ct.upgrader != nil && ct.upgrader.Running()
+}
+
+// mappingSnapshot copies the controller's VIP→instance view.
+func (ct *Controller) mappingSnapshot() map[netsim.IP][]netsim.IP {
+	out := make(map[netsim.IP][]netsim.IP, len(ct.vipInstances))
+	for vip, ips := range ct.vipInstances {
+		out[vip] = append([]netsim.IP(nil), ips...)
+	}
+	return out
+}
+
+// flowSnapshot reads live per-VIP flow counts over the VIPs in target,
+// feeding the planner's Eq. 6–7 migration accounting.
+func (ct *Controller) flowSnapshot(target map[netsim.IP][]netsim.IP) map[netsim.IP]map[netsim.IP]float64 {
+	out := make(map[netsim.IP]map[netsim.IP]float64, len(target))
+	for vip := range target {
+		per := make(map[netsim.IP]float64)
+		for _, in := range ct.liveInstances() {
+			if n := in.VIPFlowCount(vip); n > 0 {
+				per[in.IP()] = float64(n)
+			}
+		}
+		out[vip] = per
+	}
+	return out
 }
 
 func (ct *Controller) liveInstances() []*core.Instance {
@@ -205,15 +327,44 @@ func (ct *Controller) scheduleMonitor() {
 // monitorTick pings every component and repairs mappings for the dead.
 func (ct *Controller) monitorTick() {
 	// Yoda instances: a dead instance is removed from all L4 mappings so
-	// the underlying LB re-routes its flows to survivors (§4.2).
+	// the underlying LB re-routes its flows to survivors (§4.2). The VIPs
+	// it held are remembered so a revival can restore them.
 	for _, in := range ct.C.Yoda {
 		ip := in.IP()
-		if !in.Host().Alive() && !ct.deadInstances[ip] {
-			ct.deadInstances[ip] = true
+		_, wasDead := ct.deadInstances[ip]
+		alive := in.Host().Alive()
+		switch {
+		case !alive && !wasDead:
+			var held []netsim.IP
+			for vip, ips := range ct.vipInstances {
+				if containsIP(ips, ip) {
+					held = append(held, vip)
+					ct.vipInstances[vip] = removeIP(ips, ip)
+				}
+			}
+			sort.Slice(held, func(i, j int) bool { return held[i] < held[j] })
+			ct.deadInstances[ip] = held
 			ct.Detections++
 			ct.C.L4.RemoveInstance(ip)
-			for vip, ips := range ct.vipInstances {
-				ct.vipInstances[vip] = removeIP(ips, ip)
+		case alive && wasDead:
+			// Revival: the instance (or its restarted incarnation) is back.
+			// Re-install the current policies for the VIPs it held at death
+			// and re-admit it into their mappings. An instance that was
+			// drained before its restart held nothing — re-admission is then
+			// the upgrade driver's job.
+			held := ct.deadInstances[ip]
+			delete(ct.deadInstances, ip)
+			ct.Revivals++
+			for _, vip := range held {
+				rs, ok := ct.policies[vip]
+				if !ok {
+					continue // VIP removed while the instance was down
+				}
+				in.InstallRules(vip, rs)
+				if !containsIP(ct.vipInstances[vip], ip) {
+					ct.vipInstances[vip] = append(ct.vipInstances[vip], ip)
+				}
+				ct.C.L4.SetMapping(vip, ct.vipInstances[vip])
 			}
 		}
 	}
@@ -247,6 +398,15 @@ func (ct *Controller) monitorTick() {
 			in.Store().SetServers(live)
 		}
 	}
+}
+
+func containsIP(ips []netsim.IP, ip netsim.IP) bool {
+	for _, x := range ips {
+		if x == ip {
+			return true
+		}
+	}
+	return false
 }
 
 func removeIP(ips []netsim.IP, dead netsim.IP) []netsim.IP {

@@ -121,6 +121,10 @@ type Instance struct {
 	Recovered    uint64 // flows resurrected from TCPStore
 	LookupMisses uint64 // orphan packets with no recoverable state, or dropped while queued
 	Reselections uint64 // HTTP/1.1 backend switches
+	// SNATQuarantined counts SNAT ports left reserved by flows whose state
+	// migrated to another instance (see ReleaseVIPFlows); they return to
+	// the pool only when the instance restarts.
+	SNATQuarantined uint64
 }
 
 // NewInstance creates a Yoda instance on host, using the given L4 LB for
@@ -192,6 +196,86 @@ func (in *Instance) SetBackendInfo(info rules.BackendInfo) { in.info = info }
 
 // FlowCount returns the number of live flow entries (both orientations).
 func (in *Instance) FlowCount() int { return len(in.flows) }
+
+// ClientFlowCount returns the number of live connections (client-side
+// orientation only, so each connection counts once regardless of phase).
+func (in *Instance) ClientFlowCount() int {
+	n := 0
+	for t, f := range in.flows {
+		if t == f.clientTuple() {
+			n++
+		}
+	}
+	return n
+}
+
+// VIPFlowCount returns the live connections terminating at vip.
+func (in *Instance) VIPFlowCount(vip netsim.IP) int {
+	n := 0
+	for t, f := range in.flows {
+		if t == f.clientTuple() && f.vip.IP == vip {
+			n++
+		}
+	}
+	return n
+}
+
+// VIPLastActive returns the most recent packet-activity time across the
+// instance's flows for vip; ok is false when no such flow exists. The
+// reconfig executor uses this as its drain signal: once every L4 mux has
+// applied a mapping change, a losing instance's flows stop receiving
+// packets and this timestamp freezes.
+func (in *Instance) VIPLastActive(vip netsim.IP) (last time.Duration, ok bool) {
+	for t, f := range in.flows {
+		if t == f.clientTuple() && f.vip.IP == vip {
+			ok = true
+			if f.lastActive > last {
+				last = f.lastActive
+			}
+		}
+	}
+	return last, ok
+}
+
+// ReleaseVIPFlows drops the local state of every flow terminating at vip
+// WITHOUT deleting its TCPStore records: ownership of those flows has
+// moved to the instances that gained the VIP, which resurrect them from
+// the store on the next packet. Deleting the records here (as teardown
+// does) would break exactly the flows a reconfiguration migrates.
+//
+// SNAT ports held by released tunnel-phase flows stay reserved
+// (quarantined): the migrated flow keeps using the port on its new owner,
+// and re-allocating it locally could splice a future flow onto the same
+// server-side tuple. The quarantined ports return to the pool when the
+// instance restarts (rolling upgrade) — the common case for a full drain.
+// Returns the number of flows released.
+func (in *Instance) ReleaseVIPFlows(vip netsim.IP) int {
+	var victims []*flow
+	for t, f := range in.flows {
+		if t == f.clientTuple() && f.vip.IP == vip {
+			victims = append(victims, f)
+		}
+	}
+	for _, f := range victims {
+		delete(in.flows, f.clientTuple())
+		if f.server.IP != 0 && in.flows[f.serverTuple()] == f {
+			delete(in.flows, f.serverTuple())
+		}
+		f.idleTimer.Stop()
+		f.dialTimer.Stop()
+		in.SNATQuarantined += countPort(f)
+	}
+	return len(victims)
+}
+
+// countPort reports whether a flow holds a SNAT port (tunnel or dialing
+// phase), for the quarantine counter.
+func countPort(f *flow) uint64 {
+	if f.server.IP != 0 {
+		return 1
+	}
+	return 0
+}
 
 // ReadStats returns and resets the per-VIP counters.
 func (in *Instance) ReadStats() map[netsim.IP]*VIPStats {

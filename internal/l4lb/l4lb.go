@@ -157,6 +157,27 @@ func (lb *LB) Mapping(vip netsim.IP) []netsim.IP {
 	return append([]netsim.IP(nil), lb.muxes[0].vipMap[vip]...)
 }
 
+// Converged reports whether every mux holds exactly insts for vip — i.e.
+// a staggered SetMapping has been applied fleet-wide. The reconfig
+// executor polls this instead of sleeping out the worst-case stagger.
+func (lb *LB) Converged(vip netsim.IP, insts []netsim.IP) bool {
+	for _, m := range lb.muxes {
+		cur := m.vipMap[vip]
+		if len(cur) != len(insts) {
+			return false
+		}
+		for i, ip := range insts {
+			if cur[i] != ip {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// UpdateStagger returns the configured worst-case per-mux update delay.
+func (lb *LB) UpdateStagger() time.Duration { return lb.cfg.UpdateStagger }
+
 // RemoveInstance removes an instance from every VIP mapping and drops its
 // affinity entries on all muxes, immediately. The Yoda controller calls
 // this when its monitor declares the instance dead.

@@ -126,6 +126,17 @@ func (h *Host) Reattach() {
 	h.net.Attach(h.ip, h)
 }
 
+// Reset clears every connection and listener registration plus the
+// default handler — the kernel state wipe of a machine reboot.
+// Detach → Reset → (rebuild handlers) → Reattach models a host restart;
+// without the reset, handlers of the previous incarnation would keep
+// receiving packets addressed to their old connections.
+func (h *Host) Reset() {
+	h.conns = make(map[connKey]PortHandler)
+	h.listeners = make(map[uint16]PortHandler)
+	h.Default = nil
+}
+
 // Alive reports whether the host is attached (not failed).
 func (h *Host) Alive() bool { return !h.dead }
 

@@ -1,0 +1,286 @@
+package reconfig
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+)
+
+// ErrBusy is returned when Start is called while a plan is executing.
+var ErrBusy = errors.New("reconfig: a reconfiguration is already running")
+
+// Executor applies a Plan to the live dataplane, one wave at a time.
+// It is single-flight: Start rejects while a plan is in progress. All
+// work happens on the simulation's event loop via scheduled callbacks,
+// so the executor composes with any workload the network is carrying.
+type Executor struct {
+	env Env
+	opt Options
+
+	stats   Stats
+	plan    *Plan
+	waveIdx int
+	onDone  []func(Stats)
+
+	// gainerBase snapshots Σ Recovered over gaining instances at Start,
+	// so ResurrectedFlows counts only this run's recoveries.
+	recoveredBase map[*core.Instance]uint64
+}
+
+// NewExecutor binds an executor to a cluster environment.
+func NewExecutor(env Env, opt Options) *Executor {
+	return &Executor{env: env, opt: opt.withDefaults()}
+}
+
+// Options returns the executor's resolved options.
+func (e *Executor) Options() Options { return e.opt }
+
+// Running reports whether a plan is executing.
+func (e *Executor) Running() bool { return e.stats.Running }
+
+// Stats returns a snapshot of the current (or last finished) run.
+func (e *Executor) Stats() Stats { return e.stats }
+
+// Start begins executing plan. onDone, when non-nil, fires once the last
+// wave has drained. Returns ErrBusy while a previous plan is running.
+func (e *Executor) Start(plan *Plan, onDone func(Stats)) error {
+	if e.stats.Running {
+		return ErrBusy
+	}
+	e.plan = plan
+	e.waveIdx = 0
+	e.stats = Stats{Running: true, Start: e.env.Net.Now()}
+	e.onDone = nil
+	if onDone != nil {
+		e.onDone = append(e.onDone, onDone)
+	}
+	e.recoveredBase = make(map[*core.Instance]uint64)
+	for _, in := range e.env.Instances() {
+		e.recoveredBase[in] = in.Recovered
+	}
+	// Run on the event loop, never synchronously inside Start: callers
+	// (controller ticks, admin API handlers) expect to regain control.
+	e.env.Net.Schedule(0, e.runWave)
+	return nil
+}
+
+// runWave executes wave e.waveIdx: install → flip → settle → drain.
+func (e *Executor) runWave() {
+	if e.waveIdx >= len(e.plan.Waves) {
+		e.finish()
+		return
+	}
+	wave := &e.plan.Waves[e.waveIdx]
+	byIP := e.env.instByIP()
+
+	// Count the denominator for this wave's measured migrated fraction:
+	// every live flow on the fleet at flip time.
+	total := 0
+	for _, in := range e.env.Instances() {
+		if in.Host().Alive() {
+			total += in.ClientFlowCount()
+		}
+	}
+
+	migrated := 0
+	ws := &waveState{flipAt: e.env.Net.Now()}
+	for _, mv := range wave.Moves {
+		// 1. Rules first on every gaining instance (§5.2 make-before-break:
+		// an instance must never receive a flow for a VIP it has no rules
+		// for).
+		rs := e.env.RulesFor(mv.VIP)
+		for _, ip := range mv.Gainers {
+			if in := byIP[ip]; in != nil && in.Host().Alive() {
+				in.InstallRules(mv.VIP, rs)
+			}
+		}
+		// 2. Flip the L4 mapping (staggered across muxes). Instances that
+		// died since planning are filtered out; the monitor has already
+		// withdrawn them from the muxes.
+		to := e.liveOnly(mv.To, byIP)
+		e.env.L4.SetMapping(mv.VIP, to)
+		if e.env.OnMapping != nil {
+			e.env.OnMapping(mv.VIP, to)
+		}
+		e.stats.MovesApplied++
+		// 3. Snapshot the losers' residual flows: these are the migrants.
+		for _, ip := range mv.Losers {
+			in := byIP[ip]
+			if in == nil || !in.Host().Alive() {
+				continue
+			}
+			n := in.VIPFlowCount(mv.VIP)
+			migrated += n
+			ws.drains = append(ws.drains, &drainState{
+				inst: in, vip: mv.VIP, flowsAtFlip: n,
+			})
+		}
+		ws.converge = append(ws.converge, convergeTarget{vip: mv.VIP, want: to})
+	}
+	e.stats.MigratedFlows += uint64(migrated)
+	if total > 0 {
+		frac := float64(migrated) / float64(total)
+		if frac > e.stats.MaxWaveMigratedFrac {
+			e.stats.MaxWaveMigratedFrac = frac
+		}
+	}
+	e.observeLoad(wave)
+	e.settle(wave, ws)
+}
+
+// waveState tracks one wave's execution.
+type waveState struct {
+	flipAt   time.Duration
+	converge []convergeTarget
+	drains   []*drainState
+}
+
+type convergeTarget struct {
+	vip  netsim.IP
+	want []netsim.IP
+}
+
+// drainState tracks one (loser instance, VIP) pair through the drain.
+type drainState struct {
+	inst        *core.Instance
+	vip         netsim.IP
+	flowsAtFlip int
+	done        bool
+}
+
+// settle polls until every mux has applied every flip of the wave, then
+// moves to drain. The drain timeout spans both phases (it is measured
+// from the flip).
+func (e *Executor) settle(wave *Wave, ws *waveState) {
+	e.observeLoad(wave)
+	now := e.env.Net.Now()
+	converged := true
+	byIP := e.env.instByIP()
+	for _, ct := range ws.converge {
+		// Re-filter: an instance may have died (and been withdrawn by the
+		// monitor) after the flip; convergence is then against the
+		// surviving list.
+		if !e.env.L4.Converged(ct.vip, e.liveOnly(ct.want, byIP)) {
+			converged = false
+			break
+		}
+	}
+	if !converged && now-ws.flipAt < e.opt.DrainTimeout {
+		e.env.Net.Schedule(e.opt.SettlePoll, func() { e.settle(wave, ws) })
+		return
+	}
+	e.drain(wave, ws)
+}
+
+// drain waits, per losing instance, for the moved VIP's flows to go
+// quiet (no packet for DrainQuiet — once all muxes converged nothing
+// more can arrive, so activity freezes), releases their local state
+// without touching TCPStore (the gainers own those flows now), and only
+// then removes the VIP's rules from the loser. The DrainTimeout backstop
+// forces release; flows still seeing packets at that point are broken.
+func (e *Executor) drain(wave *Wave, ws *waveState) {
+	e.observeLoad(wave)
+	now := e.env.Net.Now()
+	timedOut := now-ws.flipAt >= e.opt.DrainTimeout
+	allDone := true
+	for _, d := range ws.drains {
+		if d.done {
+			continue
+		}
+		if !d.inst.Host().Alive() {
+			// The loser died mid-drain: its flows were already migrated by
+			// the failure path; nothing to release.
+			d.done = true
+			continue
+		}
+		n := d.inst.VIPFlowCount(d.vip)
+		if n == 0 {
+			e.stats.DrainedFlows += uint64(d.flowsAtFlip)
+			e.removeRules(d)
+			continue
+		}
+		last, _ := d.inst.VIPLastActive(d.vip)
+		quiet := now-last >= e.opt.DrainQuiet
+		if !quiet && !timedOut {
+			allDone = false
+			continue
+		}
+		if !quiet && timedOut {
+			e.stats.BrokenFlows += uint64(n)
+		}
+		released := d.inst.ReleaseVIPFlows(d.vip)
+		e.stats.ReleasedFlows += uint64(released)
+		if d.flowsAtFlip > released {
+			e.stats.DrainedFlows += uint64(d.flowsAtFlip - released)
+		}
+		e.removeRules(d)
+	}
+	if !allDone {
+		e.env.Net.Schedule(e.opt.DrainPoll, func() { e.drain(wave, ws) })
+		return
+	}
+	e.stats.Waves++
+	e.waveIdx++
+	e.env.Net.Schedule(0, e.runWave)
+}
+
+// removeRules reclaims the loser's rule capacity for the moved VIP.
+func (e *Executor) removeRules(d *drainState) {
+	d.done = true
+	if d.inst.HasVIP(d.vip) {
+		d.inst.RemoveRules(d.vip)
+		e.stats.RulesRemoved++
+	}
+}
+
+// observeLoad samples per-instance live-flow counts on the instances a
+// wave touches — the measured Eq. 4–5 transient load.
+func (e *Executor) observeLoad(wave *Wave) {
+	byIP := e.env.instByIP()
+	seen := make(map[netsim.IP]bool)
+	for _, mv := range wave.Moves {
+		for _, ip := range unionIPs(mv.From, mv.To) {
+			if seen[ip] {
+				continue
+			}
+			seen[ip] = true
+			if in := byIP[ip]; in != nil && in.Host().Alive() {
+				if n := in.ClientFlowCount(); n > e.stats.PeakInstanceFlows {
+					e.stats.PeakInstanceFlows = n
+				}
+			}
+		}
+	}
+}
+
+// liveOnly filters an instance list to members that are alive right now.
+func (e *Executor) liveOnly(ips []netsim.IP, byIP map[netsim.IP]*core.Instance) []netsim.IP {
+	out := make([]netsim.IP, 0, len(ips))
+	for _, ip := range ips {
+		if in := byIP[ip]; in != nil && in.Host().Alive() {
+			out = append(out, ip)
+		}
+	}
+	return out
+}
+
+// finish closes out the run and fires completion callbacks.
+func (e *Executor) finish() {
+	for in, base := range e.recoveredBase {
+		if in.Recovered > base {
+			e.stats.ResurrectedFlows += in.Recovered - base
+		}
+	}
+	e.recoveredBase = nil
+	e.stats.Running = false
+	e.stats.Done = true
+	e.stats.Duration = e.env.Net.Now() - e.stats.Start
+	cbs := e.onDone
+	e.onDone = nil
+	done := e.stats
+	for _, cb := range cbs {
+		cb(done)
+	}
+}

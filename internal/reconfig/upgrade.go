@@ -1,0 +1,305 @@
+package reconfig
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// UpgradeOptions tunes the rolling-upgrade driver. Planner and executor
+// behaviour (δ, drain timings) comes from the shared Executor's Options.
+type UpgradeOptions struct {
+	// RestartDelay models the instance's reboot time: the gap between the
+	// drain completing (instance failed) and the restart callback running.
+	RestartDelay time.Duration
+	// ReadyPoll and ReadyTimeout bound the wait for the restarted
+	// instance to come back alive before re-admission.
+	ReadyPoll    time.Duration
+	ReadyTimeout time.Duration
+}
+
+func (o UpgradeOptions) withDefaults() UpgradeOptions {
+	if o.RestartDelay <= 0 {
+		o.RestartDelay = 2 * time.Second
+	}
+	if o.ReadyPoll <= 0 {
+		o.ReadyPoll = 200 * time.Millisecond
+	}
+	if o.ReadyTimeout <= 0 {
+		o.ReadyTimeout = 10 * time.Second
+	}
+	return o
+}
+
+// UpgradeStats is the observable state of a rolling upgrade.
+type UpgradeStats struct {
+	// Instances is the fleet size targeted; Upgraded counts instances
+	// fully cycled (drained, restarted, re-admitted). Skipped counts
+	// instances abandoned because their restart never came back within
+	// ReadyTimeout.
+	Instances int
+	Upgraded  int
+	Skipped   int
+
+	// Reconfig aggregates the drain and re-admission reconfigurations of
+	// every instance cycled so far.
+	Reconfig Stats
+
+	// Current is the instance being upgraded; Phase is one of "drain",
+	// "restart", "ready-wait", "readmit" (empty when idle).
+	Current netsim.IP
+	Phase   string
+
+	Start    time.Duration
+	Duration time.Duration
+	Running  bool
+	Done     bool
+	// Err records a fatal driver error (the upgrade stops early).
+	Err string
+}
+
+// Upgrader performs a zero-downtime rolling upgrade (§7.5): for each
+// instance in turn it drains the instance through a reconfig plan
+// (δ-bounded, so live connections migrate gradually and resurrect via
+// TCPStore), restarts the host under the new configuration via the
+// Restart callback, waits for it to come back, and re-admits it by
+// restoring the pre-drain assignment through a second plan.
+type Upgrader struct {
+	exec *Executor
+	opt  UpgradeOptions
+
+	// Mappings returns the owner's current VIP→instance view (the
+	// controller's vipInstances). Must return fresh copies.
+	Mappings func() map[netsim.IP][]netsim.IP
+	// Restart reboots the instance at ip under the new configuration. On
+	// return the replacement must be reachable through Env.Instances; it
+	// may still take time to come alive.
+	Restart func(ip netsim.IP)
+
+	stats  UpgradeStats
+	queue  []netsim.IP
+	idx    int
+	saved  map[netsim.IP][]netsim.IP // pre-drain mappings of the current instance's VIPs
+	onDone []func(UpgradeStats)
+}
+
+// NewUpgrader builds an upgrader sharing exec's environment and plan
+// options.
+func NewUpgrader(exec *Executor, opt UpgradeOptions) *Upgrader {
+	return &Upgrader{exec: exec, opt: opt.withDefaults()}
+}
+
+// Running reports whether an upgrade is in progress.
+func (u *Upgrader) Running() bool { return u.stats.Running }
+
+// Stats returns a snapshot of the current (or last finished) upgrade.
+func (u *Upgrader) Stats() UpgradeStats { return u.stats }
+
+// Start upgrades the instances in order, one at a time. Returns ErrBusy
+// while a previous upgrade (or a foreign reconfiguration) is running.
+func (u *Upgrader) Start(order []netsim.IP, onDone func(UpgradeStats)) error {
+	if u.stats.Running || u.exec.Running() {
+		return ErrBusy
+	}
+	if u.Mappings == nil || u.Restart == nil {
+		panic("reconfig: Upgrader needs Mappings and Restart callbacks")
+	}
+	u.queue = append([]netsim.IP(nil), order...)
+	u.idx = 0
+	u.stats = UpgradeStats{
+		Instances: len(u.queue),
+		Running:   true,
+		Start:     u.exec.env.Net.Now(),
+	}
+	u.onDone = nil
+	if onDone != nil {
+		u.onDone = append(u.onDone, onDone)
+	}
+	u.exec.env.Net.Schedule(0, u.step)
+	return nil
+}
+
+// step starts the cycle for the next instance in the queue.
+func (u *Upgrader) step() {
+	if u.idx >= len(u.queue) {
+		u.finish()
+		return
+	}
+	ip := u.queue[u.idx]
+	u.stats.Current = ip
+	u.stats.Phase = "drain"
+
+	cur := u.Mappings()
+	target := make(map[netsim.IP][]netsim.IP)
+	u.saved = make(map[netsim.IP][]netsim.IP)
+	for vip, insts := range cur {
+		if !containsIP(insts, ip) {
+			continue
+		}
+		u.saved[vip] = append([]netsim.IP(nil), insts...)
+		to := subtractIPs(insts, []netsim.IP{ip})
+		if len(to) == 0 {
+			// Sole holder: park the VIP on the least-loaded live peer for
+			// the duration of the restart, so the VIP never goes dark.
+			if cand, ok := u.replacement(ip); ok {
+				to = []netsim.IP{cand}
+			}
+		}
+		target[vip] = to
+	}
+	if len(target) == 0 {
+		// The instance holds nothing — drain is a no-op.
+		u.scheduleRestart(ip)
+		return
+	}
+	st := State{Current: cur, Target: target, Flows: u.flowSnapshot(cur)}
+	plan, err := NewPlan(st, u.exec.opt)
+	if err != nil {
+		u.fail(err)
+		return
+	}
+	if err := u.exec.Start(plan, func(s Stats) {
+		u.accumulate(s)
+		u.scheduleRestart(ip)
+	}); err != nil {
+		u.fail(err)
+	}
+}
+
+// scheduleRestart fires the Restart callback after the reboot delay.
+func (u *Upgrader) scheduleRestart(ip netsim.IP) {
+	u.stats.Phase = "restart"
+	u.exec.env.Net.Schedule(u.opt.RestartDelay, func() {
+		u.Restart(ip)
+		u.stats.Phase = "ready-wait"
+		deadline := u.exec.env.Net.Now() + u.opt.ReadyTimeout
+		u.pollReady(ip, deadline)
+	})
+}
+
+// pollReady waits for the restarted instance to come back alive.
+func (u *Upgrader) pollReady(ip netsim.IP, deadline time.Duration) {
+	byIP := u.exec.env.instByIP()
+	if in := byIP[ip]; in != nil && in.Host().Alive() {
+		u.readmit(ip)
+		return
+	}
+	if u.exec.env.Net.Now() >= deadline {
+		// The instance never came back; abandon it and move on — its VIPs
+		// stay where the drain put them.
+		u.stats.Skipped++
+		u.idx++
+		u.saved = nil
+		u.exec.env.Net.Schedule(0, u.step)
+		return
+	}
+	u.exec.env.Net.Schedule(u.opt.ReadyPoll, func() { u.pollReady(ip, deadline) })
+}
+
+// readmit restores the instance's pre-drain assignments through a second
+// reconfig plan (the executor re-installs its rules as a gainer).
+func (u *Upgrader) readmit(ip netsim.IP) {
+	u.stats.Phase = "readmit"
+	saved := u.saved
+	u.saved = nil
+	if len(saved) == 0 {
+		u.completeInstance()
+		return
+	}
+	st := State{Current: u.Mappings(), Target: saved, Flows: u.flowSnapshot(saved)}
+	plan, err := NewPlan(st, u.exec.opt)
+	if err != nil {
+		u.fail(err)
+		return
+	}
+	if err := u.exec.Start(plan, func(s Stats) {
+		u.accumulate(s)
+		u.completeInstance()
+	}); err != nil {
+		u.fail(err)
+	}
+}
+
+// completeInstance closes out the current instance's cycle.
+func (u *Upgrader) completeInstance() {
+	u.stats.Upgraded++
+	u.idx++
+	u.exec.env.Net.Schedule(0, u.step)
+}
+
+// replacement picks the live instance with the fewest client flows to
+// temporarily hold a drained instance's sole-owner VIPs.
+func (u *Upgrader) replacement(exclude netsim.IP) (netsim.IP, bool) {
+	best := netsim.IP(0)
+	bestFlows := -1
+	for _, in := range u.exec.env.Instances() {
+		ip := in.IP()
+		if ip == exclude || !in.Host().Alive() {
+			continue
+		}
+		n := in.ClientFlowCount()
+		if bestFlows < 0 || n < bestFlows || (n == bestFlows && ip < best) {
+			best, bestFlows = ip, n
+		}
+	}
+	return best, bestFlows >= 0
+}
+
+// flowSnapshot reads live per-VIP flow counts for the planner's Eq. 6–7
+// accounting, over the VIPs present in vips.
+func (u *Upgrader) flowSnapshot(vips map[netsim.IP][]netsim.IP) map[netsim.IP]map[netsim.IP]float64 {
+	out := make(map[netsim.IP]map[netsim.IP]float64, len(vips))
+	for vip := range vips {
+		per := make(map[netsim.IP]float64)
+		for _, in := range u.exec.env.Instances() {
+			if !in.Host().Alive() {
+				continue
+			}
+			if n := in.VIPFlowCount(vip); n > 0 {
+				per[in.IP()] = float64(n)
+			}
+		}
+		out[vip] = per
+	}
+	return out
+}
+
+// accumulate folds one reconfiguration's stats into the upgrade total.
+func (u *Upgrader) accumulate(s Stats) {
+	r := &u.stats.Reconfig
+	r.Waves += s.Waves
+	r.MovesApplied += s.MovesApplied
+	r.MigratedFlows += s.MigratedFlows
+	r.DrainedFlows += s.DrainedFlows
+	r.ReleasedFlows += s.ReleasedFlows
+	r.BrokenFlows += s.BrokenFlows
+	r.ResurrectedFlows += s.ResurrectedFlows
+	r.RulesRemoved += s.RulesRemoved
+	if s.MaxWaveMigratedFrac > r.MaxWaveMigratedFrac {
+		r.MaxWaveMigratedFrac = s.MaxWaveMigratedFrac
+	}
+	if s.PeakInstanceFlows > r.PeakInstanceFlows {
+		r.PeakInstanceFlows = s.PeakInstanceFlows
+	}
+}
+
+// fail aborts the upgrade with a driver error.
+func (u *Upgrader) fail(err error) {
+	u.stats.Err = err.Error()
+	u.finish()
+}
+
+// finish closes out the run and fires completion callbacks.
+func (u *Upgrader) finish() {
+	u.stats.Running = false
+	u.stats.Done = true
+	u.stats.Current = 0
+	u.stats.Phase = ""
+	u.stats.Duration = u.exec.env.Net.Now() - u.stats.Start
+	cbs := u.onDone
+	u.onDone = nil
+	done := u.stats
+	for _, cb := range cbs {
+		cb(done)
+	}
+}

@@ -2,6 +2,7 @@ package tcpstore
 
 import (
 	"errors"
+	"sort"
 	"time"
 
 	"repro/internal/memcache"
@@ -114,6 +115,27 @@ func (s *Store) SetServers(servers []netsim.HostPort) {
 			c.Close()
 			delete(s.conns, hp)
 		}
+	}
+}
+
+// Close aborts every open server connection — instance shutdown. The
+// connections are closed in deterministic (sorted) order because each
+// abort emits a RST whose network delivery may draw from the simulation
+// RNG.
+func (s *Store) Close() {
+	addrs := make([]netsim.HostPort, 0, len(s.conns))
+	for hp := range s.conns {
+		addrs = append(addrs, hp)
+	}
+	sort.Slice(addrs, func(i, j int) bool {
+		if addrs[i].IP != addrs[j].IP {
+			return addrs[i].IP < addrs[j].IP
+		}
+		return addrs[i].Port < addrs[j].Port
+	})
+	for _, hp := range addrs {
+		s.conns[hp].Close()
+		delete(s.conns, hp)
 	}
 }
 

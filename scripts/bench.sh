@@ -28,6 +28,8 @@ go test -run '^$' -bench 'BenchmarkSimulatorThroughput' -benchmem \
   . | tee -a "$MICRO_LOG"
 go test -run '^$' -bench 'BenchmarkStorageB' -benchtime 2000x \
   ./internal/tcpstore/ | tee -a "$MICRO_LOG"
+go test -run '^$' -bench 'BenchmarkReconfigMigration' -benchtime 3x \
+  ./internal/reconfig/ | tee -a "$MICRO_LOG"
 
 if [[ "${FAST:-0}" != "1" ]]; then
   echo "== figure benchmarks (one run each; Fig13 takes minutes) =="
@@ -53,6 +55,8 @@ SB_BATCH_RT="$(metric "$MICRO_LOG" BenchmarkStorageBBatched roundtrips/write)"
 SB_SEQ_RT="$(metric "$MICRO_LOG" BenchmarkStorageBSequential roundtrips/write)"
 SB_BATCH_US="$(metric "$MICRO_LOG" BenchmarkStorageBBatched virtual-µs/write)"
 SB_SEQ_US="$(metric "$MICRO_LOG" BenchmarkStorageBSequential virtual-µs/write)"
+RECONFIG_TPUT="$(metric "$MICRO_LOG" BenchmarkReconfigMigration migrated_flows/s)"
+RECONFIG_DRAIN_MS="$(metric "$MICRO_LOG" BenchmarkReconfigMigration drain_ms/op)"
 
 jsonnum() { [[ -n "${1:-}" ]] && echo "$1" || echo "null"; }
 
@@ -101,6 +105,8 @@ cat > "$OUT" <<EOF
     "storage_b_sequential_roundtrips_per_write": $(jsonnum "$SB_SEQ_RT"),
     "storage_b_batched_virtual_us": $(jsonnum "$SB_BATCH_US"),
     "storage_b_sequential_virtual_us": $(jsonnum "$SB_SEQ_US"),
+    "reconfig_migration_flows_per_s": $(jsonnum "$RECONFIG_TPUT"),
+    "reconfig_drain_virtual_ms": $(jsonnum "$RECONFIG_DRAIN_MS"),
     "fig10_wall_s": $FIG10_S,
     "fig12_wall_s": $FIG12_S,
     "fig13_wall_s": $FIG13_S

@@ -10,12 +10,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== dataplane fast-fail (vet + race on core/tcpstore) =="
-# The write-barrier dataplane and its store client are where regressions
-# bite hardest; vet and race them first so a broken barrier fails in
-# seconds, not after the full suite.
-go vet ./internal/core/ ./internal/tcpstore/
-go test -race ./internal/core/ ./internal/tcpstore/
+echo "== dataplane fast-fail (vet + race on core/tcpstore/reconfig) =="
+# The write-barrier dataplane, its store client, and the live
+# reconfiguration engine are where regressions bite hardest; vet and race
+# them first so a broken barrier or drain fails in seconds, not after the
+# full suite.
+go vet ./internal/core/ ./internal/tcpstore/ ./internal/reconfig/
+go test -race ./internal/core/ ./internal/tcpstore/ ./internal/reconfig/
 
 echo "== go vet =="
 go vet ./...
