@@ -4,13 +4,19 @@
 //
 // Usage:
 //
-//	yodasim -exp table1|fig6|fig9|fig10|fig12|fig12b|fig13|fig14|cpu|upgrade|all [-seed N]
+//	yodasim -exp table1|fig6|fig9|fig10|fig12|fig12b|fig13|fig14|cpu|upgrade|all [-seed N] [-parallel]
+//
+// -parallel runs independent trials on separate goroutines: the Figure 6
+// rule-count points, the Figure 12 arms, and (with -exp all) the
+// experiments themselves. Every trial owns a cluster seeded from -seed,
+// and output order is fixed, so results match a sequential run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	"repro/internal/experiments"
 )
@@ -18,6 +24,7 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: table1, fig6, fig9, fig10, fig12, fig12b, fig13, fig14, cpu, upgrade, all")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	parallel := flag.Bool("parallel", false, "run independent trials/experiments on separate goroutines")
 	flag.Parse()
 
 	runners := map[string]func() fmt.Stringer{
@@ -25,6 +32,7 @@ func main() {
 		"fig6": func() fmt.Stringer {
 			cfg := experiments.DefaultFig6Config()
 			cfg.Seed = *seed
+			cfg.Parallel = *parallel
 			return experiments.RunFig6(cfg)
 		},
 		"fig9": func() fmt.Stringer {
@@ -40,6 +48,7 @@ func main() {
 		"fig12": func() fmt.Stringer {
 			cfg := experiments.DefaultFig12Config()
 			cfg.Seed = *seed
+			cfg.Parallel = *parallel
 			return experiments.RunFig12(cfg)
 		},
 		// Figure 11 is the CPU half of the Figure 10 harness.
@@ -79,6 +88,25 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Println(run().String())
+		return
+	}
+	if *parallel {
+		// Each experiment builds its own simulated cluster from -seed, so
+		// they are independent trials; run them concurrently and print in
+		// the fixed order.
+		outputs := make([]string, len(order))
+		var wg sync.WaitGroup
+		for i, name := range order {
+			wg.Add(1)
+			go func(i int, run func() fmt.Stringer) {
+				defer wg.Done()
+				outputs[i] = run().String()
+			}(i, runners[name])
+		}
+		wg.Wait()
+		for _, out := range outputs {
+			fmt.Println(out)
+		}
 		return
 	}
 	for _, name := range order {

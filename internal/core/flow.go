@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/httpsim"
 	"repro/internal/netsim"
-	"repro/internal/rules"
 	"repro/internal/securesim"
 )
 
@@ -251,9 +250,6 @@ func (in *Instance) selectAndDial(f *flow, req *httpsim.Request) {
 	if !decision.OK {
 		in.reject(f, 503, "no rule matched")
 		return
-	}
-	if decision.Rule.Action.Type == rules.ActionTable {
-		// refresh sticky pin lazily below once the flow is established
 	}
 	// The SNAT port is claimed before any flow state mutates so an
 	// exhausted range rejects cleanly: silently reusing an in-use port

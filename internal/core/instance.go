@@ -163,12 +163,30 @@ func (in *Instance) Store() *tcpstore.Store { return in.store }
 
 // InstallRules installs (or replaces) the rule table for a VIP. Existing
 // flows are unaffected: policies apply to new connections only (§5.2).
-func (in *Instance) InstallRules(vip netsim.IP, rs []rules.Rule) {
+// Invalid tables (see rules.ValidateRules) are rejected, leaving any
+// previously installed table serving.
+func (in *Instance) InstallRules(vip netsim.IP, rs []rules.Rule) error {
 	if e, ok := in.engines[vip]; ok {
-		e.Update(rs)
-		return
+		return e.Update(rs)
+	}
+	if err := rules.ValidateRules(rs); err != nil {
+		return err
 	}
 	in.engines[vip] = rules.NewEngine(rs)
+	return nil
+}
+
+// StickyTableSizes reports the number of sticky-session bindings per
+// table, summed across this instance's VIP engines — the memory the
+// hygiene pass in rules.Engine.Update bounds under policy churn.
+func (in *Instance) StickyTableSizes() map[string]int {
+	out := make(map[string]int)
+	for _, e := range in.engines {
+		for name, n := range e.TableSizes() {
+			out[name] += n
+		}
+	}
+	return out
 }
 
 // RemoveRules drops the rule table for a VIP (VIP removal, §5.2).

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"strconv"
 	"strings"
 	"time"
@@ -144,7 +145,7 @@ func frameRequests(buf []byte) ([]kaRequest, int) {
 // headerBlockLen returns the length of the header block including the
 // terminating CRLFCRLF. The caller has already verified it is complete.
 func headerBlockLen(buf []byte) int {
-	idx := strings.Index(string(buf), "\r\n\r\n")
+	idx := bytes.Index(buf, []byte("\r\n\r\n"))
 	return idx + 4
 }
 
@@ -457,16 +458,28 @@ func (in *Instance) kaConsumeResponses(f *flow) {
 // frameResponseLen returns the wire length of the first complete HTTP
 // response in buf, or 0 if incomplete/unparseable-yet.
 func frameResponseLen(buf []byte) int {
-	idx := strings.Index(string(buf), "\r\n\r\n")
+	idx := bytes.Index(buf, []byte("\r\n\r\n"))
 	if idx < 0 {
 		return 0
 	}
-	head := string(buf[:idx])
+	head := buf[:idx]
 	total := idx + 4
-	for _, line := range strings.Split(head, "\r\n")[1:] {
-		kv := strings.SplitN(line, ":", 2)
-		if len(kv) == 2 && strings.EqualFold(strings.TrimSpace(kv[0]), "Content-Length") {
-			n, err := strconv.Atoi(strings.TrimSpace(kv[1]))
+	// Walk header lines without converting the buffer to a string: the hot
+	// response path runs this on every ACKed segment.
+	for len(head) > 0 {
+		eol := bytes.Index(head, []byte("\r\n"))
+		var line []byte
+		if eol < 0 {
+			line, head = head, nil
+		} else {
+			line, head = head[:eol], head[eol+2:]
+		}
+		colon := bytes.IndexByte(line, ':')
+		if colon < 0 {
+			continue
+		}
+		if strings.EqualFold(string(bytes.TrimSpace(line[:colon])), "Content-Length") {
+			n, err := strconv.Atoi(string(bytes.TrimSpace(line[colon+1:])))
 			if err != nil || n < 0 {
 				return 0
 			}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/cluster"
@@ -32,6 +33,10 @@ type Fig12Config struct {
 	HTTPTimeout time.Duration
 	// ObjectSize per request.
 	ObjectSize int
+	// Parallel runs the three arms on separate goroutines. Each arm owns
+	// an independent cluster seeded from Seed, so results are identical to
+	// a sequential run.
+	Parallel bool
 }
 
 // DefaultFig12Config mirrors §7.2: 10 instances, 2 killed, 20 client
@@ -82,13 +87,37 @@ type Fig12Result struct {
 	HAProxyRetry   Fig12Arm
 }
 
-// RunFig12 runs the three arms.
+// RunFig12 runs the three arms, concurrently when cfg.Parallel is set
+// (each arm simulates its own cluster from the same seed, so the output
+// does not depend on the mode).
 func RunFig12(cfg Fig12Config) *Fig12Result {
-	return &Fig12Result{
-		Yoda:           runFig12Arm(cfg, "yoda", true, 0),
-		HAProxyNoRetry: runFig12Arm(cfg, "haproxy-noretry", false, 0),
-		HAProxyRetry:   runFig12Arm(cfg, "haproxy-retry", false, 1),
+	res := &Fig12Result{}
+	arms := []struct {
+		out     *Fig12Arm
+		name    string
+		yoda    bool
+		retries int
+	}{
+		{&res.Yoda, "yoda", true, 0},
+		{&res.HAProxyNoRetry, "haproxy-noretry", false, 0},
+		{&res.HAProxyRetry, "haproxy-retry", false, 1},
 	}
+	if cfg.Parallel {
+		var wg sync.WaitGroup
+		for _, a := range arms {
+			wg.Add(1)
+			go func(out *Fig12Arm, name string, yoda bool, retries int) {
+				defer wg.Done()
+				*out = runFig12Arm(cfg, name, yoda, retries)
+			}(a.out, a.name, a.yoda, a.retries)
+		}
+		wg.Wait()
+	} else {
+		for _, a := range arms {
+			*a.out = runFig12Arm(cfg, a.name, a.yoda, a.retries)
+		}
+	}
+	return res
 }
 
 func runFig12Arm(cfg Fig12Config, name string, yoda bool, retries int) Fig12Arm {

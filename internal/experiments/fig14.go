@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/cluster"
@@ -68,9 +69,17 @@ func RunFig14(cfg Fig14Config) *Fig14Result {
 	ct := controller.New(c, controller.DefaultConfig())
 
 	split := func(weights map[string]float64) []rules.Rule {
-		var wb []rules.WeightedBackend
-		for name, w := range weights {
-			wb = append(wb, rules.WeightedBackend{Backend: c.Backends[name].Rec, Weight: w})
+		// Build the split in sorted name order: map iteration order is
+		// randomized, and split order decides which backend each weighted
+		// draw lands on, so it must be stable for deterministic output.
+		names := make([]string, 0, len(weights))
+		for name := range weights {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		wb := make([]rules.WeightedBackend, 0, len(names))
+		for _, name := range names {
+			wb = append(wb, rules.WeightedBackend{Backend: c.Backends[name].Rec, Weight: weights[name]})
 		}
 		return []rules.Rule{{
 			Name: "split", Priority: 1, Match: rules.Match{URLGlob: "*"},

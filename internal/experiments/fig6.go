@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -17,6 +18,11 @@ type Fig6Config struct {
 	Seed       int64
 	RuleCounts []int // table sizes to sweep, e.g. 1K..10K
 	Lookups    int   // lookups per table size
+	// Parallel evaluates the rule-count points on separate goroutines.
+	// The RNG draws are pre-generated sequentially from the single seeded
+	// stream, so every reported metric except the wall-clock ScanP90
+	// column is bit-identical to a sequential run.
+	Parallel bool
 }
 
 // DefaultFig6Config sweeps 1K–10K rules as in the paper.
@@ -50,31 +56,66 @@ type Fig6Result struct {
 	Ratio10Kto1K float64
 }
 
+// fig6Inputs is the pre-drawn randomness for one rule-count point. Draws
+// are generated sequentially from the single seeded stream — in exactly
+// the order the measurement loop consumes them — so points can then be
+// evaluated on separate goroutines without perturbing any result.
+type fig6Inputs struct {
+	paths []string
+	rnds  []float64
+}
+
 // RunFig6 measures lookup latency across rule-table sizes.
 func RunFig6(cfg Fig6Config) *Fig6Result {
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	res := &Fig6Result{}
+	res := &Fig6Result{Points: make([]Fig6Point, len(cfg.RuleCounts))}
 	instCfg := core.DefaultConfig()
 
-	for _, n := range cfg.RuleCounts {
-		engine := rules.NewEngine(randomRules(rng, n))
+	inputs := make([]fig6Inputs, len(cfg.RuleCounts))
+	for i := range cfg.RuleCounts {
+		in := fig6Inputs{
+			paths: make([]string, cfg.Lookups),
+			rnds:  make([]float64, cfg.Lookups),
+		}
+		for j := 0; j < cfg.Lookups; j++ {
+			in.paths[j] = randomPath(rng)
+			in.rnds[j] = rng.Float64()
+		}
+		inputs[i] = in
+	}
+
+	point := func(i int) {
+		n := cfg.RuleCounts[i]
+		engine := rules.NewEngine(randomRules(n))
 		model := metrics.NewDurationHistogram()
 		scan := metrics.NewDurationHistogram()
 		scanned := 0.0
-		for i := 0; i < cfg.Lookups; i++ {
-			req := httpsim.NewRequest(randomPath(rng), "svc")
+		for j := 0; j < cfg.Lookups; j++ {
+			req := httpsim.NewRequest(inputs[i].paths[j], "svc")
 			t0 := time.Now()
-			d := engine.Select(req, rng.Float64(), nil)
+			d := engine.Select(req, inputs[i].rnds[j], nil)
 			scan.Add(time.Since(t0))
 			scanned += float64(d.Scanned)
 			model.Add(instCfg.LookupBase + time.Duration(d.Scanned)*instCfg.LookupPerRule)
 		}
-		res.Points = append(res.Points, Fig6Point{
+		res.Points[i] = Fig6Point{
 			Rules:      n,
 			ModelP90:   model.P90(),
 			ScanP90:    scan.P90(),
 			AvgScanned: scanned / float64(cfg.Lookups),
-		})
+		}
+	}
+	if cfg.Parallel {
+		var wg sync.WaitGroup
+		for i := range cfg.RuleCounts {
+			wg.Add(1)
+			go func(i int) { defer wg.Done(); point(i) }(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range cfg.RuleCounts {
+			point(i)
+		}
 	}
 	if len(res.Points) >= 2 {
 		first, last := res.Points[0], res.Points[len(res.Points)-1]
@@ -87,7 +128,7 @@ func RunFig6(cfg Fig6Config) *Fig6Result {
 
 // randomRules builds n rules whose matches mostly miss, so lookups scan
 // deep into the table as in a real multi-tenant rule set.
-func randomRules(rng *rand.Rand, n int) []rules.Rule {
+func randomRules(n int) []rules.Rule {
 	backend := rules.Backend{Name: "b", Addr: netsim.HostPort{IP: netsim.IPv4(10, 0, 2, 1), Port: 80}}
 	out := make([]rules.Rule, 0, n+1)
 	for i := 0; i < n-1; i++ {

@@ -93,13 +93,18 @@ func (in *Instance) Host() *netsim.Host { return in.host }
 // IP returns the instance's address.
 func (in *Instance) IP() netsim.IP { return in.host.IP() }
 
-// InstallRules installs or replaces the rule table for a VIP.
-func (in *Instance) InstallRules(vip netsim.IP, rs []rules.Rule) {
+// InstallRules installs or replaces the rule table for a VIP. Invalid
+// tables (see rules.ValidateRules) are rejected, leaving any previously
+// installed table serving.
+func (in *Instance) InstallRules(vip netsim.IP, rs []rules.Rule) error {
 	if e, ok := in.engines[vip]; ok {
-		e.Update(rs)
-		return
+		return e.Update(rs)
+	}
+	if err := rules.ValidateRules(rs); err != nil {
+		return err
 	}
 	in.engines[vip] = rules.NewEngine(rs)
+	return nil
 }
 
 // SetBackendInfo wires backend health into rule evaluation.

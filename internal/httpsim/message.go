@@ -22,6 +22,10 @@ type Request struct {
 	Version string // "HTTP/1.0" or "HTTP/1.1"
 	Headers map[string]string
 	Body    []byte
+
+	// cookies memoizes the parsed Cookie header (see view.go) so rule
+	// evaluation pays the parse once per request, not once per rule.
+	cookies cookieView
 }
 
 // NewRequest builds a GET request for path with sensible defaults.
@@ -48,29 +52,27 @@ func (r *Request) SetHeader(name, value string) {
 }
 
 // Cookie returns the value of the named cookie from the Cookie header, or
-// "" if absent.
+// "" if absent. The header is parsed at most once per request (and again
+// only if it is rewritten); repeated lookups are allocation-free.
 func (r *Request) Cookie(name string) string {
 	raw := r.Header("Cookie")
 	if raw == "" {
 		return ""
 	}
-	for _, part := range strings.Split(raw, ";") {
-		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
-		if len(kv) == 2 && kv[0] == name {
-			return kv[1]
-		}
+	if !r.cookies.parsed || r.cookies.src != raw {
+		r.cookies.parse(raw)
 	}
-	return ""
+	return r.cookies.lookup(name)
 }
 
 // KeepAlive reports whether the connection should persist after this
 // request (HTTP/1.1 default unless "Connection: close").
 func (r *Request) KeepAlive() bool {
-	conn := strings.ToLower(r.Header("Connection"))
+	conn := r.Header("Connection")
 	if r.Version == "HTTP/1.1" {
-		return conn != "close"
+		return !strings.EqualFold(conn, "close")
 	}
-	return conn == "keep-alive"
+	return strings.EqualFold(conn, "keep-alive")
 }
 
 // Marshal serializes the request onto the wire.
@@ -165,7 +167,11 @@ func writeHeaders(b *bytes.Buffer, h map[string]string) {
 }
 
 func headerGet(h map[string]string, name string) string {
-	if v, ok := h[canonical(name)]; ok {
+	// Fast path: headers are stored under canonical names, and hot callers
+	// (the rule engine, keep-alive framing) pass canonical names, so the
+	// direct map hit succeeds without the allocation canonicalizing would
+	// cost. The fold-insensitive scan covers every other spelling.
+	if v, ok := h[name]; ok {
 		return v
 	}
 	for k, v := range h {

@@ -1,0 +1,60 @@
+package httpsim
+
+import "strings"
+
+// Memoized request views: the rule engine may inspect the same request
+// many times during one selection (every cookie rule re-reads the Cookie
+// header; every host rule re-reads Host). The original implementation
+// re-split the Cookie header on each call, allocating a slice per lookup
+// on the per-connection critical path. The view below parses the header
+// once into name/value pairs that are sub-slices of the header string —
+// no bytes are copied — and reuses them for every subsequent lookup on
+// the same request.
+//
+// Requests are owned by a single flow on a single event loop, so the lazy
+// memoization needs no locking; a Request must not be shared across
+// goroutines while Cookie is being called.
+
+// cookiePair is one name=value pair from the Cookie header. Both strings
+// alias the raw header value.
+type cookiePair struct{ name, value string }
+
+// cookieView caches the parsed Cookie header. src records the raw value
+// the pairs were built from so a SetHeader("Cookie", ...) between lookups
+// invalidates the cache.
+type cookieView struct {
+	src    string
+	parsed bool
+	pairs  []cookiePair
+}
+
+// parse rebuilds the pair list from raw. The pair slice is reused across
+// re-parses; only its first growth allocates.
+func (cv *cookieView) parse(raw string) {
+	cv.src, cv.parsed = raw, true
+	cv.pairs = cv.pairs[:0]
+	for start := 0; start <= len(raw); {
+		var part string
+		if end := strings.IndexByte(raw[start:], ';'); end >= 0 {
+			part = raw[start : start+end]
+			start += end + 1
+		} else {
+			part = raw[start:]
+			start = len(raw) + 1
+		}
+		part = strings.TrimSpace(part)
+		if i := strings.IndexByte(part, '='); i >= 0 {
+			cv.pairs = append(cv.pairs, cookiePair{part[:i], part[i+1:]})
+		}
+	}
+}
+
+// lookup returns the value of the first pair with the given name, or "".
+func (cv *cookieView) lookup(name string) string {
+	for _, p := range cv.pairs {
+		if p.name == name {
+			return p.value
+		}
+	}
+	return ""
+}

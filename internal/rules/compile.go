@@ -1,0 +1,197 @@
+package rules
+
+import (
+	"sort"
+	"strings"
+)
+
+// Rule-table compilation.
+//
+// The paper's Figure 6 measures the cost Yoda inherits from HAProxy: rule
+// lookup scans the whole priority-ordered table, so lookup latency grows
+// linearly with table size. The simulated latency model keeps that cost
+// (it is what the figure reproduces), but the *process* running the
+// simulation does not have to pay it for real. Update compiles the sorted
+// table into per-field indexes so Select examines only the rules that
+// could possibly match, in priority order:
+//
+//   - host:     rules with an exact Host match, hashed by host
+//   - method:   rules with a Method match (and no Host), hashed by method
+//   - literal:  metacharacter-free URL globs, hashed by exact path
+//   - prefix:   globs of the form "lit*…" — bucketed by the literal
+//     prefix, grouped by prefix length so a lookup is one hash probe per
+//     distinct length present in the table
+//   - suffix:   globs of the form "*lit" (e.g. "*.jpg") — bucketed by the
+//     literal suffix, grouped by suffix length
+//   - residual: everything else ("*", globs with '?', cookie/header-only
+//     rules) — always candidates
+//
+// Each rule lands in exactly one bucket, chosen so that a request that
+// misses the bucket provably fails the rule's Match — the index never
+// changes which rule wins, only how many rules are touched to find it.
+// Scan-equivalent accounting: the linear scan's Scanned equals the
+// winner's position in the sorted table + 1 (or the table size when
+// nothing terminates), because every earlier rule is examined exactly
+// once. The compiled path recovers the same number from the winner's
+// precomputed position without visiting the skipped rules, so the Figure
+// 6 latency model and every metric derived from it stay bit-identical.
+
+// index is the compiled form of a sorted rule table. Rule IDs are
+// positions in the sorted table; every bucket list is ascending, i.e.
+// already in evaluation (priority) order.
+type index struct {
+	host     map[string][]int32
+	method   map[string][]int32
+	literal  map[string][]int32
+	prefix   map[int]map[string][]int32
+	suffix   map[int]map[string][]int32
+	residual []int32
+
+	prefixLens []int // keys of prefix, sorted
+	suffixLens []int // keys of suffix, sorted
+
+	// maxLists bounds how many candidate lists one lookup can touch, so
+	// the Select scratch can be sized once at Update time.
+	maxLists int
+}
+
+// compile builds the index over rules already sorted by priority.
+func compile(rs []Rule) index {
+	ix := index{
+		host:    make(map[string][]int32),
+		method:  make(map[string][]int32),
+		literal: make(map[string][]int32),
+		prefix:  make(map[int]map[string][]int32),
+		suffix:  make(map[int]map[string][]int32),
+	}
+	for i := range rs {
+		id := int32(i)
+		m := &rs[i].Match
+		switch {
+		case m.Host != "":
+			ix.host[m.Host] = append(ix.host[m.Host], id)
+		case m.Method != "":
+			ix.method[m.Method] = append(ix.method[m.Method], id)
+		default:
+			ix.addGlob(m.URLGlob, id)
+		}
+	}
+	for l := range ix.prefix {
+		ix.prefixLens = append(ix.prefixLens, l)
+	}
+	for l := range ix.suffix {
+		ix.suffixLens = append(ix.suffixLens, l)
+	}
+	sort.Ints(ix.prefixLens)
+	sort.Ints(ix.suffixLens)
+	// residual + host + method + literal + one per distinct prefix/suffix
+	// length.
+	ix.maxLists = 4 + len(ix.prefixLens) + len(ix.suffixLens)
+	return ix
+}
+
+// addGlob buckets a rule by the shape of its URL glob.
+func (ix *index) addGlob(g string, id int32) {
+	if g == "" || strings.IndexByte(g, '?') >= 0 {
+		// Unconstrained path, or single-byte wildcards the buckets cannot
+		// express: always a candidate.
+		ix.residual = append(ix.residual, id)
+		return
+	}
+	first := strings.IndexByte(g, '*')
+	if first < 0 {
+		ix.literal[g] = append(ix.literal[g], id)
+		return
+	}
+	last := strings.LastIndexByte(g, '*')
+	pre, suf := g[:first], g[last+1:]
+	switch {
+	case pre != "":
+		// "pre*…": the path must start with pre. (Anything after the first
+		// star, including more stars, is re-checked by the full Match.)
+		b := ix.prefix[len(pre)]
+		if b == nil {
+			b = make(map[string][]int32)
+			ix.prefix[len(pre)] = b
+		}
+		b[pre] = append(b[pre], id)
+	case suf != "":
+		// "*…*suf": the path must end with suf.
+		b := ix.suffix[len(suf)]
+		if b == nil {
+			b = make(map[string][]int32)
+			ix.suffix[len(suf)] = b
+		}
+		b[suf] = append(b[suf], id)
+	default:
+		// "*", "*a*", …: no usable literal anchor.
+		ix.residual = append(ix.residual, id)
+	}
+}
+
+// candList is one bucket being merged during a lookup.
+type candList struct {
+	ids []int32
+	pos int
+}
+
+// gather appends every bucket the request can hit onto lists (a reusable
+// scratch slice) and returns it. Each list is ascending by rule ID.
+func (ix *index) gather(lists []candList, host, method, path string) []candList {
+	if len(ix.residual) > 0 {
+		lists = append(lists, candList{ids: ix.residual})
+	}
+	if host != "" && len(ix.host) > 0 {
+		if ids := ix.host[host]; len(ids) > 0 {
+			lists = append(lists, candList{ids: ids})
+		}
+	}
+	if len(ix.method) > 0 {
+		if ids := ix.method[method]; len(ids) > 0 {
+			lists = append(lists, candList{ids: ids})
+		}
+	}
+	if len(ix.literal) > 0 {
+		if ids := ix.literal[path]; len(ids) > 0 {
+			lists = append(lists, candList{ids: ids})
+		}
+	}
+	for _, l := range ix.prefixLens {
+		if len(path) < l {
+			continue
+		}
+		if ids := ix.prefix[l][path[:l]]; len(ids) > 0 {
+			lists = append(lists, candList{ids: ids})
+		}
+	}
+	for _, l := range ix.suffixLens {
+		if len(path) < l {
+			continue
+		}
+		if ids := ix.suffix[l][path[len(path)-l:]]; len(ids) > 0 {
+			lists = append(lists, candList{ids: ids})
+		}
+	}
+	return lists
+}
+
+// next pops the smallest rule ID across the lists, or -1 when all are
+// exhausted. Rules land in exactly one bucket, so no ID repeats.
+func next(lists []candList) int32 {
+	best := -1
+	var bestID int32
+	for li := range lists {
+		l := &lists[li]
+		if l.pos >= len(l.ids) {
+			continue
+		}
+		if best < 0 || l.ids[l.pos] < bestID {
+			best, bestID = li, l.ids[l.pos]
+		}
+	}
+	if best < 0 {
+		return -1
+	}
+	lists[best].pos++
+	return bestID
+}

@@ -124,5 +124,18 @@ func parseSplit(val string, resolve Resolver) ([]WeightedBackend, error) {
 	if len(out) == 0 {
 		return nil, fmt.Errorf("split with no backends")
 	}
+	hasLL, hasPos := false, false
+	for _, wb := range out {
+		if wb.Weight == -1 {
+			hasLL = true
+		} else if wb.Weight > 0 {
+			hasPos = true
+		}
+	}
+	if hasLL && hasPos {
+		// A -1 backend in a weighted draw is never picked: the split would
+		// silently stop using it. Fail loudly at parse time instead.
+		return nil, fmt.Errorf("split %q mixes least-loaded (-1) and positive weights; use all -1 or all non-negative", val)
+	}
 	return out, nil
 }

@@ -136,24 +136,120 @@ type Decision struct {
 	OK      bool
 }
 
-// Engine evaluates a rule table with the HAProxy linear scan.
+// Engine evaluates a rule table. Semantically it is the HAProxy linear
+// scan the paper describes; Update compiles the table into per-field
+// indexes (see compile.go) so Select only touches candidate rules while
+// returning the exact Decision — including the Scanned count that drives
+// the Figure 6 latency model — the linear scan would.
+//
+// An Engine is not safe for concurrent use: Select reuses per-engine
+// scratch (and rule evaluation memoizes request state). Every engine in
+// this repo lives on a single simulated-network event loop.
 type Engine struct {
 	rules  []Rule // sorted by priority desc, stable
 	tables map[string]map[string]Backend
+	idx    index      // compiled on Update
+	merge  []candList // Select scratch, sized by Update
 }
 
-// NewEngine builds an engine over the given rules.
+// NewEngine builds an engine over the given rules. Rules that fail
+// ValidateRules are rejected, leaving the engine empty; callers that can
+// receive untrusted tables should use ParseRules or Update, which report
+// the error.
 func NewEngine(rs []Rule) *Engine {
 	e := &Engine{tables: make(map[string]map[string]Backend)}
 	e.Update(rs)
 	return e
 }
 
-// Update replaces the rule table (user policy change, §5.2). Sticky
-// tables persist across updates so sessions stay pinned.
-func (e *Engine) Update(rs []Rule) {
+// Update replaces the rule table (user policy change, §5.2) after
+// validating it, recompiles the lookup index, and prunes sticky state the
+// new table can no longer use. On error the previous table stays
+// installed. Sticky tables persist across updates so sessions stay
+// pinned; see evictStale for the hygiene rules.
+func (e *Engine) Update(rs []Rule) error {
+	if err := ValidateRules(rs); err != nil {
+		return err
+	}
 	e.rules = append([]Rule(nil), rs...)
 	sort.SliceStable(e.rules, func(i, j int) bool { return e.rules[i].Priority > e.rules[j].Priority })
+	e.idx = compile(e.rules)
+	if cap(e.merge) < e.idx.maxLists {
+		e.merge = make([]candList, 0, e.idx.maxLists)
+	}
+	e.evictStale()
+	return nil
+}
+
+// ValidateRules rejects tables the engine cannot evaluate sensibly. A
+// split mixing least-loaded (-1) and positive weights would make the -1
+// backends unpickable (the weighted draw never lands on them), silently
+// turning "least loaded" into "never"; such rules are refused at install
+// time.
+func ValidateRules(rs []Rule) error {
+	for i := range rs {
+		r := &rs[i]
+		if r.Action.Type != ActionSplit {
+			continue
+		}
+		hasLL, hasPos := false, false
+		for _, wb := range r.Action.Split {
+			if wb.Weight == -1 {
+				hasLL = true
+			} else if wb.Weight > 0 {
+				hasPos = true
+			}
+		}
+		if hasLL && hasPos {
+			return fmt.Errorf("rule %s: split mixes least-loaded (-1) and positive weights; use all -1 or all non-negative", r.Name)
+		}
+	}
+	return nil
+}
+
+// evictStale drops sticky state the installed table can no longer reach:
+// whole tables no ActionTable rule references, and bindings pinned to
+// backends absent from every split. When the table declares no split
+// backends at all there is nothing to compare bindings against, so they
+// are kept (sessions stay pinned, §5.2). Without this, policy churn grows
+// e.tables without bound.
+func (e *Engine) evictStale() {
+	liveTables := make(map[string]bool)
+	liveBackends := make(map[Backend]bool)
+	for i := range e.rules {
+		switch a := &e.rules[i].Action; a.Type {
+		case ActionTable:
+			liveTables[a.Table] = true
+		case ActionSplit:
+			for _, wb := range a.Split {
+				liveBackends[wb.Backend] = true
+			}
+		}
+	}
+	for name, t := range e.tables {
+		if !liveTables[name] {
+			delete(e.tables, name)
+			continue
+		}
+		if len(liveBackends) == 0 {
+			continue
+		}
+		for key, b := range t {
+			if !liveBackends[b] {
+				delete(t, key)
+			}
+		}
+	}
+}
+
+// TableSizes reports the number of bindings in each sticky table, for
+// stats and memory-growth monitoring.
+func (e *Engine) TableSizes() map[string]int {
+	out := make(map[string]int, len(e.tables))
+	for name, t := range e.tables {
+		out[name] = len(t)
+	}
+	return out
 }
 
 // Rules returns the engine's rule table in evaluation order.
@@ -172,10 +268,49 @@ func (e *Engine) Learn(table, key string, b Backend) {
 	t[key] = b
 }
 
-// Select scans the rules in priority order and returns the chosen
-// backend. rnd must be uniform in [0,1) (drawn from the simulation RNG);
-// info may be nil for all-alive semantics.
+// Select returns the backend the priority-ordered scan would choose,
+// using the compiled index to touch only candidate rules. rnd must be
+// uniform in [0,1) (drawn from the simulation RNG); info may be nil for
+// all-alive semantics.
+//
+// The Decision is identical to SelectLinear's in every field: the winner
+// is the same (the index only skips rules whose Match provably fails),
+// and Scanned is reconstructed from the winner's position in the full
+// sorted table — the linear scan examines exactly position+1 rules before
+// terminating, or the whole table when nothing does.
 func (e *Engine) Select(req *httpsim.Request, rnd float64, info BackendInfo) Decision {
+	if info == nil {
+		info = allAlive{}
+	}
+	host := req.Header("Host")
+	lists := e.idx.gather(e.merge[:0], host, req.Method, req.Path)
+	d := Decision{}
+	for {
+		id := next(lists)
+		if id < 0 {
+			break
+		}
+		r := &e.rules[id]
+		if !r.Match.Matches(req) {
+			continue
+		}
+		if b, ok := e.applyAction(r, req, rnd, info); ok {
+			d.Backend, d.Rule, d.OK = b, r, true
+			d.Scanned = int(id) + 1
+			e.merge = lists[:0]
+			return d
+		}
+	}
+	d.Scanned = len(e.rules) // full-table fall-through, as the scan counts
+	e.merge = lists[:0]
+	return d
+}
+
+// SelectLinear is the retained reference implementation: the HAProxy
+// linear scan exactly as the paper models it. It is the differential
+// oracle the compiled Select is fuzzed against and is not used on the
+// request path.
+func (e *Engine) SelectLinear(req *httpsim.Request, rnd float64, info BackendInfo) Decision {
 	if info == nil {
 		info = allAlive{}
 	}
@@ -186,65 +321,91 @@ func (e *Engine) Select(req *httpsim.Request, rnd float64, info BackendInfo) Dec
 		if !r.Match.Matches(req) {
 			continue
 		}
-		switch r.Action.Type {
-		case ActionTable:
-			key := req.Cookie(r.Action.TableCookie)
-			if key == "" {
-				continue
-			}
-			if b, ok := e.tables[r.Action.Table][key]; ok && info.Alive(b) {
-				d.Backend, d.Rule, d.OK = b, r, true
-				return d
-			}
-			continue // table miss or dead pin: fall through
-		case ActionSplit:
-			if b, ok := pickSplit(r.Action.Split, rnd, info); ok {
-				d.Backend, d.Rule, d.OK = b, r, true
-				return d
-			}
-			continue // all backends dead: fall through (primary-backup)
+		if b, ok := e.applyAction(r, req, rnd, info); ok {
+			d.Backend, d.Rule, d.OK = b, r, true
+			return d
 		}
 	}
 	return d
 }
 
+// applyAction runs a matching rule's action. ok=false means fall through
+// to the next rule (sticky-table miss or dead pin; all split backends
+// dead — the primary-backup pattern).
+func (e *Engine) applyAction(r *Rule, req *httpsim.Request, rnd float64, info BackendInfo) (Backend, bool) {
+	switch r.Action.Type {
+	case ActionTable:
+		key := req.Cookie(r.Action.TableCookie)
+		if key == "" {
+			return Backend{}, false
+		}
+		if b, ok := e.tables[r.Action.Table][key]; ok && info.Alive(b) {
+			return b, true
+		}
+		return Backend{}, false
+	case ActionSplit:
+		return pickSplit(r.Action.Split, rnd, info)
+	}
+	return Backend{}, false
+}
+
 // pickSplit chooses among alive backends by weight; all-(-1) weights mean
-// least-loaded.
+// least-loaded. Two passes over the split keep it allocation-free (the
+// previous implementation built an alive slice per call, on the
+// per-connection critical path). The iteration order — and therefore
+// every float operation and RNG-consuming branch — matches the one-pass
+// version exactly, keeping selections bit-identical.
 func pickSplit(split []WeightedBackend, rnd float64, info BackendInfo) (Backend, bool) {
-	alive := make([]WeightedBackend, 0, len(split))
+	nAlive := 0
 	leastLoaded := true
 	total := 0.0
+	var lastAlive Backend
 	for _, wb := range split {
 		if !info.Alive(wb.Backend) {
 			continue
 		}
+		nAlive++
+		lastAlive = wb.Backend
 		if wb.Weight != -1 {
 			leastLoaded = false
 		}
 		if wb.Weight > 0 {
 			total += wb.Weight
 		}
-		alive = append(alive, wb)
 	}
-	if len(alive) == 0 {
+	if nAlive == 0 {
 		return Backend{}, false
 	}
 	if leastLoaded {
-		best := alive[0]
-		for _, wb := range alive[1:] {
-			if info.Load(wb.Backend) < info.Load(best.Backend) {
-				best = wb
+		var best Backend
+		first := true
+		for _, wb := range split {
+			if !info.Alive(wb.Backend) {
+				continue
+			}
+			if first || info.Load(wb.Backend) < info.Load(best) {
+				best, first = wb.Backend, false
 			}
 		}
-		return best.Backend, true
+		return best, true
 	}
 	if total <= 0 {
-		// Degenerate weights: uniform choice.
-		return alive[int(rnd*float64(len(alive)))%len(alive)].Backend, true
+		// Degenerate weights: uniform choice among the alive backends.
+		k := int(rnd*float64(nAlive)) % nAlive
+		for _, wb := range split {
+			if !info.Alive(wb.Backend) {
+				continue
+			}
+			if k == 0 {
+				return wb.Backend, true
+			}
+			k--
+		}
+		return lastAlive, true // unreachable: k < nAlive
 	}
 	x := rnd * total
-	for _, wb := range alive {
-		if wb.Weight <= 0 {
+	for _, wb := range split {
+		if !info.Alive(wb.Backend) || wb.Weight <= 0 {
 			continue
 		}
 		if x < wb.Weight {
@@ -252,7 +413,7 @@ func pickSplit(split []WeightedBackend, rnd float64, info BackendInfo) (Backend,
 		}
 		x -= wb.Weight
 	}
-	return alive[len(alive)-1].Backend, true
+	return lastAlive, true
 }
 
 // Glob matches s against a pattern containing '*' (any run, possibly

@@ -352,6 +352,122 @@ func TestParseRuleErrors(t *testing.T) {
 	}
 }
 
+func TestSelectZeroAllocsCookieFree(t *testing.T) {
+	// The compiled selection path must not allocate for cookie-free
+	// requests: index lookups hit reusable scratch, pickSplit is two-pass,
+	// and header lookups take the exact-key map path. This is the alloc
+	// budget BENCH_core.json records.
+	e := NewEngine([]Rule{
+		{Name: "h", Priority: 9, Match: Match{Host: "other.com"},
+			Action: Action{Type: ActionSplit, Split: []WeightedBackend{{d1, 1}}}},
+		{Name: "m", Priority: 8, Match: Match{Method: "POST"},
+			Action: Action{Type: ActionSplit, Split: []WeightedBackend{{d1, 1}}}},
+		{Name: "lit", Priority: 7, Match: Match{URLGlob: "/exact"},
+			Action: Action{Type: ActionSplit, Split: []WeightedBackend{{d1, 1}}}},
+		{Name: "pre", Priority: 6, Match: Match{URLGlob: "/api/*"},
+			Action: Action{Type: ActionSplit, Split: []WeightedBackend{{d1, 1}, {d2, 2}}}},
+		{Name: "suf", Priority: 5, Match: Match{URLGlob: "*.jpg"},
+			Action: Action{Type: ActionSplit, Split: []WeightedBackend{{d3, 1}}}},
+		{Name: "cookie", Priority: 4, Match: Match{CookieName: "session"},
+			Action: Action{Type: ActionTable, Table: "tab", TableCookie: "session"}},
+		{Name: "default", Priority: 0, Match: Match{URLGlob: "*"},
+			Action: Action{Type: ActionSplit, Split: []WeightedBackend{{d4, 1}}}},
+	})
+	info := &StaticInfo{Loads: map[string]float64{}}
+	reqs := []*httpsim.Request{req("/a.jpg"), req("/api/v2/x"), req("/exact"), req("/none")}
+	if avg := testing.AllocsPerRun(200, func() {
+		for _, r := range reqs {
+			if d := e.Select(r, 0.7, info); !d.OK {
+				t.Fatal("no match")
+			}
+		}
+	}); avg != 0 {
+		t.Fatalf("Select allocates %.1f times per run on the cookie-free path, want 0", avg)
+	}
+}
+
+func TestMixedWeightsRejected(t *testing.T) {
+	mixed := []Rule{{
+		Name: "m", Priority: 1, Match: Match{URLGlob: "*"},
+		Action: Action{Type: ActionSplit, Split: []WeightedBackend{{d1, -1}, {d2, 2}}},
+	}}
+	if err := ValidateRules(mixed); err == nil {
+		t.Fatal("ValidateRules accepted a -1/positive mix")
+	}
+	// Update must reject and leave the previous table serving.
+	e := NewEngine([]Rule{{
+		Name: "ok", Priority: 1, Match: Match{URLGlob: "*"},
+		Action: Action{Type: ActionSplit, Split: []WeightedBackend{{d1, 1}}},
+	}})
+	if err := e.Update(mixed); err == nil {
+		t.Fatal("Update accepted a -1/positive mix")
+	}
+	if d := e.Select(req("/x"), 0.5, nil); !d.OK || d.Backend != d1 {
+		t.Fatalf("previous table not preserved after rejected update: %+v", d)
+	}
+	// The textual interface rejects it too.
+	resolve := func(name string) (Backend, bool) { return d1, true }
+	if _, err := ParseRules("rule m prio=1 split=D1:-1,D2:2", resolve); err == nil {
+		t.Fatal("ParseRules accepted a -1/positive mix")
+	}
+	// All -1 and all-positive remain valid.
+	if err := ValidateRules([]Rule{{Name: "ll", Action: Action{Type: ActionSplit,
+		Split: []WeightedBackend{{d1, -1}, {d2, -1}}}}}); err != nil {
+		t.Fatalf("all -1 rejected: %v", err)
+	}
+	// -1 mixed with zero weights is the degenerate-uniform case, not the
+	// unpickable one; it stays accepted.
+	if err := ValidateRules([]Rule{{Name: "z", Action: Action{Type: ActionSplit,
+		Split: []WeightedBackend{{d1, -1}, {d2, 0}}}}}); err != nil {
+		t.Fatalf("-1/zero mix rejected: %v", err)
+	}
+}
+
+func TestStickyHygieneOnUpdate(t *testing.T) {
+	tableRule := Rule{Name: "t", Priority: 5, Match: Match{CookieName: "s"},
+		Action: Action{Type: ActionTable, Table: "tab", TableCookie: "s"}}
+	split := func(bs ...Backend) Rule {
+		var wbs []WeightedBackend
+		for _, b := range bs {
+			wbs = append(wbs, WeightedBackend{b, 1})
+		}
+		return Rule{Name: "split", Priority: 1, Match: Match{URLGlob: "*"},
+			Action: Action{Type: ActionSplit, Split: wbs}}
+	}
+	e := NewEngine([]Rule{tableRule, split(d1, d2)})
+	e.Learn("tab", "u1", d1)
+	e.Learn("tab", "u2", d2)
+	if sz := e.TableSizes(); sz["tab"] != 2 {
+		t.Fatalf("table sizes: %v", sz)
+	}
+
+	// d2 leaves the policy: its binding is evicted, d1's survives.
+	if err := e.Update([]Rule{tableRule, split(d1)}); err != nil {
+		t.Fatal(err)
+	}
+	if sz := e.TableSizes(); sz["tab"] != 1 {
+		t.Fatalf("stale binding not evicted: %v", sz)
+	}
+	r1 := req("/")
+	r1.SetHeader("Cookie", "s=u1")
+	if d := e.Select(r1, 0.5, nil); d.Backend != d1 || d.Rule.Name != "t" {
+		t.Fatalf("live session lost across update: %+v", d)
+	}
+	r2 := req("/")
+	r2.SetHeader("Cookie", "s=u2")
+	if d := e.Select(r2, 0.5, nil); d.Rule.Name != "split" {
+		t.Fatalf("evicted session should fall through to the split: %+v", d)
+	}
+
+	// No rule references the table anymore: the whole table is dropped.
+	if err := e.Update([]Rule{split(d1)}); err != nil {
+		t.Fatal(err)
+	}
+	if sz := e.TableSizes(); len(sz) != 0 {
+		t.Fatalf("unreferenced table not dropped: %v", sz)
+	}
+}
+
 func TestSelectUniformWhenWeightsZero(t *testing.T) {
 	e := NewEngine([]Rule{{
 		Name: "z", Priority: 1, Match: Match{URLGlob: "*"},

@@ -28,6 +28,8 @@ go test -run '^$' -bench 'BenchmarkSimulatorThroughput' -benchmem \
   . | tee -a "$MICRO_LOG"
 go test -run '^$' -bench 'BenchmarkStorageB' -benchtime 2000x \
   ./internal/tcpstore/ | tee -a "$MICRO_LOG"
+go test -run '^$' -bench 'BenchmarkRuleSelect(Reference)?/rules=1000$' \
+  -benchmem ./internal/rules/ | tee -a "$MICRO_LOG"
 go test -run '^$' -bench 'BenchmarkReconfigMigration' -benchtime 3x \
   ./internal/reconfig/ | tee -a "$MICRO_LOG"
 
@@ -57,6 +59,9 @@ SB_BATCH_US="$(metric "$MICRO_LOG" BenchmarkStorageBBatched virtual-µs/write)"
 SB_SEQ_US="$(metric "$MICRO_LOG" BenchmarkStorageBSequential virtual-µs/write)"
 RECONFIG_TPUT="$(metric "$MICRO_LOG" BenchmarkReconfigMigration migrated_flows/s)"
 RECONFIG_DRAIN_MS="$(metric "$MICRO_LOG" BenchmarkReconfigMigration drain_ms/op)"
+RULE_SEL_NS="$(pick "$MICRO_LOG" 'BenchmarkRuleSelect/rules=1000' 3)"
+RULE_SEL_ALLOCS="$(awk '$1 ~ /^BenchmarkRuleSelect\/rules=1000/ {for(i=1;i<NF;i++) if($(i+1)=="allocs/op") print $i}' "$MICRO_LOG" | head -1)"
+RULE_REF_NS="$(pick "$MICRO_LOG" 'BenchmarkRuleSelectReference/rules=1000' 3)"
 
 jsonnum() { [[ -n "${1:-}" ]] && echo "$1" || echo "null"; }
 
@@ -107,6 +112,9 @@ cat > "$OUT" <<EOF
     "storage_b_sequential_virtual_us": $(jsonnum "$SB_SEQ_US"),
     "reconfig_migration_flows_per_s": $(jsonnum "$RECONFIG_TPUT"),
     "reconfig_drain_virtual_ms": $(jsonnum "$RECONFIG_DRAIN_MS"),
+    "rule_select_ns_op": $(jsonnum "$RULE_SEL_NS"),
+    "rule_select_allocs_op": $(jsonnum "$RULE_SEL_ALLOCS"),
+    "rule_select_reference_ns_op": $(jsonnum "$RULE_REF_NS"),
     "fig10_wall_s": $FIG10_S,
     "fig12_wall_s": $FIG12_S,
     "fig13_wall_s": $FIG13_S

@@ -10,13 +10,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== dataplane fast-fail (vet + race on core/tcpstore/reconfig) =="
-# The write-barrier dataplane, its store client, and the live
-# reconfiguration engine are where regressions bite hardest; vet and race
-# them first so a broken barrier or drain fails in seconds, not after the
-# full suite.
-go vet ./internal/core/ ./internal/tcpstore/ ./internal/reconfig/
-go test -race ./internal/core/ ./internal/tcpstore/ ./internal/reconfig/
+echo "== dataplane fast-fail (vet + race on rules/httpsim/core/tcpstore/reconfig) =="
+# The compiled rule engine, the request parser it reads through, the
+# write-barrier dataplane, its store client, and the live reconfiguration
+# engine are where regressions bite hardest; vet and race them first so a
+# broken index or barrier fails in seconds, not after the full suite.
+go vet ./internal/rules/ ./internal/httpsim/ ./internal/core/ ./internal/tcpstore/ ./internal/reconfig/
+go test -race ./internal/rules/ ./internal/httpsim/ ./internal/core/ ./internal/tcpstore/ ./internal/reconfig/
 
 echo "== go vet =="
 go vet ./...
