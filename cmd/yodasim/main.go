@@ -10,12 +10,18 @@
 // rule-count points, the Figure 12 arms, and (with -exp all) the
 // experiments themselves. Every trial owns a cluster seeded from -seed,
 // and output order is fixed, so results match a sequential run.
+//
+// -cpuprofile and -memprofile write pprof profiles of the run (see
+// EXPERIMENTS.md §Profiling); profiling real CPU does not perturb the
+// virtual clock, so profiled results stay bit-identical.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sync"
 
 	"repro/internal/experiments"
@@ -25,7 +31,38 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: table1, fig6, fig9, fig10, fig12, fig12b, fig13, fig14, cpu, upgrade, all")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	parallel := flag.Bool("parallel", false, "run independent trials/experiments on separate goroutines")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof allocation profile (taken at exit) to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "yodasim: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "yodasim: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "yodasim: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // flush recent frees so the profile reflects live + cumulative allocs
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "yodasim: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	runners := map[string]func() fmt.Stringer{
 		"table1": func() fmt.Stringer { return experiments.RunTable1(*seed) },

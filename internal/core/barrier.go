@@ -1,6 +1,11 @@
 package core
 
-import "repro/internal/tcpstore"
+import (
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/tcpstore"
+)
 
 // The write barrier is the dataplane's one way to persist flow state:
 // "write these records to TCPStore, then continue, or take this failure
@@ -41,37 +46,91 @@ type BarrierStats struct {
 // forces the degrade path even under StrictPersist (used where no
 // sensible abort exists).
 func (in *Instance) writeBarrier(f *flow, entries []tcpstore.Entry, commit func(), fail func(error)) {
-	storeStart := in.net.Now()
-	in.store.SetMulti(entries, func(res tcpstore.SetResult) {
-		in.StorageLat.Add(in.net.Now() - storeStart)
-		if in.flows[f.clientTuple()] != f {
-			return // flow torn down while the write was in flight
-		}
-		if res.TimedOut {
-			in.Barrier.Timeouts++
-		}
-		switch {
-		case res.Err != nil && in.cfg.StrictPersist && fail != nil:
-			in.Barrier.Aborted++
-			fail(res.Err)
-			return
-		case res.Err != nil || res.Failed > 0:
-			in.Barrier.Degraded++
-		default:
-			in.Barrier.Commits++
-		}
-		commit()
-	})
+	op := in.takeBarrierOp()
+	op.f, op.commit, op.fail = f, commit, fail
+	op.storeStart = in.net.Now()
+	in.store.SetMulti(entries, op.cb)
+}
+
+// barrierOp carries one in-flight barrier write's continuations. Ops are
+// pooled on the instance with the store callback pre-bound, so a barrier
+// write does not allocate a closure per flow event; the store invokes cb
+// exactly once, which recycles the op before running the continuation
+// (the continuation may start a nested barrier write).
+type barrierOp struct {
+	in         *Instance
+	f          *flow
+	commit     func()
+	fail       func(error)
+	storeStart time.Duration
+	cb         func(tcpstore.SetResult)
+}
+
+func (in *Instance) takeBarrierOp() *barrierOp {
+	if n := len(in.freeBarrierOps); n > 0 {
+		op := in.freeBarrierOps[n-1]
+		in.freeBarrierOps = in.freeBarrierOps[:n-1]
+		return op
+	}
+	op := &barrierOp{in: in}
+	op.cb = op.resolve
+	return op
+}
+
+func (op *barrierOp) resolve(res tcpstore.SetResult) {
+	in, f, commit, fail := op.in, op.f, op.commit, op.fail
+	storeStart := op.storeStart
+	op.f, op.commit, op.fail = nil, nil, nil
+	if len(in.freeBarrierOps) < 32 {
+		in.freeBarrierOps = append(in.freeBarrierOps, op)
+	}
+	in.StorageLat.Add(in.net.Now() - storeStart)
+	if in.flows[f.clientTuple()] != f {
+		return // flow torn down while the write was in flight
+	}
+	if res.TimedOut {
+		in.Barrier.Timeouts++
+	}
+	switch {
+	case res.Err != nil && in.cfg.StrictPersist && fail != nil:
+		in.Barrier.Aborted++
+		fail(res.Err)
+		return
+	case res.Err != nil || res.Failed > 0:
+		in.Barrier.Degraded++
+	default:
+		in.Barrier.Commits++
+	}
+	commit()
 }
 
 // barrierEntries builds the store records for a flow: the client-tuple
 // orientation always, plus the server-tuple orientation once a backend
 // is bound (both directions must recover to the same flow, Figure 3).
-func barrierEntries(f *flow, phase FlowPhase, bothTuples bool) []tcpstore.Entry {
-	rec := f.record(phase).Marshal()
-	entries := []tcpstore.Entry{{Key: FlowKey(f.clientTuple()), Value: rec}}
+// The entries alias instance-owned scratch — valid only until the next
+// barrierEntries or flowKey call, which the store's synchronous entry
+// consumption permits — so the steady-state write path never allocates.
+func (in *Instance) barrierEntries(f *flow, phase FlowPhase, bothTuples bool) []tcpstore.Entry {
+	f.fillRecord(&in.recRecord, &in.recTLS, phase)
+	in.recScratch = in.recRecord.AppendMarshal(in.recScratch[:0])
+	rec := in.recScratch
+	keys := AppendFlowKey(in.keyScratch[:0], f.clientTuple())
+	in.entScratch[0] = tcpstore.Entry{Key: keys[:FlowKeyLen:FlowKeyLen], Value: rec}
+	entries := in.entScratch[:1]
 	if bothTuples {
-		entries = append(entries, tcpstore.Entry{Key: FlowKey(f.serverTuple()), Value: rec})
+		// A grow here may move the buffer; the first key's slice keeps the
+		// old backing array alive, so both entries stay valid.
+		keys = AppendFlowKey(keys, f.serverTuple())
+		in.entScratch[1] = tcpstore.Entry{Key: keys[FlowKeyLen:], Value: rec}
+		entries = in.entScratch[:2]
 	}
+	in.keyScratch = keys
 	return entries
+}
+
+// flowKey renders t's store key into the instance's reused key scratch.
+// The slice is valid until the next flowKey or barrierEntries call.
+func (in *Instance) flowKey(t netsim.FourTuple) []byte {
+	in.keyScratch = AppendFlowKey(in.keyScratch[:0], t)
+	return in.keyScratch
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/l4lb"
+	"repro/internal/memcache"
 	"repro/internal/netsim"
 	"repro/internal/tcpstore"
 )
@@ -95,4 +96,58 @@ func TestFlowFastPathAllocFree(t *testing.T) {
 		t.Fatalf("tunnel fast path allocates %.1f objects/op, want 0", allocs)
 	}
 	_ = time.Duration(0)
+}
+
+// benchStorageSetup builds an instance whose TCPStore client talks to
+// simulated memcached servers, plus one tunnel-phase flow, so a benchmark
+// can drive the full storage write path: record marshal, flow keys, batch
+// grouping, protocol encode, simulated TCP delivery, server-side parse and
+// engine insert, reply, and barrier resolution.
+func benchStorageSetup(n *netsim.Network) (*Instance, *flow) {
+	var servers []netsim.HostPort
+	for i := 0; i < 3; i++ {
+		h := netsim.NewHost(n, netsim.IPv4(10, 0, 3, byte(i+1)))
+		memcache.NewSimServer(h, memcache.DefaultPort, memcache.DefaultSimServerConfig())
+		servers = append(servers, netsim.HostPort{IP: h.IP(), Port: memcache.DefaultPort})
+	}
+	instHost := netsim.NewHost(n, 0x0a000010)
+	lb := l4lb.New(n, l4lb.DefaultConfig())
+	store := tcpstore.New(instHost, servers, tcpstore.DefaultConfig())
+	in := NewInstance(instHost, lb, store, DefaultConfig())
+
+	f := &flow{
+		vip:       netsim.HostPort{IP: 0x0a0000fe, Port: 80},
+		client:    netsim.HostPort{IP: 0xc0a80001, Port: 40000},
+		server:    netsim.HostPort{IP: 0x0a000020, Port: 8080},
+		snat:      netsim.HostPort{IP: 0x0a0000fe, Port: 20001},
+		clientISN: 1000, c: 5000, s: 9000,
+		delta:       ^uint32(3999),
+		state:       stateTunnel,
+		backendName: "be-1",
+	}
+	in.flows[f.clientTuple()] = f
+	in.flows[f.serverTuple()] = f
+	return in, f
+}
+
+// BenchmarkStorageWritePath measures one storage-b shaped barrier write
+// end to end: both tuple-oriented records marshalled, keyed, batched into
+// per-replica msets, carried over simulated TCP, parsed and stored by the
+// memcached engine, and the barrier commit run on the reply. This is the
+// hottest cross-package path in the repro — every flow crosses it at
+// least twice.
+func BenchmarkStorageWritePath(b *testing.B) {
+	n := netsim.New(42)
+	in, f := benchStorageSetup(n)
+	done := false
+	commit := func() { done = true }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done = false
+		in.writeBarrier(f, in.barrierEntries(f, PhaseTunnel, true), commit, nil)
+		for !done {
+			n.Step()
+		}
+	}
 }

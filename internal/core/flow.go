@@ -64,8 +64,12 @@ func (f *flow) serverTuple() netsim.FourTuple {
 
 func (f *flow) touch(now time.Duration) { f.lastActive = now }
 
-func (f *flow) record(phase FlowPhase) *Record {
-	r := &Record{
+// fillRecord populates r — and ts, when the flow carries TLS state —
+// with the flow's persistable state. Both are caller-owned (the instance
+// reuses one of each across barrier writes) so building a record does
+// not allocate.
+func (f *flow) fillRecord(r *Record, ts *TLSState, phase FlowPhase) {
+	*r = Record{
 		Phase:       phase,
 		Client:      f.client,
 		VIP:         f.vip,
@@ -79,9 +83,9 @@ func (f *flow) record(phase FlowPhase) *Record {
 		BackendName: f.backendName,
 	}
 	if f.tls != nil {
-		r.TLS = &TLSState{Key: f.tls.key, ServerHelloLen: uint16(f.tls.serverHelloLen)}
+		*ts = TLSState{Key: f.tls.key, ServerHelloLen: uint16(f.tls.serverHelloLen)}
+		r.TLS = ts
 	}
-	return r
 }
 
 // --- connection phase ---
@@ -110,7 +114,7 @@ func (in *Instance) newClientFlow(pkt *netsim.Packet) {
 	// failed instance's successor can regenerate the handshake state.
 	// Under StrictPersist an unrecoverable flow is dropped unanswered —
 	// the client's SYN retransmission retries the whole sequence.
-	in.writeBarrier(f, barrierEntries(f, PhaseConn, false),
+	in.writeBarrier(f, in.barrierEntries(f, PhaseConn, false),
 		func() { in.sendSynAck(f) },
 		func(error) { in.teardown(f, false) })
 }
@@ -334,7 +338,7 @@ func (in *Instance) serverHandshakePacket(f *flow, pkt *netsim.Packet) {
 	// storage-b: persist the full translation state under both tuple
 	// orientations before ACKing the server (Figure 3). The two records
 	// ride one batched store round trip.
-	in.writeBarrier(f, barrierEntries(f, PhaseTunnel, true), func() {
+	in.writeBarrier(f, in.barrierEntries(f, PhaseTunnel, true), func() {
 		if f.state != stateDialing {
 			return
 		}
@@ -501,9 +505,9 @@ func (in *Instance) teardown(f *flow, deleteStore bool) {
 		in.releaseSNATPort(f.snat.Port)
 	}
 	if deleteStore {
-		in.store.Delete(FlowKey(f.clientTuple()), nil)
+		in.store.Delete(in.flowKey(f.clientTuple()), nil)
 		if f.server.IP != 0 {
-			in.store.Delete(FlowKey(f.serverTuple()), nil)
+			in.store.Delete(in.flowKey(f.serverTuple()), nil)
 			in.l4.ClearSNAT(f.serverTuple())
 		}
 	}
@@ -598,7 +602,7 @@ func (in *Instance) recoverFlow(tuple netsim.FourTuple, pkt *netsim.Packet) {
 			}
 		})
 	}
-	in.store.Get(FlowKey(tuple), func(value []byte, ok bool, err error) {
+	in.store.Get(in.flowKey(tuple), func(value []byte, ok bool, err error) {
 		if in.dead || in.pending[tuple] != q {
 			return // instance failed, or the queue already expired
 		}

@@ -125,6 +125,17 @@ type Instance struct {
 	// migrated to another instance (see ReleaseVIPFlows); they return to
 	// the pool only when the instance restarts.
 	SNATQuarantined uint64
+
+	// Write-path scratch, reused across barrier writes and key renders.
+	// Safe because the instance runs on the single-threaded event loop and
+	// the store consumes keys and values synchronously (tcpstore.Entry is
+	// documented as not retained after SetMulti returns).
+	keyScratch     []byte
+	recScratch     []byte
+	entScratch     [2]tcpstore.Entry
+	recRecord      Record
+	recTLS         TLSState
+	freeBarrierOps []*barrierOp
 }
 
 // NewInstance creates a Yoda instance on host, using the given L4 LB for

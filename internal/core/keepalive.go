@@ -279,7 +279,7 @@ func (in *Instance) kaSwitchBackend(f *flow, next kaRequest, backend rules.Backe
 	}, in.IP())
 	oldServerTuple := f.serverTuple()
 	delete(in.flows, oldServerTuple)
-	in.store.Delete(FlowKey(oldServerTuple), nil)
+	in.store.Delete(in.flowKey(oldServerTuple), nil)
 	in.l4.ClearSNAT(oldServerTuple)
 	in.releaseSNATPort(f.snat.Port)
 
@@ -341,7 +341,7 @@ func (in *Instance) kaCompleteSwitch(f *flow, pkt *netsim.Packet) {
 	// Rewrite the decoupled state so recovery lands on the new backend —
 	// before the ACK and request replay, the same persist-before-ACK rule
 	// the first dial obeys (storage-b applied to re-selection).
-	in.writeBarrier(f, barrierEntries(f, PhaseTunnel, true), func() {
+	in.writeBarrier(f, in.barrierEntries(f, PhaseTunnel, true), func() {
 		if !ka.switching {
 			return
 		}

@@ -14,7 +14,6 @@ package core
 import (
 	"encoding/binary"
 	"errors"
-	"fmt"
 
 	"repro/internal/netsim"
 )
@@ -85,7 +84,13 @@ func (r *Record) Marshal() []byte {
 	if r.Phase == PhaseTunnel {
 		size += 12 + 4 + 4 + 4 + 1 + 2 + len(r.BackendName)
 	}
-	b := make([]byte, 0, size+40)
+	return r.AppendMarshal(make([]byte, 0, size+40))
+}
+
+// AppendMarshal appends the record's encoding to b (usually caller-owned
+// scratch) and returns the extended slice. The bytes are identical to
+// Marshal's.
+func (r *Record) AppendMarshal(b []byte) []byte {
 	b = append(b, recordMagic, byte(r.Phase))
 	b = appendHostPort(b, r.Client)
 	b = appendHostPort(b, r.VIP)
@@ -205,7 +210,45 @@ func readHostPort(b []byte) (netsim.HostPort, []byte, bool) {
 // the client tuple (client→VIP) and the SNAT return tuple (server→VIP)
 // map to the same record so that a recovering instance can look the flow
 // up from whichever side retransmits first.
+// The string form is retained for tests and diagnostics; the dataplane
+// uses AppendFlowKey to build the same bytes into reused scratch.
 func FlowKey(t netsim.FourTuple) string {
-	return fmt.Sprintf("yoda:f:%08x:%04x:%08x:%04x",
-		uint32(t.Src.IP), t.Src.Port, uint32(t.Dst.IP), t.Dst.Port)
+	return string(AppendFlowKey(nil, t))
+}
+
+const hexDigits = "0123456789abcdef"
+
+// FlowKeyLen is the fixed encoded length of a flow key:
+// "yoda:f:" + 8 + ':' + 4 + ':' + 8 + ':' + 4.
+const FlowKeyLen = 7 + 8 + 1 + 4 + 1 + 8 + 1 + 4
+
+// AppendFlowKey appends the TCPStore key for t to dst and returns the
+// extended slice. The bytes are identical to FlowKey's
+// "yoda:f:%08x:%04x:%08x:%04x" rendering — the on-the-wire key format is
+// pinned by recovery (a record written by one instance must be found by
+// another) — but build without fmt's reflection or allocation.
+func AppendFlowKey(dst []byte, t netsim.FourTuple) []byte {
+	dst = append(dst, "yoda:f:"...)
+	dst = appendHex32(dst, uint32(t.Src.IP))
+	dst = append(dst, ':')
+	dst = appendHex16(dst, t.Src.Port)
+	dst = append(dst, ':')
+	dst = appendHex32(dst, uint32(t.Dst.IP))
+	dst = append(dst, ':')
+	dst = appendHex16(dst, t.Dst.Port)
+	return dst
+}
+
+func appendHex32(dst []byte, v uint32) []byte {
+	return append(dst,
+		hexDigits[v>>28&0xf], hexDigits[v>>24&0xf],
+		hexDigits[v>>20&0xf], hexDigits[v>>16&0xf],
+		hexDigits[v>>12&0xf], hexDigits[v>>8&0xf],
+		hexDigits[v>>4&0xf], hexDigits[v&0xf])
+}
+
+func appendHex16(dst []byte, v uint16) []byte {
+	return append(dst,
+		hexDigits[v>>12&0xf], hexDigits[v>>8&0xf],
+		hexDigits[v>>4&0xf], hexDigits[v&0xf])
 }

@@ -119,7 +119,7 @@ func runFig10Cell(cfg Fig10Config, replicas, ratePerServer int) Fig10Point {
 		if n.Now() >= cfg.Duration {
 			return
 		}
-		key := fmt.Sprintf("flow:%d", idx)
+		key := []byte(fmt.Sprintf("flow:%d", idx))
 		idx++
 		sampled := idx%50 == 0
 		value := make([]byte, cfg.ValueBytes)

@@ -1,0 +1,49 @@
+package memcache
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSessionStepAllocFree locks in the zero-copy parser's alloc budget:
+// once the session's buffers are warm, parsing and answering the
+// steady-state TCPStore workload (mset + set + get) allocates nothing.
+func TestSessionStepAllocFree(t *testing.T) {
+	e := NewEngine(0, func() time.Duration { return 0 })
+	s := NewSession(e)
+	in := sessionWorkload()
+	for i := 0; i < 16; i++ {
+		s.Release(s.Feed(in)) // warm session buffers and engine nodes
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		resp := s.Feed(in)
+		if len(resp) == 0 {
+			t.Fatal("no response")
+		}
+		s.Release(resp)
+	})
+	if allocs != 0 {
+		t.Fatalf("session step allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestReplyParserAllocFree pins the client side: single-line storage
+// replies (the write steady state) parse without allocating.
+func TestReplyParserAllocFree(t *testing.T) {
+	p := &ReplyParser{}
+	data := []byte("STORED\r\nMSTORED 2\r\n")
+	sink := func(Reply) {}
+	for i := 0; i < 16; i++ {
+		p.Expect(false)
+		p.Expect(false)
+		p.FeedFunc(data, sink)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		p.Expect(false)
+		p.Expect(false)
+		p.FeedFunc(data, sink)
+	})
+	if allocs != 0 {
+		t.Fatalf("reply parse allocates %.1f objects/op, want 0", allocs)
+	}
+}

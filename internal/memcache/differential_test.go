@@ -1,0 +1,241 @@
+package memcache
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// This file pins the zero-copy Session in proto.go against the preserved
+// pre-optimization parser in proto_reference.go: the same byte stream,
+// fed through both under identical clocks, must produce byte-identical
+// responses AND byte-identical engine state (items, values, CAS ids, LRU
+// order, accounting, stats). FuzzMemcacheSessionDifferential extends the
+// fixed cases to arbitrary inputs and arbitrary feed chunking.
+
+// engineFingerprint renders every piece of engine state the protocol can
+// observe or influence, in LRU order, for differential comparison.
+func engineFingerprint(e *Engine) string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var b strings.Builder
+	for n := e.head; n != nil; n = n.next {
+		fmt.Fprintf(&b, "%q f=%d exp=%d cas=%d v=%q\n",
+			n.key, n.flags, n.expires, n.casID, n.value)
+	}
+	fmt.Fprintf(&b, "used=%d nextCas=%d stats=%+v\n", e.used, e.nextCas, e.stats)
+	return b.String()
+}
+
+// feedBoth runs one byte stream through both parsers — the new Session in
+// the given chunking, the reference in a single feed (the reference
+// buffers identically regardless of chunking) — and returns the two
+// concatenated response streams and engine fingerprints.
+func feedBoth(input []byte, chunks []int) (newResp, refResp []byte, newFP, refFP string) {
+	clock := func() time.Duration { return 0 }
+
+	eNew := NewEngine(0, clock)
+	sNew := NewSession(eNew)
+	var outNew bytes.Buffer
+	rest := input
+	for _, c := range chunks {
+		if c > len(rest) {
+			c = len(rest)
+		}
+		resp := sNew.Feed(rest[:c])
+		outNew.Write(resp)
+		sNew.Release(resp)
+		rest = rest[c:]
+	}
+	if len(rest) > 0 {
+		resp := sNew.Feed(rest)
+		outNew.Write(resp)
+		sNew.Release(resp)
+	}
+
+	eRef := NewEngine(0, clock)
+	sRef := NewReferenceSession(eRef)
+	refOut := sRef.Feed(input)
+
+	return outNew.Bytes(), refOut, engineFingerprint(eNew), engineFingerprint(eRef)
+}
+
+func checkDifferential(t *testing.T, input []byte, chunks []int) {
+	t.Helper()
+	newResp, refResp, newFP, refFP := feedBoth(input, chunks)
+	if !bytes.Equal(newResp, refResp) {
+		t.Fatalf("responses diverge for %q (chunks %v):\n new: %q\n ref: %q",
+			input, chunks, newResp, refResp)
+	}
+	if newFP != refFP {
+		t.Fatalf("engine state diverges for %q (chunks %v):\n new:\n%s ref:\n%s",
+			input, chunks, newFP, refFP)
+	}
+}
+
+// differentialCases covers every verb, the error paths whose exact bytes
+// and consumption semantics matter, and the protocol oddities the
+// reference parser exhibits (strings.Fields splitting, data blocks
+// re-parsed after storage errors, mset all-or-nothing).
+func differentialCases() [][]byte {
+	return [][]byte{
+		[]byte("set k 1 0 3\r\nabc\r\nget k\r\n"),
+		[]byte("set k 0 0 3\r\nabc\r\ngets k\r\ncas k 0 0 3 1\r\nxyz\r\ncas k 0 0 3 1\r\nzzz\r\n"),
+		[]byte("add k 0 0 1\r\na\r\nadd k 0 0 1\r\nb\r\nreplace k 0 0 1\r\nc\r\nreplace m 0 0 1\r\nd\r\n"),
+		[]byte("set k 0 0 1\r\na\r\nappend k 0 0 2\r\nbc\r\nprepend k 0 0 1\r\nz\r\nget k\r\n"),
+		[]byte("append missing 0 0 1\r\nx\r\n"),
+		[]byte("set n 0 0 2\r\n10\r\nincr n 5\r\ndecr n 100\r\nincr n abc\r\nincr missing 1\r\n"),
+		[]byte("set n 0 0 3\r\nabc\r\nincr n 1\r\n"),
+		[]byte("delete k\r\nset k 0 0 1\r\na\r\ndelete k\r\nget k\r\n"),
+		[]byte("touch k 100\r\nset k 0 0 1\r\na\r\ntouch k 100\r\n"),
+		[]byte("mset 2\r\na 1 0 1\r\nx\r\nb 2 0 1\r\ny\r\nget a b\r\n"),
+		[]byte("mset 0\r\nmset -1\r\nmset abc\r\n"),
+		[]byte("mset 2\r\na 1 0 1\r\nx\r\nb 2 0 bad\r\ny\r\n"),
+		[]byte("mset 9999\r\na 1 0 1\r\nx\r\n"),
+		[]byte("set k 0 0 bad\r\nget k\r\n"),
+		[]byte("set k 0 0 -1\r\n"),
+		[]byte("set toolongkey" + strings.Repeat("k", 250) + " 0 0 1\r\na\r\n"),
+		[]byte("set k 0 0\r\n"),
+		[]byte("cas k 0 0 1 notanumber\r\na\r\n"),
+		[]byte("bogus\r\n\r\n  \r\nget\r\n"),
+		[]byte("set k 0 0 1 noreply\r\na\r\nget k\r\n"),
+		[]byte("stats\r\nversion\r\nflush_all\r\nget k\r\n"),
+		[]byte("set a 0 0 1\r\nx\r\nset b 0 0 1\r\ny\r\nget a\r\nset c 0 0 1\r\nz\r\nget b a c\r\n"),
+		// Fields splitting oddities: tabs, multiple spaces, vertical tab.
+		[]byte("set\tk 0 0 1\r\na\r\n"),
+		[]byte("set  k  0  0  1\r\na\r\n"),
+		[]byte("get k\x0bm\r\n"),
+		// Expiry interpretation boundary (relative vs absolute, §expiry).
+		[]byte("set k 0 1 1\r\na\r\nset j 0 2592001 1\r\nb\r\nget k j\r\n"),
+		[]byte("quit\r\nset k 0 0 1\r\na\r\n"),
+	}
+}
+
+func TestSessionDifferential(t *testing.T) {
+	for _, in := range differentialCases() {
+		checkDifferential(t, in, nil)
+	}
+}
+
+// TestSessionDifferentialChunked re-feeds every case one byte at a time
+// and in ragged chunks, exercising partial command lines and split data
+// blocks in the incremental parser.
+func TestSessionDifferentialChunked(t *testing.T) {
+	for _, in := range differentialCases() {
+		ones := make([]int, len(in))
+		for i := range ones {
+			ones[i] = 1
+		}
+		checkDifferential(t, in, ones)
+		checkDifferential(t, in, []int{3, 1, 7, 2, 11, 5})
+	}
+}
+
+// FuzzMemcacheSessionDifferential feeds arbitrary byte streams — split
+// into arbitrary chunkings — through both parsers and requires identical
+// responses and identical engine state.
+func FuzzMemcacheSessionDifferential(f *testing.F) {
+	for _, in := range differentialCases() {
+		f.Add(in, uint8(0))
+		f.Add(in, uint8(3))
+	}
+	f.Add([]byte("set k 0 0 5\r\nab\r\nc\r\nget k\r\n"), uint8(1))
+	f.Add([]byte("mset 2\r\na 0 0 1\r\nx\r\n"), uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, split uint8) {
+		if len(data) > 1<<16 {
+			return // keep value sizes and runtime bounded
+		}
+		var chunks []int
+		if split > 0 {
+			for rest := len(data); rest > 0; rest -= int(split) {
+				chunks = append(chunks, int(split))
+			}
+		}
+		newResp, refResp, newFP, refFP := feedBoth(data, chunks)
+		if !bytes.Equal(newResp, refResp) {
+			t.Fatalf("responses diverge (split=%d):\n new: %q\n ref: %q", split, newResp, refResp)
+		}
+		if newFP != refFP {
+			t.Fatalf("engine state diverges (split=%d):\n new:\n%s ref:\n%s", split, newFP, refFP)
+		}
+	})
+}
+
+// TestResponseNotAliasedToEngine locks in the copy boundary between the
+// engine's stored values and protocol responses: bytes handed to the
+// transport must stay stable even when later commands (append, incr)
+// mutate the stored value in place. A regression here would corrupt
+// queued replies under pipelining.
+func TestResponseNotAliasedToEngine(t *testing.T) {
+	e := NewEngine(0, func() time.Duration { return 0 })
+	s := NewSession(e)
+
+	resp := s.Feed([]byte("set k 0 0 3\r\n100\r\n"))
+	if string(resp) != "STORED\r\n" {
+		t.Fatalf("set: %q", resp)
+	}
+	s.Release(resp)
+
+	got := s.Feed([]byte("get k\r\n"))
+	held := string(got) // snapshot before any mutation
+
+	// Mutate the stored value through every in-place path on a second
+	// session (the engine is shared across connections).
+	s2 := NewSession(e)
+	for _, cmd := range []string{
+		"append k 0 0 3\r\nxyz\r\n",
+		"prepend k 0 0 2\r\nab\r\n",
+		"set k 0 0 3\r\n100\r\n", // reset to numeric for incr/decr
+		"incr k 42\r\n",
+		"decr k 7\r\n",
+	} {
+		r := s2.Feed([]byte(cmd))
+		s2.Release(r)
+	}
+
+	if string(got) != held {
+		t.Fatalf("held response mutated by later commands:\n held: %q\n  now: %q", held, got)
+	}
+	if held != "VALUE k 0 3\r\n100\r\nEND\r\n" {
+		t.Fatalf("unexpected get response: %q", held)
+	}
+	s.Release(got)
+}
+
+// TestInterleavedGetAppendIncr pins the aliasing audit's interleaving:
+// get responses captured between append/incr mutations each reflect the
+// value at capture time, not the final state.
+func TestInterleavedGetAppendIncr(t *testing.T) {
+	e := NewEngine(0, func() time.Duration { return 0 })
+	s := NewSession(e)
+
+	step := func(cmd string) string {
+		resp := s.Feed([]byte(cmd))
+		out := string(resp)
+		s.Release(resp)
+		return out
+	}
+
+	step("set k 0 0 1\r\n5\r\n")
+	g1 := step("get k\r\n")
+	step("append k 0 0 1\r\n0\r\n") // "50"
+	g2 := step("get k\r\n")
+	step("incr k 25\r\n") // "75"
+	g3 := step("get k\r\n")
+	step("incr k 9925\r\n") // "10000": grows the digit count in place
+	g4 := step("get k\r\n")
+
+	want := []string{
+		"VALUE k 0 1\r\n5\r\nEND\r\n",
+		"VALUE k 0 2\r\n50\r\nEND\r\n",
+		"VALUE k 0 2\r\n75\r\nEND\r\n",
+		"VALUE k 0 5\r\n10000\r\nEND\r\n",
+	}
+	for i, got := range []string{g1, g2, g3, g4} {
+		if got != want[i] {
+			t.Fatalf("get #%d = %q, want %q", i+1, got, want[i])
+		}
+	}
+}

@@ -11,12 +11,13 @@
 package memcache
 
 import (
-	"container/list"
 	"sync"
 	"time"
 )
 
-// Item is one stored value.
+// Item is one stored value as surfaced by the public engine API. The
+// engine's internal representation is the intrusive node; Item copies
+// cross the engine boundary so callers never alias engine-owned memory.
 type Item struct {
 	Key     string
 	Value   []byte
@@ -39,21 +40,45 @@ type Stats struct {
 	Expirations uint64
 }
 
+// node is one stored item with the LRU list embedded in the struct
+// (intrusive doubly-linked list): no container/list element allocation
+// per item, and evicted nodes park on a free list so steady-state churn
+// reuses both the struct and its value buffer.
+type node struct {
+	key     string
+	value   []byte
+	flags   uint32
+	expires time.Duration
+	casID   uint64
+
+	prev, next *node
+}
+
+// Free-list bounds: parked nodes beyond maxFreeNodes are dropped to the
+// GC, and a recycled node's value buffer is released when it is large
+// enough that pinning it would outweigh the realloc it saves.
+const (
+	maxFreeNodes    = 4096
+	maxFreeValueCap = 64 << 10
+)
+
 // Engine is the storage engine: a hash map with LRU eviction under a
 // memory cap. Safe for concurrent use (the real-TCP transport serves
 // connections from multiple goroutines).
 type Engine struct {
 	mu       sync.Mutex
-	items    map[string]*list.Element
-	lru      *list.List // front = most recent
+	items    map[string]*node
+	head     *node // most recently used
+	tail     *node // least recently used
+	free     *node // recycled nodes, chained via next
+	nFree    int
+	scratch  []byte // prepend assembly buffer, engine-owned
 	maxBytes int
 	used     int
 	now      func() time.Duration
 	nextCas  uint64
 	stats    Stats
 }
-
-type entry struct{ item Item }
 
 // NewEngine creates an engine with the given memory cap in bytes (<=0
 // means unlimited) and clock. For the real server pass a wall-clock
@@ -64,49 +89,410 @@ func NewEngine(maxBytes int, now func() time.Duration) *Engine {
 		now = func() time.Duration { return time.Since(start) }
 	}
 	return &Engine{
-		items:    make(map[string]*list.Element),
-		lru:      list.New(),
+		items:    make(map[string]*node),
 		maxBytes: maxBytes,
 		now:      now,
 	}
 }
 
-func itemSize(it *Item) int { return len(it.Key) + len(it.Value) + 64 }
+func nodeSize(n *node) int { return len(n.key) + len(n.value) + 64 }
 
-// expired reports whether it is past its expiry at time now.
-func expired(it *Item, now time.Duration) bool {
-	return it.Expires > 0 && now >= it.Expires
+// nodeExpired reports whether n is past its expiry at time now.
+func nodeExpired(n *node, now time.Duration) bool {
+	return n.expires > 0 && now >= n.expires
 }
 
-// Get returns the item stored under key, or ok=false.
+// --- intrusive LRU list ---
+
+func (e *Engine) pushFront(n *node) {
+	n.prev = nil
+	n.next = e.head
+	if e.head != nil {
+		e.head.prev = n
+	}
+	e.head = n
+	if e.tail == nil {
+		e.tail = n
+	}
+}
+
+func (e *Engine) unlink(n *node) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		e.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		e.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (e *Engine) moveToFront(n *node) {
+	if e.head == n {
+		return
+	}
+	e.unlink(n)
+	e.pushFront(n)
+}
+
+// newNode pops a recycled node (value capacity retained) or allocates.
+func (e *Engine) newNode() *node {
+	if n := e.free; n != nil {
+		e.free = n.next
+		e.nFree--
+		n.next = nil
+		return n
+	}
+	return &node{}
+}
+
+// freeNode parks a removed node for reuse, dropping its key reference
+// (the map no longer holds it) but keeping the value buffer's capacity.
+func (e *Engine) freeNode(n *node) {
+	n.key = ""
+	n.prev = nil
+	if e.nFree >= maxFreeNodes {
+		n.next = nil
+		return
+	}
+	if cap(n.value) > maxFreeValueCap {
+		n.value = nil
+	} else {
+		n.value = n.value[:0]
+	}
+	n.next = e.free
+	e.free = n
+	e.nFree++
+}
+
+// --- byte-key lookups (zero-copy: no string conversion allocates) ---
+
+// lookup returns the live node for key, removing it if expired.
+// missStats controls whether an absent/expired key counts as a get miss.
+func (e *Engine) lookup(key []byte, missStats bool) *node {
+	n, ok := e.items[string(key)]
+	return e.checkNode(n, ok, missStats)
+}
+
+// lookupStr is the string-key twin of lookup.
+func (e *Engine) lookupStr(key string, missStats bool) *node {
+	n, ok := e.items[key]
+	return e.checkNode(n, ok, missStats)
+}
+
+func (e *Engine) checkNode(n *node, ok, missStats bool) *node {
+	if !ok {
+		if missStats {
+			e.stats.GetMisses++
+		}
+		return nil
+	}
+	if nodeExpired(n, e.now()) {
+		e.removeLocked(n)
+		e.stats.Expirations++
+		if missStats {
+			e.stats.GetMisses++
+		}
+		return nil
+	}
+	return n
+}
+
+// storeLocked writes value/flags/expires into n (reusing its buffer) and
+// performs the set bookkeeping shared by every storage mutation.
+func (e *Engine) storeLocked(n *node, value []byte, flags uint32, expires time.Duration) {
+	e.used -= nodeSize(n)
+	n.value = append(n.value[:0], value...)
+	n.flags = flags
+	n.expires = expires
+	e.nextCas++
+	n.casID = e.nextCas
+	e.used += nodeSize(n)
+	e.moveToFront(n)
+	e.evictLocked()
+}
+
+// insertLocked adds a fresh node under key. The string conversion here is
+// the single engine-insert copy boundary for keys.
+func (e *Engine) insertLocked(key []byte, value []byte, flags uint32, expires time.Duration) {
+	n := e.newNode()
+	n.key = string(key)
+	n.value = append(n.value[:0], value...)
+	n.flags = flags
+	n.expires = expires
+	e.nextCas++
+	n.casID = e.nextCas
+	e.items[n.key] = n
+	e.pushFront(n)
+	e.used += nodeSize(n)
+	e.evictLocked()
+}
+
+// setBytes is Set for byte keys/values sliced out of a protocol buffer;
+// the engine copies both at this boundary.
+func (e *Engine) setBytes(key, value []byte, flags uint32, expires time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.setBytesLocked(key, value, flags, expires)
+	e.stats.Sets++
+}
+
+func (e *Engine) setBytesLocked(key, value []byte, flags uint32, expires time.Duration) {
+	if n, ok := e.items[string(key)]; ok {
+		e.storeLocked(n, value, flags, expires)
+		return
+	}
+	e.insertLocked(key, value, flags, expires)
+}
+
+// addBytes stores only if the key is absent (or expired).
+func (e *Engine) addBytes(key, value []byte, flags uint32, expires time.Duration) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n, ok := e.items[string(key)]; ok && !nodeExpired(n, e.now()) {
+		return false
+	}
+	e.setBytesLocked(key, value, flags, expires)
+	e.stats.Sets++
+	return true
+}
+
+// replaceBytes stores only if the key is present.
+func (e *Engine) replaceBytes(key, value []byte, flags uint32, expires time.Duration) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n, ok := e.items[string(key)]; !ok || nodeExpired(n, e.now()) {
+		return false
+	}
+	e.setBytesLocked(key, value, flags, expires)
+	e.stats.Sets++
+	return true
+}
+
+// casBytes stores if the held casID matches.
+func (e *Engine) casBytes(key, value []byte, flags uint32, expires time.Duration, casID uint64) CASResult {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n, ok := e.items[string(key)]
+	if !ok || nodeExpired(n, e.now()) {
+		return CASNotFound
+	}
+	if n.casID != casID {
+		e.stats.CasBadval++
+		return CASExists
+	}
+	e.setBytesLocked(key, value, flags, expires)
+	e.stats.Sets++
+	return CASStored
+}
+
+// concatBytes appends (front=false) or prepends (front=true) value onto
+// an existing item in place.
+func (e *Engine) concatBytes(key, value []byte, front bool) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n, ok := e.items[string(key)]
+	if !ok || nodeExpired(n, e.now()) {
+		return false
+	}
+	e.used -= nodeSize(n)
+	if front {
+		e.scratch = append(e.scratch[:0], value...)
+		e.scratch = append(e.scratch, n.value...)
+		n.value = append(n.value[:0], e.scratch...)
+	} else {
+		n.value = append(n.value, value...)
+	}
+	e.nextCas++
+	n.casID = e.nextCas
+	e.used += nodeSize(n)
+	e.moveToFront(n)
+	e.evictLocked()
+	e.stats.Sets++
+	return true
+}
+
+// incrDecrBytes adjusts a numeric value in place; see IncrDecr.
+func (e *Engine) incrDecrBytes(key []byte, delta int64) (uint64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n, ok := e.items[string(key)]
+	if !ok || nodeExpired(n, e.now()) {
+		return 0, false
+	}
+	cur, bad := parseUint(n.value)
+	if bad {
+		return 0, false
+	}
+	var next uint64
+	if delta >= 0 {
+		next = cur + uint64(delta)
+	} else {
+		dec := uint64(-delta)
+		if dec > cur {
+			next = 0 // memcached clamps decrement at zero
+		} else {
+			next = cur - dec
+		}
+	}
+	e.used -= nodeSize(n)
+	n.value = appendUint(n.value[:0], next)
+	e.nextCas++
+	n.casID = e.nextCas
+	e.used += nodeSize(n)
+	e.moveToFront(n)
+	e.evictLocked()
+	e.stats.Sets++
+	return next, true
+}
+
+// presentBytes mirrors Get's side effects (miss/expiry accounting, LRU
+// bump) without copying the value; the protocol session uses it where
+// the reference implementation issued a Get only to probe existence.
+func (e *Engine) presentBytes(key []byte) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := e.lookup(key, true)
+	if n == nil {
+		return false
+	}
+	e.moveToFront(n)
+	e.stats.GetHits++
+	return true
+}
+
+// appendGetResponse performs a get for the protocol session: identical
+// side effects to Get/GetWithCAS (miss/expiry accounting, LRU bump, hit
+// counter), but instead of returning an Item copy it frames the
+//
+//	VALUE <key> <flags> <bytes> [<casid>]\r\n<data>\r\n
+//
+// block directly onto out. The stored value is copied into out under the
+// engine lock — this is the enforced copy boundary that keeps a
+// caller-held response from ever aliasing engine-owned bytes that a later
+// append/incr mutates in place. Misses append nothing.
+func (e *Engine) appendGetResponse(out []byte, key []byte, withCAS bool) []byte {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := e.lookup(key, true)
+	if n == nil {
+		return out
+	}
+	e.moveToFront(n)
+	e.stats.GetHits++
+	out = append(out, "VALUE "...)
+	out = append(out, n.key...)
+	out = append(out, ' ')
+	out = appendUint(out, uint64(n.flags))
+	out = append(out, ' ')
+	out = appendUint(out, uint64(len(n.value)))
+	if withCAS {
+		out = append(out, ' ')
+		out = appendUint(out, n.casID)
+	}
+	out = append(out, '\r', '\n')
+	out = append(out, n.value...)
+	out = append(out, '\r', '\n')
+	return out
+}
+
+// deleteBytes removes key, reporting whether it was present.
+func (e *Engine) deleteBytes(key []byte) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n, ok := e.items[string(key)]
+	if !ok {
+		return false
+	}
+	if nodeExpired(n, e.now()) {
+		e.removeLocked(n)
+		e.stats.Expirations++
+		return false
+	}
+	e.removeLocked(n)
+	e.stats.Deletes++
+	return true
+}
+
+// touchBytes updates an item's expiry, reporting whether it was present.
+func (e *Engine) touchBytes(key []byte, expires time.Duration) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n, ok := e.items[string(key)]
+	if !ok || nodeExpired(n, e.now()) {
+		return false
+	}
+	n.expires = expires
+	e.moveToFront(n)
+	return true
+}
+
+// --- public string-key API (copies on both sides of the boundary) ---
+
+// Get returns a copy of the item stored under key, or ok=false.
 func (e *Engine) Get(key string) (Item, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	el, ok := e.items[key]
-	if !ok {
-		e.stats.GetMisses++
+	n := e.lookupStr(key, true)
+	if n == nil {
 		return Item{}, false
 	}
-	it := &el.Value.(*entry).item
-	if expired(it, e.now()) {
-		e.removeLocked(el)
-		e.stats.Expirations++
-		e.stats.GetMisses++
-		return Item{}, false
-	}
-	e.lru.MoveToFront(el)
+	e.moveToFront(n)
 	e.stats.GetHits++
-	cp := *it
-	cp.Value = append([]byte(nil), it.Value...)
-	return cp, true
+	return itemCopy(n), true
+}
+
+// GetWithCAS returns the item and its CAS token.
+func (e *Engine) GetWithCAS(key string) (Item, uint64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := e.lookupStr(key, true)
+	if n == nil {
+		return Item{}, 0, false
+	}
+	e.moveToFront(n)
+	e.stats.GetHits++
+	return itemCopy(n), n.casID, true
+}
+
+func itemCopy(n *node) Item {
+	return Item{
+		Key:     n.key,
+		Value:   append([]byte(nil), n.value...),
+		Flags:   n.flags,
+		Expires: n.expires,
+		casID:   n.casID,
+	}
 }
 
 // Set unconditionally stores value under key.
 func (e *Engine) Set(it Item) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.setLocked(it)
+	e.setStrLocked(it)
 	e.stats.Sets++
+}
+
+// setStrLocked is setBytesLocked for an Item carrying a string key.
+func (e *Engine) setStrLocked(it Item) {
+	if n, ok := e.items[it.Key]; ok {
+		e.storeLocked(n, it.Value, it.Flags, it.Expires)
+		return
+	}
+	n := e.newNode()
+	n.key = it.Key
+	n.value = append(n.value[:0], it.Value...)
+	n.flags = it.Flags
+	n.expires = it.Expires
+	e.nextCas++
+	n.casID = e.nextCas
+	e.items[n.key] = n
+	e.pushFront(n)
+	e.used += nodeSize(n)
+	e.evictLocked()
 }
 
 // Add stores the item only if the key is absent (or expired). It reports
@@ -114,10 +500,10 @@ func (e *Engine) Set(it Item) {
 func (e *Engine) Add(it Item) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if el, ok := e.items[it.Key]; ok && !expired(&el.Value.(*entry).item, e.now()) {
+	if n, ok := e.items[it.Key]; ok && !nodeExpired(n, e.now()) {
 		return false
 	}
-	e.setLocked(it)
+	e.setStrLocked(it)
 	e.stats.Sets++
 	return true
 }
@@ -127,10 +513,10 @@ func (e *Engine) Add(it Item) bool {
 func (e *Engine) Replace(it Item) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if el, ok := e.items[it.Key]; !ok || expired(&el.Value.(*entry).item, e.now()) {
+	if n, ok := e.items[it.Key]; !ok || nodeExpired(n, e.now()) {
 		return false
 	}
-	e.setLocked(it)
+	e.setStrLocked(it)
 	e.stats.Sets++
 	return true
 }
@@ -149,56 +535,33 @@ const (
 func (e *Engine) CAS(it Item, casID uint64) CASResult {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	el, ok := e.items[it.Key]
-	if !ok || expired(&el.Value.(*entry).item, e.now()) {
+	n, ok := e.items[it.Key]
+	if !ok || nodeExpired(n, e.now()) {
 		return CASNotFound
 	}
-	if el.Value.(*entry).item.casID != casID {
+	if n.casID != casID {
 		e.stats.CasBadval++
 		return CASExists
 	}
-	e.setLocked(it)
+	e.setStrLocked(it)
 	e.stats.Sets++
 	return CASStored
-}
-
-// GetWithCAS returns the item and its CAS token.
-func (e *Engine) GetWithCAS(key string) (Item, uint64, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	el, ok := e.items[key]
-	if !ok {
-		e.stats.GetMisses++
-		return Item{}, 0, false
-	}
-	it := &el.Value.(*entry).item
-	if expired(it, e.now()) {
-		e.removeLocked(el)
-		e.stats.Expirations++
-		e.stats.GetMisses++
-		return Item{}, 0, false
-	}
-	e.lru.MoveToFront(el)
-	e.stats.GetHits++
-	cp := *it
-	cp.Value = append([]byte(nil), it.Value...)
-	return cp, it.casID, true
 }
 
 // Delete removes key, reporting whether it was present.
 func (e *Engine) Delete(key string) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	el, ok := e.items[key]
+	n, ok := e.items[key]
 	if !ok {
 		return false
 	}
-	if expired(&el.Value.(*entry).item, e.now()) {
-		e.removeLocked(el)
+	if nodeExpired(n, e.now()) {
+		e.removeLocked(n)
 		e.stats.Expirations++
 		return false
 	}
-	e.removeLocked(el)
+	e.removeLocked(n)
 	e.stats.Deletes++
 	return true
 }
@@ -206,31 +569,35 @@ func (e *Engine) Delete(key string) bool {
 // Append concatenates value onto an existing item, reporting whether the
 // key was present.
 func (e *Engine) Append(key string, value []byte) bool {
-	return e.concat(key, value, false)
+	return e.concatStr(key, value, false)
 }
 
 // Prepend prefixes value onto an existing item, reporting whether the key
 // was present.
 func (e *Engine) Prepend(key string, value []byte) bool {
-	return e.concat(key, value, true)
+	return e.concatStr(key, value, true)
 }
 
-func (e *Engine) concat(key string, value []byte, front bool) bool {
+func (e *Engine) concatStr(key string, value []byte, front bool) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	el, ok := e.items[key]
-	if !ok || expired(&el.Value.(*entry).item, e.now()) {
+	n, ok := e.items[key]
+	if !ok || nodeExpired(n, e.now()) {
 		return false
 	}
-	old := el.Value.(*entry).item
-	var merged []byte
+	e.used -= nodeSize(n)
 	if front {
-		merged = append(append([]byte(nil), value...), old.Value...)
+		e.scratch = append(e.scratch[:0], value...)
+		e.scratch = append(e.scratch, n.value...)
+		n.value = append(n.value[:0], e.scratch...)
 	} else {
-		merged = append(append([]byte(nil), old.Value...), value...)
+		n.value = append(n.value, value...)
 	}
-	old.Value = merged
-	e.setLocked(old)
+	e.nextCas++
+	n.casID = e.nextCas
+	e.used += nodeSize(n)
+	e.moveToFront(n)
+	e.evictLocked()
 	e.stats.Sets++
 	return true
 }
@@ -241,13 +608,12 @@ func (e *Engine) concat(key string, value []byte, front bool) bool {
 func (e *Engine) IncrDecr(key string, delta int64) (uint64, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	el, ok := e.items[key]
-	if !ok || expired(&el.Value.(*entry).item, e.now()) {
+	n, ok := e.items[key]
+	if !ok || nodeExpired(n, e.now()) {
 		return 0, false
 	}
-	it := el.Value.(*entry).item
-	cur, err := parseUint(it.Value)
-	if err {
+	cur, bad := parseUint(n.value)
+	if bad {
 		return 0, false
 	}
 	var next uint64
@@ -256,17 +622,24 @@ func (e *Engine) IncrDecr(key string, delta int64) (uint64, bool) {
 	} else {
 		dec := uint64(-delta)
 		if dec > cur {
-			next = 0 // memcached clamps decrement at zero
+			next = 0
 		} else {
 			next = cur - dec
 		}
 	}
-	it.Value = []byte(formatUint(next))
-	e.setLocked(it)
+	e.used -= nodeSize(n)
+	n.value = appendUint(n.value[:0], next)
+	e.nextCas++
+	n.casID = e.nextCas
+	e.used += nodeSize(n)
+	e.moveToFront(n)
+	e.evictLocked()
 	e.stats.Sets++
 	return next, true
 }
 
+// parseUint interprets a stored value as an unsigned decimal number;
+// bad=true when it is not one (empty, too long, or non-digit bytes).
 func parseUint(b []byte) (uint64, bool) {
 	if len(b) == 0 || len(b) > 20 {
 		return 0, true
@@ -281,9 +654,12 @@ func parseUint(b []byte) (uint64, bool) {
 	return v, false
 }
 
-func formatUint(v uint64) string {
+func formatUint(v uint64) string { return string(appendUint(nil, v)) }
+
+// appendUint appends the decimal form of v to dst.
+func appendUint(dst []byte, v uint64) []byte {
 	if v == 0 {
-		return "0"
+		return append(dst, '0')
 	}
 	var buf [20]byte
 	i := len(buf)
@@ -292,19 +668,19 @@ func formatUint(v uint64) string {
 		buf[i] = byte('0' + v%10)
 		v /= 10
 	}
-	return string(buf[i:])
+	return append(dst, buf[i:]...)
 }
 
 // Touch updates an item's expiry, reporting whether it was present.
 func (e *Engine) Touch(key string, expires time.Duration) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	el, ok := e.items[key]
-	if !ok || expired(&el.Value.(*entry).item, e.now()) {
+	n, ok := e.items[key]
+	if !ok || nodeExpired(n, e.now()) {
 		return false
 	}
-	el.Value.(*entry).item.Expires = expires
-	e.lru.MoveToFront(el)
+	n.expires = expires
+	e.moveToFront(n)
 	return true
 }
 
@@ -312,8 +688,9 @@ func (e *Engine) Touch(key string, expires time.Duration) bool {
 func (e *Engine) FlushAll() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.items = make(map[string]*list.Element)
-	e.lru.Init()
+	e.items = make(map[string]*node)
+	e.head, e.tail = nil, nil
+	e.free, e.nFree = nil, 0
 	e.used = 0
 }
 
@@ -327,38 +704,19 @@ func (e *Engine) Stats() Stats {
 	return s
 }
 
-func (e *Engine) setLocked(it Item) {
-	it.Value = append([]byte(nil), it.Value...)
-	e.nextCas++
-	it.casID = e.nextCas
-	if el, ok := e.items[it.Key]; ok {
-		old := &el.Value.(*entry).item
-		e.used -= itemSize(old)
-		el.Value.(*entry).item = it
-		e.used += itemSize(&it)
-		e.lru.MoveToFront(el)
-	} else {
-		el := e.lru.PushFront(&entry{item: it})
-		e.items[it.Key] = el
-		e.used += itemSize(&it)
-	}
-	e.evictLocked()
-}
-
 func (e *Engine) evictLocked() {
 	if e.maxBytes <= 0 {
 		return
 	}
-	for e.used > e.maxBytes && e.lru.Len() > 0 {
-		el := e.lru.Back()
-		e.removeLocked(el)
+	for e.used > e.maxBytes && e.tail != nil {
+		e.removeLocked(e.tail)
 		e.stats.Evictions++
 	}
 }
 
-func (e *Engine) removeLocked(el *list.Element) {
-	it := &el.Value.(*entry).item
-	e.used -= itemSize(it)
-	delete(e.items, it.Key)
-	e.lru.Remove(el)
+func (e *Engine) removeLocked(n *node) {
+	e.used -= nodeSize(n)
+	delete(e.items, n.key)
+	e.unlink(n)
+	e.freeNode(n)
 }

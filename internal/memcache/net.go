@@ -89,10 +89,12 @@ func (s *NetServer) serve(conn net.Conn) {
 		if n > 0 {
 			resp := sess.Feed(buf[:n])
 			if len(resp) > 0 {
-				if _, werr := w.Write(resp); werr != nil {
-					return
+				_, werr := w.Write(resp)
+				if werr == nil {
+					werr = w.Flush()
 				}
-				if werr := w.Flush(); werr != nil {
+				sess.Release(resp)
+				if werr != nil {
 					return
 				}
 			}

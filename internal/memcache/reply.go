@@ -2,8 +2,6 @@ package memcache
 
 import (
 	"bytes"
-	"strconv"
-	"strings"
 )
 
 // ReplyType classifies a server response.
@@ -39,127 +37,164 @@ type Reply struct {
 // command (get/gets/stats), because those are multi-line and terminated
 // by END while storage replies are single-line. Callers enqueue the
 // expectation when they send the request.
+//
+// Single-line replies (the storage-write steady state) parse without
+// allocating: lines are matched as bytes and Raw is a constant for the
+// known verbs. Multi-line VALUE replies still copy keys and values out —
+// they cross into caller-owned Items.
 type ReplyParser struct {
 	buf bytes.Buffer
-	// pending expectation queue: true = multi-line (END-terminated).
+	// pending expectation ring: multi[mhead:] are outstanding replies,
+	// true = multi-line (END-terminated). The consumed prefix is reclaimed
+	// once the ring drains, so steady-state traffic never reallocates.
 	multi []bool
+	mhead int
 	// in-progress multi-line accumulation
 	items []Item
 	cas   []uint64
+	// fields is the VALUE-line tokenizer scratch.
+	fields [][]byte
 }
 
 // Expect registers that the next reply is multi-line (get/gets/stats)
 // or single-line.
-func (p *ReplyParser) Expect(multiLine bool) { p.multi = append(p.multi, multiLine) }
+func (p *ReplyParser) Expect(multiLine bool) {
+	if p.mhead == len(p.multi) {
+		p.multi = p.multi[:0]
+		p.mhead = 0
+	}
+	p.multi = append(p.multi, multiLine)
+}
 
 // PendingReplies returns the number of replies not yet received.
-func (p *ReplyParser) PendingReplies() int { return len(p.multi) }
+func (p *ReplyParser) PendingReplies() int { return len(p.multi) - p.mhead }
 
 // Feed consumes bytes and returns completed replies in order.
 func (p *ReplyParser) Feed(data []byte) []Reply {
-	p.buf.Write(data)
 	var out []Reply
-	for len(p.multi) > 0 {
+	p.FeedFunc(data, func(r Reply) { out = append(out, r) })
+	return out
+}
+
+// FeedFunc consumes bytes and invokes fn for each completed reply, in
+// order, without building a reply slice. fn must not retain the Reply's
+// Items beyond the call if it recycles them (the parser itself does not).
+func (p *ReplyParser) FeedFunc(data []byte, fn func(Reply)) {
+	p.buf.Write(data)
+	for p.mhead < len(p.multi) {
 		r, ok := p.step()
 		if !ok {
 			break
 		}
-		out = append(out, r)
+		fn(r)
 	}
-	return out
+}
+
+// consumeExpect retires the reply currently being parsed.
+func (p *ReplyParser) consumeExpect() {
+	p.mhead++
+	if p.mhead == len(p.multi) {
+		p.multi = p.multi[:0]
+		p.mhead = 0
+	}
 }
 
 func (p *ReplyParser) step() (Reply, bool) {
-	isMulti := p.multi[0]
+	isMulti := p.multi[p.mhead]
 	for {
 		raw := p.buf.Bytes()
 		nl := bytes.Index(raw, []byte("\r\n"))
 		if nl < 0 {
 			return Reply{}, false
 		}
-		line := string(raw[:nl])
+		line := raw[:nl]
 		if !isMulti {
+			r := singleLineReply(line)
 			p.buf.Next(nl + 2)
-			p.multi = p.multi[1:]
-			return singleLineReply(line), true
+			p.consumeExpect()
+			return r, true
 		}
 		switch {
-		case line == "END":
+		case string(line) == "END":
 			p.buf.Next(nl + 2)
 			r := Reply{Type: ReplyValues, Items: p.items, CAS: p.cas}
 			p.items, p.cas = nil, nil
-			p.multi = p.multi[1:]
+			p.consumeExpect()
 			return r, true
-		case strings.HasPrefix(line, "VALUE "):
-			fields := strings.Fields(line)
+		case bytes.HasPrefix(line, []byte("VALUE ")):
+			p.fields = appendFields(p.fields[:0], line)
+			fields := p.fields
 			if len(fields) < 4 {
+				r := Reply{Type: ReplyError, Raw: string(line)}
 				p.buf.Next(nl + 2)
-				p.multi = p.multi[1:]
-				return Reply{Type: ReplyError, Raw: line}, true
+				p.consumeExpect()
+				return r, true
 			}
-			size, err := strconv.Atoi(fields[3])
-			if err != nil || size < 0 {
+			size, serr := atoiField(fields[3])
+			if serr || size < 0 {
+				r := Reply{Type: ReplyError, Raw: string(line)}
 				p.buf.Next(nl + 2)
-				p.multi = p.multi[1:]
-				return Reply{Type: ReplyError, Raw: line}, true
+				p.consumeExpect()
+				return r, true
 			}
 			need := nl + 2 + size + 2
 			if len(raw) < need {
 				return Reply{}, false
 			}
-			flags, _ := strconv.ParseUint(fields[2], 10, 32)
+			flags, _ := parseUintField(fields[2], 32)
 			it := Item{
-				Key:   fields[1],
+				Key:   string(fields[1]),
 				Flags: uint32(flags),
 				Value: append([]byte(nil), raw[nl+2:nl+2+size]...),
 			}
 			var casID uint64
 			if len(fields) >= 5 {
-				casID, _ = strconv.ParseUint(fields[4], 10, 64)
+				casID, _ = parseUintField(fields[4], 64)
 			}
 			p.items = append(p.items, it)
 			p.cas = append(p.cas, casID)
 			p.buf.Next(need)
-		case strings.HasPrefix(line, "STAT "):
-			p.buf.Next(nl + 2)
+		case bytes.HasPrefix(line, []byte("STAT ")):
 			// stats lines accumulate as raw text in a values-style reply;
 			// we fold them into Raw for simplicity.
-			p.items = append(p.items, Item{Key: "STAT", Value: []byte(line)})
+			p.items = append(p.items, Item{Key: "STAT", Value: append([]byte(nil), line...)})
+			p.buf.Next(nl + 2)
 		default:
 			// Error mid-retrieval.
+			r := Reply{Type: ReplyError, Raw: string(line)}
 			p.buf.Next(nl + 2)
-			p.multi = p.multi[1:]
 			p.items, p.cas = nil, nil
-			return Reply{Type: ReplyError, Raw: line}, true
+			p.consumeExpect()
+			return r, true
 		}
 	}
 }
 
-func singleLineReply(line string) Reply {
+func singleLineReply(line []byte) Reply {
 	switch {
-	case line == "STORED":
-		return Reply{Type: ReplyStored, Raw: line}
-	case line == "NOT_STORED":
-		return Reply{Type: ReplyNotStored, Raw: line}
-	case line == "EXISTS":
-		return Reply{Type: ReplyExists, Raw: line}
-	case line == "NOT_FOUND":
-		return Reply{Type: ReplyNotFound, Raw: line}
-	case line == "DELETED":
-		return Reply{Type: ReplyDeleted, Raw: line}
-	case line == "TOUCHED":
-		return Reply{Type: ReplyTouched, Raw: line}
-	case line == "OK":
-		return Reply{Type: ReplyOK, Raw: line}
-	case strings.HasPrefix(line, "MSTORED "):
-		n, err := strconv.Atoi(line[len("MSTORED "):])
-		if err != nil || n < 0 {
-			return Reply{Type: ReplyError, Raw: line}
+	case string(line) == "STORED":
+		return Reply{Type: ReplyStored, Raw: "STORED"}
+	case string(line) == "NOT_STORED":
+		return Reply{Type: ReplyNotStored, Raw: "NOT_STORED"}
+	case string(line) == "EXISTS":
+		return Reply{Type: ReplyExists, Raw: "EXISTS"}
+	case string(line) == "NOT_FOUND":
+		return Reply{Type: ReplyNotFound, Raw: "NOT_FOUND"}
+	case string(line) == "DELETED":
+		return Reply{Type: ReplyDeleted, Raw: "DELETED"}
+	case string(line) == "TOUCHED":
+		return Reply{Type: ReplyTouched, Raw: "TOUCHED"}
+	case string(line) == "OK":
+		return Reply{Type: ReplyOK, Raw: "OK"}
+	case bytes.HasPrefix(line, []byte("MSTORED ")):
+		n, err := atoiField(line[len("MSTORED "):])
+		if err || n < 0 {
+			return Reply{Type: ReplyError, Raw: string(line)}
 		}
-		return Reply{Type: ReplyMStored, N: n, Raw: line}
-	case strings.HasPrefix(line, "VERSION"):
-		return Reply{Type: ReplyVersion, Raw: line}
+		return Reply{Type: ReplyMStored, N: n, Raw: "MSTORED"}
+	case bytes.HasPrefix(line, []byte("VERSION")):
+		return Reply{Type: ReplyVersion, Raw: string(line)}
 	default:
-		return Reply{Type: ReplyError, Raw: line}
+		return Reply{Type: ReplyError, Raw: string(line)}
 	}
 }

@@ -51,6 +51,8 @@ type SimServer struct {
 	queueFree time.Duration
 	// Ops counts operations processed.
 	Ops uint64
+	// freeReplies pools schedReply objects across data events.
+	freeReplies []*schedReply
 }
 
 // NewSimServer starts a simulated memcached server on host:port.
@@ -70,6 +72,42 @@ func (s *SimServer) Host() *netsim.Host { return s.host }
 
 // Close stops accepting connections.
 func (s *SimServer) Close() { s.lis.Close() }
+
+// schedReply is a pooled pending-response: the reply bytes for one input
+// chunk, scheduled to emit once the server's op queue drains. fire is
+// pre-bound at allocation so scheduling a reply does not allocate a
+// closure per data event.
+type schedReply struct {
+	srv    *SimServer
+	conn   *tcp.Conn
+	sess   *Session
+	resp   []byte
+	closed bool
+	fire   func()
+}
+
+func (s *SimServer) takeReply() *schedReply {
+	if n := len(s.freeReplies); n > 0 {
+		r := s.freeReplies[n-1]
+		s.freeReplies = s.freeReplies[:n-1]
+		return r
+	}
+	r := &schedReply{srv: s}
+	r.fire = func() {
+		if len(r.resp) > 0 {
+			r.conn.Write(r.resp) // Write copies; the buffer can go back
+			r.sess.Release(r.resp)
+		}
+		if r.closed {
+			r.conn.Close()
+		}
+		r.conn, r.sess, r.resp = nil, nil, nil
+		if len(r.srv.freeReplies) < 32 {
+			r.srv.freeReplies = append(r.srv.freeReplies, r)
+		}
+	}
+	return r
+}
 
 func (s *SimServer) accept(c *tcp.Conn) tcp.Callbacks {
 	sess := NewSession(s.Engine)
@@ -96,15 +134,9 @@ func (s *SimServer) accept(c *tcp.Conn) tcp.Callbacks {
 			}
 			s.queueFree += work
 			delay := s.queueFree - now
-			closed := sess.Closed()
-			net.Schedule(delay, func() {
-				if len(resp) > 0 {
-					c.Write(resp)
-				}
-				if closed {
-					c.Close()
-				}
-			})
+			r := s.takeReply()
+			r.conn, r.sess, r.resp, r.closed = c, sess, resp, sess.Closed()
+			net.Schedule(delay, r.fire)
 		},
 		OnPeerClose: func(c *tcp.Conn) { c.Close() },
 	}
@@ -135,15 +167,23 @@ func countCommands(d []byte) int {
 	return n
 }
 
-// msetCount parses the record count of an "mset <n>" command line.
+// msetCount parses the record count of an "mset <n>" command line. The
+// digits are parsed in place — this runs per command line on the server's
+// data path, where a string conversion would allocate.
 func msetCount(line []byte) (int, bool) {
 	const p = "mset "
 	if len(line) <= len(p) || string(line[:len(p)]) != p {
 		return 0, false
 	}
-	cnt, err := strconv.Atoi(string(line[len(p):]))
-	if err != nil || cnt <= 0 {
-		return 1, true // malformed count still costs one parse
+	cnt := 0
+	for _, c := range line[len(p):] {
+		if c < '0' || c > '9' || cnt > 1<<30 {
+			return 1, true // malformed count still costs one parse
+		}
+		cnt = cnt*10 + int(c-'0')
+	}
+	if cnt <= 0 {
+		return 1, true
 	}
 	return cnt, true
 }
@@ -170,16 +210,35 @@ type SimResult struct {
 	Err   error
 }
 
+// KV is one key/value pair for SimClient.SetMulti. Both slices may alias
+// caller scratch: the client encodes them into its own buffer before
+// returning, so neither is retained after the call.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
 // SimClient is an asynchronous memcached client over one long-lived
 // simulated TCP connection. Operations pipeline; replies dispatch FIFO.
+//
+// Key parameters are []byte and are not retained: commands are encoded
+// into the client's scratch buffer synchronously, so callers can pass
+// slices of their own reused buffers.
 type SimClient struct {
-	host    *netsim.Host
-	server  netsim.HostPort
-	conn    *tcp.Conn
-	parser  *ReplyParser
+	host   *netsim.Host
+	server netsim.HostPort
+	conn   *tcp.Conn
+	parser *ReplyParser
+	// pending is a ring of reply callbacks: pending[phead:] are
+	// outstanding, and the consumed prefix is reclaimed when it drains so
+	// steady-state ping-pong traffic never reallocates.
 	pending []func(SimResult)
+	phead   int
 	up      bool
 	onDown  func()
+	// onReply is the reply dispatcher, bound once so FeedFunc calls do
+	// not allocate a closure per data event.
+	onReply func(Reply)
 	// scratch is the reused command-encoding buffer; tcp.Conn.Write
 	// copies the bytes into its send buffer, so reuse across ops is safe.
 	scratch []byte
@@ -190,17 +249,23 @@ type SimClient struct {
 // to fail over).
 func DialSim(host *netsim.Host, server netsim.HostPort, cfg tcp.Config, onDown func()) *SimClient {
 	c := &SimClient{host: host, server: server, parser: &ReplyParser{}, onDown: onDown}
+	c.onReply = func(r Reply) {
+		if c.phead == len(c.pending) {
+			return
+		}
+		cb := c.pending[c.phead]
+		c.pending[c.phead] = nil
+		c.phead++
+		if c.phead == len(c.pending) {
+			c.pending = c.pending[:0]
+			c.phead = 0
+		}
+		cb(SimResult{Reply: r})
+	}
 	c.conn = tcp.Dial(host, server, tcp.Callbacks{
 		OnEstablished: func(*tcp.Conn) { c.up = true },
 		OnData: func(_ *tcp.Conn, d []byte) {
-			for _, r := range c.parser.Feed(d) {
-				if len(c.pending) == 0 {
-					break
-				}
-				cb := c.pending[0]
-				c.pending = c.pending[1:]
-				cb(SimResult{Reply: r})
-			}
+			c.parser.FeedFunc(d, c.onReply)
 		},
 		OnFail:      func(_ *tcp.Conn, err error) { c.fail() },
 		OnPeerClose: func(cc *tcp.Conn) { cc.Close(); c.fail() },
@@ -212,8 +277,9 @@ func DialSim(host *netsim.Host, server netsim.HostPort, cfg tcp.Config, onDown f
 func (c *SimClient) Up() bool { return c.conn.State() != tcp.StateClosed }
 
 func (c *SimClient) fail() {
-	pend := c.pending
+	pend := c.pending[c.phead:]
 	c.pending = nil
+	c.phead = 0
 	for _, cb := range pend {
 		cb(SimResult{Err: ErrSimConnDown})
 	}
@@ -231,59 +297,81 @@ func (c *SimClient) send(cmd []byte, multiLine bool, cb func(SimResult)) {
 		return
 	}
 	c.parser.Expect(multiLine)
+	if c.phead == len(c.pending) {
+		c.pending = c.pending[:0]
+		c.phead = 0
+	}
 	c.pending = append(c.pending, cb)
 	c.conn.Write(cmd)
 }
 
 // Set stores value under key, invoking cb with the outcome.
-func (c *SimClient) Set(key string, value []byte, flags uint32, exptime int, cb func(SimResult)) {
+func (c *SimClient) Set(key, value []byte, flags uint32, exptime int, cb func(SimResult)) {
 	c.scratch = appendStorageCmd(c.scratch[:0], "set", key, value, flags, exptime)
 	c.send(c.scratch, false, cb)
 }
 
-// SetMulti stores all items in one pipelined mset command: a single
+// SetMulti stores all pairs in one pipelined mset command: a single
 // write and a single MSTORED reply regardless of the record count, so a
 // multi-record state write costs one round trip on the wire.
-func (c *SimClient) SetMulti(items []Item, exptime int, cb func(SimResult)) {
-	c.scratch = appendMSetCmd(c.scratch[:0], items, exptime)
+func (c *SimClient) SetMulti(kvs []KV, exptime int, cb func(SimResult)) {
+	c.scratch = appendMSetKVCmd(c.scratch[:0], kvs, exptime)
 	c.send(c.scratch, false, cb)
 }
 
 // Get fetches key; the callback's Reply.Items is empty on a miss.
-func (c *SimClient) Get(key string, cb func(SimResult)) {
+func (c *SimClient) Get(key []byte, cb func(SimResult)) {
 	c.scratch = append(append(append(c.scratch[:0], "get "...), key...), '\r', '\n')
 	c.send(c.scratch, true, cb)
 }
 
 // Delete removes key.
-func (c *SimClient) Delete(key string, cb func(SimResult)) {
+func (c *SimClient) Delete(key []byte, cb func(SimResult)) {
 	c.scratch = append(append(append(c.scratch[:0], "delete "...), key...), '\r', '\n')
 	c.send(c.scratch, false, cb)
 }
 
-// appendMSetCmd encodes a batched mset into dst (the caller's reused
-// scratch buffer; see SimClient.scratch).
+// appendMSetKVCmd encodes a batched mset from KV pairs into dst (the
+// caller's reused scratch buffer; see SimClient.scratch).
+func appendMSetKVCmd(dst []byte, kvs []KV, exptime int) []byte {
+	dst = append(dst, "mset "...)
+	dst = strconv.AppendInt(dst, int64(len(kvs)), 10)
+	dst = append(dst, '\r', '\n')
+	for i := range kvs {
+		dst = appendRecord(dst, kvs[i].Key, kvs[i].Value, 0, exptime)
+	}
+	return dst
+}
+
+// appendRecord encodes one "<key> <flags> <exptime> <bytes>\r\n<data>\r\n"
+// mset record into dst.
+func appendRecord(dst, key, value []byte, flags uint32, exptime int) []byte {
+	dst = append(dst, key...)
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, uint64(flags), 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, int64(exptime), 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, int64(len(value)), 10)
+	dst = append(dst, '\r', '\n')
+	dst = append(dst, value...)
+	dst = append(dst, '\r', '\n')
+	return dst
+}
+
+// appendMSetCmd encodes a batched mset from Items (the NetClient form).
 func appendMSetCmd(dst []byte, items []Item, exptime int) []byte {
 	dst = append(dst, "mset "...)
 	dst = strconv.AppendInt(dst, int64(len(items)), 10)
 	dst = append(dst, '\r', '\n')
 	for i := range items {
 		it := &items[i]
-		dst = append(dst, it.Key...)
-		dst = append(dst, ' ')
-		dst = strconv.AppendUint(dst, uint64(it.Flags), 10)
-		dst = append(dst, ' ')
-		dst = strconv.AppendInt(dst, int64(exptime), 10)
-		dst = append(dst, ' ')
-		dst = strconv.AppendInt(dst, int64(len(it.Value)), 10)
-		dst = append(dst, '\r', '\n')
-		dst = append(dst, it.Value...)
-		dst = append(dst, '\r', '\n')
+		dst = appendRecord(dst, []byte(it.Key), it.Value, it.Flags, exptime)
 	}
 	return dst
 }
 
-func appendStorageCmd(dst []byte, verb, key string, value []byte, flags uint32, exptime int) []byte {
+func appendStorageCmd(dst []byte, verb string, key, value []byte, flags uint32, exptime int) []byte {
 	dst = append(dst, verb...)
 	dst = append(dst, ' ')
 	dst = append(dst, key...)

@@ -132,10 +132,10 @@ func simSetup(seed int64) (*netsim.Network, *SimServer, *SimClient) {
 func TestSimClientSetGetDelete(t *testing.T) {
 	n, srv, cl := simSetup(1)
 	var setR, getR, delR, missR *SimResult
-	cl.Set("flow:1", []byte("state-bytes"), 0, 60, func(r SimResult) { setR = &r })
-	cl.Get("flow:1", func(r SimResult) { getR = &r })
-	cl.Delete("flow:1", func(r SimResult) { delR = &r })
-	cl.Get("flow:1", func(r SimResult) { missR = &r })
+	cl.Set([]byte("flow:1"), []byte("state-bytes"), 0, 60, func(r SimResult) { setR = &r })
+	cl.Get([]byte("flow:1"), func(r SimResult) { getR = &r })
+	cl.Delete([]byte("flow:1"), func(r SimResult) { delR = &r })
+	cl.Get([]byte("flow:1"), func(r SimResult) { missR = &r })
 	n.RunUntilIdle(10000)
 	if setR == nil || setR.Err != nil || setR.Reply.Type != ReplyStored {
 		t.Fatalf("set: %+v", setR)
@@ -160,7 +160,7 @@ func TestSimOpLatencyIsSubMillisecond(t *testing.T) {
 	n, _, cl := simSetup(2)
 	start := n.Now()
 	var finished time.Duration
-	cl.Set("k", []byte("v"), 0, 0, func(r SimResult) { finished = n.Now() })
+	cl.Set([]byte("k"), []byte("v"), 0, 0, func(r SimResult) { finished = n.Now() })
 	n.RunUntilIdle(10000)
 	lat := finished - start
 	if lat <= 0 || lat > time.Millisecond {
@@ -177,7 +177,7 @@ func TestSimServerQueueingInflatesLatency(t *testing.T) {
 	done := 0
 	for i := 0; i < N; i++ {
 		i := i
-		cl.Set("k", []byte("v"), 0, 0, func(r SimResult) {
+		cl.Set([]byte("k"), []byte("v"), 0, 0, func(r SimResult) {
 			done++
 			if i == 0 {
 				first = n.Now()
@@ -203,7 +203,7 @@ func TestSimClientFailsPendingOnServerDeath(t *testing.T) {
 	cl2 := cl
 	_ = cl2
 	var res *SimResult
-	cl.Set("k", []byte("v"), 0, 0, func(r SimResult) { res = &r })
+	cl.Set([]byte("k"), []byte("v"), 0, 0, func(r SimResult) { res = &r })
 	// The client's retransmissions eventually exhaust and fail the conn.
 	n.RunFor(5 * time.Minute)
 	if res == nil {
@@ -224,7 +224,7 @@ func TestSimClientOnDownFires(t *testing.T) {
 	cl := DialSim(ch, netsim.HostPort{IP: sh.IP(), Port: DefaultPort}, tcp.DefaultConfig(), func() { down = true })
 	n.RunUntilIdle(1000)
 	sh.Detach()
-	cl.Set("k", []byte("v"), 0, 0, func(r SimResult) {})
+	cl.Set([]byte("k"), []byte("v"), 0, 0, func(r SimResult) {})
 	n.RunFor(10 * time.Minute)
 	if !down {
 		t.Fatal("onDown never fired")

@@ -112,9 +112,11 @@ func seqLT(a, b uint32) bool { return int32(a-b) < 0 }
 func seqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }
 
 // reasmSeg is an out-of-order segment parked for reassembly. data is a
-// read-only reference into the sender's send buffer (zero-copy); the
-// ownership rules in DESIGN.md guarantee those bytes are never
-// overwritten while a reference can still be read.
+// read-only reference into the sender's send buffer (zero-copy). That is
+// safe because a parked segment is by definition unacknowledged, and the
+// sender never overwrites bytes the cumulative ACK has not passed: the
+// send buffer only rewinds once every transmitted byte is acked, which
+// cannot happen while this segment sits in the reassembly queue.
 type reasmSeg struct {
 	seq  uint32
 	data []byte
@@ -146,8 +148,14 @@ type Conn struct {
 	iss       uint32 // initial send sequence
 	sndUna    uint32 // oldest unacknowledged
 	sndNxt    uint32 // next to send
-	sndBuf    []byte // unsent+unacked payload; sndBuf[0] is at seq sndUna (+1 pre-establish)
-	bufSeq    uint32 // sequence number of sndBuf[0]
+	// sndBuf holds unsent+unacked payload; live bytes are
+	// sndBuf[sndHead:], and sndBuf[sndHead] is at seq bufSeq. The head
+	// index (instead of re-slicing forward) lets the buffer reset to the
+	// array start once fully acknowledged, so steady-state request/reply
+	// traffic reuses one backing array instead of reallocating per Write.
+	sndBuf    []byte
+	sndHead   int
+	bufSeq    uint32 // sequence number of sndBuf[sndHead]
 	peerWnd   uint32
 	cwnd      uint32
 	ssthresh  uint32
@@ -301,9 +309,11 @@ func (c *Conn) trySend() {
 		wnd = c.peerWnd
 	}
 	for {
-		// Bytes of sndBuf not yet transmitted start at offset sndNxt-bufSeq.
-		off := int(c.sndNxt - c.bufSeq)
-		if off < 0 || off > len(c.sndBuf) {
+		// Bytes of sndBuf not yet transmitted start at offset sndNxt-bufSeq
+		// past the head.
+		rel := int(c.sndNxt - c.bufSeq)
+		off := c.sndHead + rel
+		if rel < 0 || off > len(c.sndBuf) {
 			// FIN-only position or buffer fully streamed.
 			off = len(c.sndBuf)
 		}
@@ -323,9 +333,11 @@ func (c *Conn) trySend() {
 				return
 			}
 			// Zero-copy: hand out a capacity-capped sub-slice of sndBuf.
-			// Safe because sndBuf is only ever re-sliced forward on ACK and
-			// appended past the high-water mark, so bytes below any
-			// previously transmitted offset are never overwritten.
+			// Safe because the head only advances on ACK, appends land past
+			// the high-water mark, and the buffer resets to the array start
+			// only once every transmitted byte is acknowledged — at which
+			// point any slice still in flight is a duplicate the receiver
+			// trims without reading (see processAck).
 			seg := c.sndBuf[off : off+n : off+n]
 			flags := netsim.FlagACK
 			if off+n == len(c.sndBuf) {
@@ -411,8 +423,9 @@ func (c *Conn) retransmitOldest() {
 		c.sendSegment(netsim.FlagFIN|netsim.FlagACK, c.finSeq, c.rcvNxt, nil)
 		return
 	}
-	off := int(c.sndUna - c.bufSeq)
-	if off < 0 || off >= len(c.sndBuf) {
+	rel := int(c.sndUna - c.bufSeq)
+	off := c.sndHead + rel
+	if rel < 0 || off >= len(c.sndBuf) {
 		return
 	}
 	n := c.cfg.MSS
@@ -540,16 +553,27 @@ func (c *Conn) processAck(ack uint32) {
 	if c.finSent && seqLT(c.finSeq, ack) {
 		dataAcked--
 	}
+	live := len(c.sndBuf) - c.sndHead
 	drop := int(c.sndUna - c.bufSeq)
 	if c.finSent && seqLT(c.finSeq, c.sndUna) {
-		drop = len(c.sndBuf)
+		drop = live
 	}
-	if drop > len(c.sndBuf) {
-		drop = len(c.sndBuf)
+	if drop > live {
+		drop = live
 	}
 	if drop > 0 {
-		c.sndBuf = c.sndBuf[drop:]
+		c.sndHead += drop
 		c.bufSeq += uint32(drop)
+	}
+	if c.sndHead == len(c.sndBuf) && c.sndHead > 0 {
+		// Every buffered byte is acknowledged: rewind to the array start so
+		// the next Write reuses the capacity instead of growing past the
+		// high-water mark. Any first-transmission slice still in flight is
+		// now entirely below the receiver's rcvNxt (cumulative ACKs imply
+		// delivery), so its bytes are trimmed without being read even if a
+		// later Write overwrites them.
+		c.sndBuf = c.sndBuf[:0]
+		c.sndHead = 0
 	}
 	_ = dataAcked
 	// Recycle retransmit copies the cumulative ACK now covers. Any

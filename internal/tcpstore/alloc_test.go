@@ -1,0 +1,41 @@
+package tcpstore
+
+import (
+	"testing"
+)
+
+// TestSetMultiAllocFree locks in the batched write path's alloc budget:
+// with warm pools (multi-ops, batch states, pick buffers, client scratch,
+// server sessions, engine nodes, event records), a storage-b shaped
+// SetMulti — two entries replicated K ways, grouped per server, carried
+// over simulated TCP, stored, and resolved — allocates nothing.
+func TestSetMultiAllocFree(t *testing.T) {
+	w := newSimWorld(21, 5, DefaultConfig()) // K=2
+	value := make([]byte, 90)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+	entries := []Entry{
+		{Key: []byte("yoda:f:c0a80001:9c40:0a0000fe:0050"), Value: value},
+		{Key: []byte("yoda:f:0a000020:1f90:0a0000fe:4e21"), Value: value},
+	}
+	done := false
+	cb := func(SetResult) { done = true }
+	op := func() {
+		done = false
+		w.store.SetMulti(entries, cb)
+		// Drain everything, including the cancelled op-timeout and TCP
+		// retransmit records, so pooled resources recycle inside the run —
+		// as they do continuously in a long-running instance.
+		w.net.RunUntilIdle(1 << 20)
+		if !done {
+			t.Fatal("SetMulti did not resolve")
+		}
+	}
+	for i := 0; i < 64; i++ {
+		op()
+	}
+	if allocs := testing.AllocsPerRun(100, op); allocs != 0 {
+		t.Fatalf("SetMulti allocates %.1f objects/op, want 0", allocs)
+	}
+}

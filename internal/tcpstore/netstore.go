@@ -126,7 +126,7 @@ func (ns *NetStore) SetMulti(entries []Entry) error {
 	byServer := make(map[netsim.HostPort]*batch, ns.replicas)
 	acks := make([]int, len(entries))
 	for i, e := range entries {
-		replicas := ns.ring.Pick(e.Key, ns.replicas)
+		replicas := ns.ring.Pick(string(e.Key), ns.replicas)
 		for _, server := range replicas {
 			b, ok := byServer[server]
 			if !ok {
@@ -134,7 +134,7 @@ func (ns *NetStore) SetMulti(entries []Entry) error {
 				byServer[server] = b
 				batches = append(batches, b)
 			}
-			b.items = append(b.items, memcache.Item{Key: e.Key, Value: e.Value})
+			b.items = append(b.items, memcache.Item{Key: string(e.Key), Value: e.Value})
 			b.idxs = append(b.idxs, i)
 		}
 	}

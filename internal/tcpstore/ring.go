@@ -27,6 +27,9 @@ type ringPoint struct {
 type Ring struct {
 	points  []ringPoint
 	servers []netsim.HostPort
+	// used is PickInto's distinct-server scratch, reused per call (the
+	// ring is only driven from the instance's single-threaded event loop).
+	used []bool
 }
 
 // VirtualNodes is the number of ring points per server. More points give
@@ -58,15 +61,33 @@ func (r *Ring) Len() int { return len(r.servers) }
 // replicas are distinct servers as long as K ≤ Len(); if K exceeds the
 // server count every server is returned once.
 func (r *Ring) Pick(key string, k int) []netsim.HostPort {
+	var kb [64]byte
+	if len(key) <= len(kb) {
+		return r.PickInto(nil, kb[:copy(kb[:], key)], k)
+	}
+	return r.PickInto(nil, []byte(key), k)
+}
+
+// PickInto is Pick for byte keys, appending the chosen servers to dst
+// (usually caller-owned scratch) instead of allocating. The selection is
+// identical to Pick's: replica i hashes the key with salt i and walks the
+// ring to the first point owned by a server not already chosen.
+func (r *Ring) PickInto(dst []netsim.HostPort, key []byte, k int) []netsim.HostPort {
 	if len(r.servers) == 0 || k <= 0 {
-		return nil
+		return dst
 	}
 	if k > len(r.servers) {
 		k = len(r.servers)
 	}
-	chosen := make([]netsim.HostPort, 0, k)
-	used := make(map[int]bool, k)
-	for replica := 0; len(chosen) < k; replica++ {
+	base := len(dst)
+	if r.used == nil || cap(r.used) < len(r.servers) {
+		r.used = make([]bool, len(r.servers))
+	}
+	used := r.used[:len(r.servers)]
+	for i := range used {
+		used[i] = false
+	}
+	for replica := 0; len(dst)-base < k; replica++ {
 		h := keyHash(key, replica)
 		idx := r.search(h)
 		// Walk forward past already-used servers.
@@ -74,12 +95,12 @@ func (r *Ring) Pick(key string, k int) []netsim.HostPort {
 			p := r.points[(idx+tries)%len(r.points)]
 			if !used[p.server] {
 				used[p.server] = true
-				chosen = append(chosen, r.servers[p.server])
+				dst = append(dst, r.servers[p.server])
 				break
 			}
 		}
 	}
-	return chosen
+	return dst
 }
 
 // search returns the index of the first ring point with hash >= h,
@@ -103,13 +124,29 @@ func pointHash(s netsim.HostPort, v int) uint64 {
 	return mix64(h.Sum64())
 }
 
-func keyHash(key string, replica int) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	var b [4]byte
-	b[0], b[1], b[2], b[3] = byte(replica>>24), byte(replica>>16), byte(replica>>8), byte(replica)
-	h.Write(b[:])
-	return mix64(h.Sum64())
+// keyHash is FNV-1a over key then the 4 salt bytes, inlined so the hot
+// path does not allocate a hash.Hash64 (hash/fnv returns an interface).
+// It must stay bit-identical to fnv.New64a over the same bytes: replica
+// placement feeds the deterministic traffic traces.
+func keyHash(key []byte, replica int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range key {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	h ^= uint64(byte(replica >> 24))
+	h *= prime64
+	h ^= uint64(byte(replica >> 16))
+	h *= prime64
+	h ^= uint64(byte(replica >> 8))
+	h *= prime64
+	h ^= uint64(byte(replica))
+	h *= prime64
+	return mix64(h)
 }
 
 // mix64 is the splitmix64 finalizer, spreading small input differences.

@@ -10,8 +10,8 @@ import (
 func twoEntries(i int) []Entry {
 	v := []byte("flow-record")
 	return []Entry{
-		{Key: fmt.Sprintf("flow:c%d", i), Value: v},
-		{Key: fmt.Sprintf("flow:s%d", i), Value: v},
+		{Key: []byte(fmt.Sprintf("flow:c%d", i)), Value: v},
+		{Key: []byte(fmt.Sprintf("flow:s%d", i)), Value: v},
 	}
 }
 
@@ -30,7 +30,7 @@ func TestSetMultiReplicatesEveryEntry(t *testing.T) {
 	for _, e := range twoEntries(0) {
 		holders := 0
 		for _, srv := range w.servers {
-			if _, ok := srv.Engine.Get(e.Key); ok {
+			if _, ok := srv.Engine.Get(string(e.Key)); ok {
 				holders++
 			}
 		}
@@ -61,7 +61,7 @@ func TestSetMultiOneBatchPerServer(t *testing.T) {
 			t.Fatalf("server ops = %d, want 2", srv.Ops)
 		}
 		for _, e := range twoEntries(1) {
-			if _, ok := srv.Engine.Get(e.Key); !ok {
+			if _, ok := srv.Engine.Get(string(e.Key)); !ok {
 				t.Fatalf("%s missing on a replica", e.Key)
 			}
 		}
@@ -74,15 +74,15 @@ func TestSetMultiPartialFailureMarksUnrecoverableEntry(t *testing.T) {
 	// Kill both replicas of entry 0; keep entry 1's replicas alive (skip
 	// the seed if the replica sets overlap).
 	dead := map[string]bool{}
-	for _, hp := range w.store.ring.Pick(entries[0].Key, 2) {
+	for _, hp := range w.store.ring.Pick(string(entries[0].Key), 2) {
 		dead[hp.String()] = true
 	}
-	for _, hp := range w.store.ring.Pick(entries[1].Key, 2) {
+	for _, hp := range w.store.ring.Pick(string(entries[1].Key), 2) {
 		if dead[hp.String()] {
 			t.Skip("replica sets overlap for this seed")
 		}
 	}
-	for _, hp := range w.store.ring.Pick(entries[0].Key, 2) {
+	for _, hp := range w.store.ring.Pick(string(entries[0].Key), 2) {
 		for _, srv := range w.servers {
 			if srv.Host().IP() == hp.IP {
 				srv.Host().Detach()
@@ -144,7 +144,7 @@ func benchStorageB(b *testing.B, batched bool) {
 	w := newSimWorld(7, 3, DefaultConfig())
 	// Warm the per-server connections so dial handshakes don't skew op 0.
 	warm := false
-	w.store.Set("warm", []byte("x"), func(error) { warm = true })
+	w.store.Set([]byte("warm"), []byte("x"), func(error) { warm = true })
 	w.net.RunUntilIdle(100000)
 	if !warm {
 		b.Fatal("warmup write failed")
@@ -159,14 +159,14 @@ func benchStorageB(b *testing.B, batched bool) {
 		if batched {
 			distinct := map[string]bool{}
 			for _, e := range entries {
-				for _, hp := range w.store.ring.Pick(e.Key, w.store.cfg.Replicas) {
+				for _, hp := range w.store.ring.Pick(string(e.Key), w.store.cfg.Replicas) {
 					distinct[hp.String()] = true
 				}
 			}
 			roundTrips += len(distinct)
 		} else {
 			for _, e := range entries {
-				roundTrips += len(w.store.ring.Pick(e.Key, w.store.cfg.Replicas))
+				roundTrips += len(w.store.ring.Pick(string(e.Key), w.store.cfg.Replicas))
 			}
 		}
 		done := false

@@ -57,9 +57,11 @@ type Stats struct {
 	Timeouts      uint64
 }
 
-// Entry is one record of a batched write.
+// Entry is one record of a batched write. Key and Value may alias caller
+// scratch: SetMulti encodes every record into connection buffers before
+// returning, so neither slice is read after the call.
 type Entry struct {
-	Key   string
+	Key   []byte
 	Value []byte
 }
 
@@ -86,7 +88,190 @@ type Store struct {
 	ring  *Ring
 	conns map[netsim.HostPort]*memcache.SimClient
 
+	// Steady-state scratch. The store runs on the single-threaded netsim
+	// event loop, so reuse needs no locking — but an operation callback
+	// may synchronously start another operation, so replica lists live in
+	// a take/put pool rather than a single buffer, and multi-op state is
+	// recycled only once every batch reply has been delivered.
+	pickBufs [][]netsim.HostPort
+	freeOps  []*multiOp
+	freeBats []*batchState
+	byServer map[netsim.HostPort]*batchState
+
 	Stats Stats
+}
+
+// multiOp is the pooled in-flight state of one SetMulti operation.
+type multiOp struct {
+	store     *Store
+	nEntries  int
+	acks      []int
+	concern   []int
+	batches   []*batchState
+	replied   int  // batches whose outcome was counted (stops at done)
+	delivered int  // batch handle invocations, late replies included
+	done      bool
+	res       SetResult
+	cb        func(SetResult)
+	timer     netsim.Timer
+	timeoutFn func() // pre-bound OpTimeout callback
+}
+
+// batchState is the pooled per-server slice of one SetMulti: the records
+// routed to that server, issued as one mset (or a plain set for a single
+// record).
+type batchState struct {
+	op     *multiOp
+	server netsim.HostPort
+	kvs    []memcache.KV
+	idxs   []int // entry indices, for per-entry accounting
+	handle func(memcache.SimResult) // pre-bound reply callback
+}
+
+// takePickBuf pops a replica-list buffer. Callbacks fired while an
+// operation issues its fan-out can start nested operations, so each live
+// operation holds its own buffer; steady state circulates one or two.
+func (s *Store) takePickBuf() []netsim.HostPort {
+	if n := len(s.pickBufs); n > 0 {
+		b := s.pickBufs[n-1]
+		s.pickBufs = s.pickBufs[:n-1]
+		return b[:0]
+	}
+	return nil
+}
+
+func (s *Store) putPickBuf(b []netsim.HostPort) {
+	if cap(b) == 0 || len(s.pickBufs) >= 8 {
+		return
+	}
+	s.pickBufs = append(s.pickBufs, b)
+}
+
+func (s *Store) takeOp() *multiOp {
+	var op *multiOp
+	if n := len(s.freeOps); n > 0 {
+		op = s.freeOps[n-1]
+		s.freeOps = s.freeOps[:n-1]
+	} else {
+		op = &multiOp{store: s}
+		op.timeoutFn = func() {
+			if op.done {
+				return
+			}
+			op.done = true
+			op.store.Stats.Timeouts++
+			op.resolve(true)
+		}
+	}
+	op.batches = op.batches[:0]
+	op.replied, op.delivered = 0, 0
+	op.done = false
+	op.res = SetResult{}
+	op.timer = netsim.Timer{}
+	return op
+}
+
+func (s *Store) takeBatch(op *multiOp, server netsim.HostPort) *batchState {
+	var b *batchState
+	if n := len(s.freeBats); n > 0 {
+		b = s.freeBats[n-1]
+		s.freeBats = s.freeBats[:n-1]
+	} else {
+		b = &batchState{}
+		b.handle = func(r memcache.SimResult) { b.op.handleReply(b, r) }
+	}
+	b.op = op
+	b.server = server
+	b.kvs = b.kvs[:0]
+	b.idxs = b.idxs[:0]
+	return b
+}
+
+// recycle returns the op and its batches to the pools. Called only once
+// every batch reply (or connection failure) has been delivered — a
+// SimClient fires each pending callback exactly once, so recycling
+// earlier could let a late reply from this op corrupt its successor.
+func (op *multiOp) recycle() {
+	s := op.store
+	for _, b := range op.batches {
+		b.op = nil
+		if len(s.freeBats) < 16 {
+			s.freeBats = append(s.freeBats, b)
+		}
+	}
+	op.batches = op.batches[:0]
+	op.cb = nil
+	if len(s.freeOps) < 8 {
+		s.freeOps = append(s.freeOps, op)
+	}
+}
+
+// resolve reports the operation outcome. Recycling happens separately,
+// once delivery is complete.
+func (op *multiOp) resolve(timedOut bool) {
+	op.res.TimedOut = timedOut
+	for i := 0; i < op.nEntries; i++ {
+		switch {
+		case op.acks[i] == 0:
+			op.res.Err = ErrAllReplicasFailed
+		case op.acks[i] < op.concern[i]:
+			op.store.Stats.PartialWrites++
+		}
+	}
+	cb := op.cb
+	res := op.res
+	if op.delivered == len(op.batches) {
+		op.recycle()
+	}
+	cb(res)
+}
+
+// handleReply processes one batch's reply (or failure).
+func (op *multiOp) handleReply(b *batchState, r memcache.SimResult) {
+	op.delivered++
+	if op.done {
+		// Late reply after timeout or early write-concern resolution: the
+		// result already went out; just finish delivery accounting.
+		if op.delivered == len(op.batches) {
+			op.recycle()
+		}
+		return
+	}
+	stored := 0
+	switch {
+	case r.Err != nil:
+		// connection-level failure: nothing in this batch stored
+	case r.Reply.Type == memcache.ReplyMStored:
+		stored = r.Reply.N
+	case r.Reply.Type == memcache.ReplyStored:
+		stored = 1
+	}
+	if stored > len(b.idxs) {
+		stored = len(b.idxs)
+	}
+	s := op.store
+	for j, idx := range b.idxs {
+		if j < stored {
+			op.acks[idx]++
+			op.res.Acked++
+		} else {
+			op.res.Failed++
+			s.Stats.ReplicaErrors++
+		}
+	}
+	op.replied++
+	met := true
+	for i := 0; i < op.nEntries; i++ {
+		if op.acks[i] < op.concern[i] {
+			met = false
+			break
+		}
+	}
+	if met || op.replied == len(op.batches) {
+		op.done = true
+		op.timer.Stop()
+		op.resolve(false)
+	}
 }
 
 // New creates a store client over the given Memcached servers.
@@ -159,16 +344,18 @@ func (s *Store) conn(server netsim.HostPort) *memcache.SimClient {
 // Set stores value under key on all K replicas concurrently. cb fires
 // once the write concern is met (nil error), all replicas have failed, or
 // the operation timeout expires (success if anything was stored by then).
-func (s *Store) Set(key string, value []byte, cb func(error)) {
+func (s *Store) Set(key, value []byte, cb func(error)) {
 	s.Stats.Sets++
-	replicas := s.ring.Pick(key, s.cfg.Replicas)
+	replicas := s.ring.PickInto(s.takePickBuf(), key, s.cfg.Replicas)
 	if len(replicas) == 0 {
+		s.putPickBuf(replicas)
 		cb(ErrAllReplicasFailed)
 		return
 	}
+	n := len(replicas)
 	need := s.cfg.WriteConcern
-	if need <= 0 || need > len(replicas) {
-		need = len(replicas)
+	if need <= 0 || need > n {
+		need = n
 	}
 	acks, fails, done := 0, 0, false
 	timer := s.armOpTimeout(&done, func() {
@@ -193,7 +380,7 @@ func (s *Store) Set(key string, value []byte, cb func(error)) {
 				done = true
 				timer.Stop()
 				cb(nil)
-			} else if fails+acks == len(replicas) {
+			} else if fails+acks == n {
 				done = true
 				timer.Stop()
 				if acks > 0 {
@@ -204,6 +391,7 @@ func (s *Store) Set(key string, value []byte, cb func(error)) {
 			}
 		})
 	}
+	s.putPickBuf(replicas)
 }
 
 // SetMulti stores every entry on its K replicas in one batched round
@@ -224,102 +412,73 @@ func (s *Store) SetMulti(entries []Entry, cb func(SetResult)) {
 		cb(SetResult{})
 		return
 	}
-	type batch struct {
-		server netsim.HostPort
-		items  []memcache.Item
-		idxs   []int // entry indices, for per-entry accounting
+	op := s.takeOp()
+	op.nEntries = len(entries)
+	op.cb = cb
+	op.acks = resetInts(op.acks, len(entries))
+	op.concern = resetInts(op.concern, len(entries))
+	if s.byServer == nil {
+		s.byServer = make(map[netsim.HostPort]*batchState, s.cfg.Replicas)
 	}
-	var batches []*batch
-	byServer := make(map[netsim.HostPort]*batch, s.cfg.Replicas)
-	acks := make([]int, len(entries))
-	concern := make([]int, len(entries))
-	for i, e := range entries {
-		replicas := s.ring.Pick(e.Key, s.cfg.Replicas)
-		concern[i] = s.cfg.WriteConcern
-		if concern[i] <= 0 || concern[i] > len(replicas) {
-			concern[i] = len(replicas)
+	// Build phase, fully synchronous: group records by replica server.
+	// byServer is store-owned scratch — safe because no callback can run
+	// until the issue phase below. op.batches keeps insertion order; the
+	// simulator's bit-identical-trace guarantee depends on the issue order
+	// of the underlying writes, so the map is never iterated.
+	replicas := s.takePickBuf()
+	for i := range entries {
+		e := &entries[i]
+		replicas = s.ring.PickInto(replicas[:0], e.Key, s.cfg.Replicas)
+		op.concern[i] = s.cfg.WriteConcern
+		if op.concern[i] <= 0 || op.concern[i] > len(replicas) {
+			op.concern[i] = len(replicas)
 		}
 		for _, server := range replicas {
-			b, ok := byServer[server]
+			b, ok := s.byServer[server]
 			if !ok {
-				b = &batch{server: server}
-				byServer[server] = b
-				batches = append(batches, b)
+				b = s.takeBatch(op, server)
+				s.byServer[server] = b
+				op.batches = append(op.batches, b)
 			}
-			b.items = append(b.items, memcache.Item{Key: e.Key, Value: e.Value})
+			b.kvs = append(b.kvs, memcache.KV{Key: e.Key, Value: e.Value})
 			b.idxs = append(b.idxs, i)
 		}
 	}
-	if len(batches) == 0 {
+	s.putPickBuf(replicas)
+	for k := range s.byServer {
+		delete(s.byServer, k)
+	}
+	if len(op.batches) == 0 {
+		op.recycle()
 		cb(SetResult{Err: ErrAllReplicasFailed, TimedOut: false})
 		return
 	}
-	res := SetResult{}
-	replied, done := 0, false
-	resolve := func(timedOut bool) {
-		res.TimedOut = timedOut
-		for i := range entries {
-			switch {
-			case acks[i] == 0:
-				res.Err = ErrAllReplicasFailed
-			case acks[i] < concern[i]:
-				s.Stats.PartialWrites++
-			}
-		}
-		cb(res)
+	if s.cfg.OpTimeout > 0 {
+		op.timer = s.host.Network().Schedule(s.cfg.OpTimeout, op.timeoutFn)
 	}
-	timer := s.armOpTimeout(&done, func() { resolve(true) })
-	finishBatch := func(b *batch, stored int) {
-		for j, idx := range b.idxs {
-			if j < stored {
-				acks[idx]++
-				res.Acked++
-			} else {
-				res.Failed++
-				s.Stats.ReplicaErrors++
-			}
-		}
-		replied++
-		met := true
-		for i := range entries {
-			if acks[i] < concern[i] {
-				met = false
-				break
-			}
-		}
-		if met || replied == len(batches) {
-			done = true
-			timer.Stop()
-			resolve(false)
-		}
-	}
-	for _, b := range batches {
-		b := b
-		handle := func(r memcache.SimResult) {
-			if done {
-				return
-			}
-			stored := 0
-			switch {
-			case r.Err != nil:
-				// connection-level failure: nothing in this batch stored
-			case r.Reply.Type == memcache.ReplyMStored:
-				stored = r.Reply.N
-			case r.Reply.Type == memcache.ReplyStored:
-				stored = 1
-			}
-			if stored > len(b.idxs) {
-				stored = len(b.idxs)
-			}
-			finishBatch(b, stored)
-		}
+	// Issue phase: one pipelined mset (or plain set) per server. The
+	// connection encodes keys and values into its own buffers before
+	// returning, so the entries' slices are not retained.
+	for _, b := range op.batches {
 		conn := s.conn(b.server)
-		if len(b.items) == 1 {
-			conn.Set(b.items[0].Key, b.items[0].Value, 0, s.cfg.Expiry, handle)
+		if len(b.kvs) == 1 {
+			conn.Set(b.kvs[0].Key, b.kvs[0].Value, 0, s.cfg.Expiry, b.handle)
 		} else {
-			conn.SetMulti(b.items, s.cfg.Expiry, handle)
+			conn.SetMulti(b.kvs, s.cfg.Expiry, b.handle)
 		}
 	}
+}
+
+// resetInts returns buf resized to n with every element zeroed.
+func resetInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
 }
 
 // armOpTimeout schedules the operation bound; on expiry it marks the op
@@ -342,13 +501,15 @@ func (s *Store) armOpTimeout(done *bool, resolve func()) netsim.Timer {
 // Get fetches key: the operation goes to all replicas concurrently and
 // the first hit wins. ok=false with nil error means a clean miss on
 // every reachable replica.
-func (s *Store) Get(key string, cb func(value []byte, ok bool, err error)) {
+func (s *Store) Get(key []byte, cb func(value []byte, ok bool, err error)) {
 	s.Stats.Gets++
-	replicas := s.ring.Pick(key, s.cfg.Replicas)
+	replicas := s.ring.PickInto(s.takePickBuf(), key, s.cfg.Replicas)
 	if len(replicas) == 0 {
+		s.putPickBuf(replicas)
 		cb(nil, false, ErrAllReplicasFailed)
 		return
 	}
+	n := len(replicas)
 	misses, errs, done := 0, 0, false
 	timer := s.armOpTimeout(&done, func() {
 		s.Stats.Misses++
@@ -375,11 +536,11 @@ func (s *Store) Get(key string, cb func(value []byte, ok bool, err error)) {
 			default:
 				misses++
 			}
-			if !done && misses+errs == len(replicas) {
+			if !done && misses+errs == n {
 				done = true
 				timer.Stop()
 				s.Stats.Misses++
-				if errs == len(replicas) {
+				if errs == n {
 					cb(nil, false, ErrAllReplicasFailed)
 				} else {
 					cb(nil, false, nil)
@@ -387,19 +548,22 @@ func (s *Store) Get(key string, cb func(value []byte, ok bool, err error)) {
 			}
 		})
 	}
+	s.putPickBuf(replicas)
 }
 
 // Delete removes key from all replicas. cb fires when every replica has
 // answered; err is non-nil only if every replica failed.
-func (s *Store) Delete(key string, cb func(error)) {
+func (s *Store) Delete(key []byte, cb func(error)) {
 	s.Stats.Deletes++
-	replicas := s.ring.Pick(key, s.cfg.Replicas)
+	replicas := s.ring.PickInto(s.takePickBuf(), key, s.cfg.Replicas)
 	if len(replicas) == 0 {
+		s.putPickBuf(replicas)
 		if cb != nil {
 			cb(ErrAllReplicasFailed)
 		}
 		return
 	}
+	n := len(replicas)
 	answered, errs := 0, 0
 	done := false
 	timer := s.armOpTimeout(&done, func() {
@@ -422,13 +586,13 @@ func (s *Store) Delete(key string, cb func(error)) {
 				errs++
 				s.Stats.ReplicaErrors++
 			}
-			if answered == len(replicas) {
+			if answered == n {
 				done = true
 				timer.Stop()
 				if cb == nil {
 					return
 				}
-				if errs == len(replicas) {
+				if errs == n {
 					cb(ErrAllReplicasFailed)
 				} else {
 					cb(nil)
@@ -436,11 +600,12 @@ func (s *Store) Delete(key string, cb func(error)) {
 			}
 		})
 	}
+	s.putPickBuf(replicas)
 }
 
 // Latency measurement helper: TimedSet behaves like Set and reports the
 // operation latency to the callback, used by the Figure 10 experiment.
-func (s *Store) TimedSet(key string, value []byte, cb func(lat time.Duration, err error)) {
+func (s *Store) TimedSet(key, value []byte, cb func(lat time.Duration, err error)) {
 	start := s.host.Network().Now()
 	s.Set(key, value, func(err error) {
 		cb(s.host.Network().Now()-start, err)

@@ -144,26 +144,26 @@ func newSimWorld(seed int64, nServers int, cfg Config) *simWorld {
 func TestStoreSetGetDelete(t *testing.T) {
 	w := newSimWorld(1, 4, DefaultConfig())
 	var setErr error = fmt.Errorf("unset")
-	w.store.Set("flow:abc", []byte("tcp-state"), func(err error) { setErr = err })
+	w.store.Set([]byte("flow:abc"), []byte("tcp-state"), func(err error) { setErr = err })
 	w.net.RunUntilIdle(100000)
 	if setErr != nil {
 		t.Fatalf("set: %v", setErr)
 	}
 	var got []byte
 	var ok bool
-	w.store.Get("flow:abc", func(v []byte, o bool, err error) { got, ok = v, o })
+	w.store.Get([]byte("flow:abc"), func(v []byte, o bool, err error) { got, ok = v, o })
 	w.net.RunUntilIdle(100000)
 	if !ok || string(got) != "tcp-state" {
 		t.Fatalf("get: %q ok=%v", got, ok)
 	}
 	delDone := false
-	w.store.Delete("flow:abc", func(err error) { delDone = err == nil })
+	w.store.Delete([]byte("flow:abc"), func(err error) { delDone = err == nil })
 	w.net.RunUntilIdle(100000)
 	if !delDone {
 		t.Fatal("delete failed")
 	}
 	miss := true
-	w.store.Get("flow:abc", func(v []byte, o bool, err error) { miss = !o })
+	w.store.Get([]byte("flow:abc"), func(v []byte, o bool, err error) { miss = !o })
 	w.net.RunUntilIdle(100000)
 	if !miss {
 		t.Fatal("get after delete hit")
@@ -172,7 +172,7 @@ func TestStoreSetGetDelete(t *testing.T) {
 
 func TestStoreReplicatesToKServers(t *testing.T) {
 	w := newSimWorld(2, 5, DefaultConfig()) // K=2
-	w.store.Set("key-r", []byte("v"), func(error) {})
+	w.store.Set([]byte("key-r"), []byte("v"), func(error) {})
 	w.net.RunUntilIdle(100000)
 	holders := 0
 	for _, srv := range w.servers {
@@ -188,7 +188,7 @@ func TestStoreReplicatesToKServers(t *testing.T) {
 func TestStoreSurvivesOneReplicaFailure(t *testing.T) {
 	w := newSimWorld(3, 4, DefaultConfig())
 	ok := false
-	w.store.Set("flow:x", []byte("state"), func(err error) { ok = err == nil })
+	w.store.Set([]byte("flow:x"), []byte("state"), func(err error) { ok = err == nil })
 	w.net.RunUntilIdle(100000)
 	if !ok {
 		t.Fatal("set failed")
@@ -203,7 +203,7 @@ func TestStoreSurvivesOneReplicaFailure(t *testing.T) {
 	var got []byte
 	found := false
 	done := false
-	w.store.Get("flow:x", func(v []byte, o bool, err error) { got, found, done = v, o, true })
+	w.store.Get([]byte("flow:x"), func(v []byte, o bool, err error) { got, found, done = v, o, true })
 	// Allow time for the dead replica's connection to fail over.
 	w.net.RunFor(10 * time.Minute)
 	if !done {
@@ -221,7 +221,7 @@ func TestStoreAllReplicasDead(t *testing.T) {
 	}
 	var err error
 	done := false
-	w.store.Set("k", []byte("v"), func(e error) { err, done = e, true })
+	w.store.Set([]byte("k"), []byte("v"), func(e error) { err, done = e, true })
 	w.net.RunFor(20 * time.Minute)
 	if !done {
 		t.Fatal("set never resolved")
@@ -237,8 +237,8 @@ func TestStoreNoServers(t *testing.T) {
 	st := New(h, nil, DefaultConfig())
 	var setErr, getErr error
 	gotOK := true
-	st.Set("k", []byte("v"), func(e error) { setErr = e })
-	st.Get("k", func(v []byte, ok bool, e error) { gotOK, getErr = ok, e })
+	st.Set([]byte("k"), []byte("v"), func(e error) { setErr = e })
+	st.Get([]byte("k"), func(v []byte, ok bool, e error) { gotOK, getErr = ok, e })
 	if setErr != ErrAllReplicasFailed || getErr != ErrAllReplicasFailed || gotOK {
 		t.Fatalf("empty store: %v %v %v", setErr, getErr, gotOK)
 	}
@@ -248,7 +248,7 @@ func TestStoreReplica1IsPlainMemcached(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Replicas = 1
 	w := newSimWorld(6, 4, cfg)
-	w.store.Set("k", []byte("v"), func(error) {})
+	w.store.Set([]byte("k"), []byte("v"), func(error) {})
 	w.net.RunUntilIdle(100000)
 	holders := 0
 	for _, srv := range w.servers {
@@ -270,7 +270,7 @@ func TestStoreParallelReplicaWritesOverlap(t *testing.T) {
 		cfg.Replicas = replicas
 		w := newSimWorld(7, 10, cfg)
 		var lat time.Duration
-		w.store.TimedSet("k", []byte("v"), func(l time.Duration, err error) { lat = l })
+		w.store.TimedSet([]byte("k"), []byte("v"), func(l time.Duration, err error) { lat = l })
 		w.net.RunUntilIdle(1000000)
 		return lat
 	}
@@ -287,7 +287,7 @@ func TestStoreParallelReplicaWritesOverlap(t *testing.T) {
 
 func TestStoreSetServersClosesRemoved(t *testing.T) {
 	w := newSimWorld(8, 4, DefaultConfig())
-	w.store.Set("k", []byte("v"), func(error) {})
+	w.store.Set([]byte("k"), []byte("v"), func(error) {})
 	w.net.RunUntilIdle(100000)
 	if len(w.store.conns) == 0 {
 		t.Fatal("no connections opened")
@@ -307,10 +307,10 @@ func TestStoreSetServersClosesRemoved(t *testing.T) {
 
 func TestStoreStats(t *testing.T) {
 	w := newSimWorld(9, 3, DefaultConfig())
-	w.store.Set("a", []byte("1"), func(error) {})
+	w.store.Set([]byte("a"), []byte("1"), func(error) {})
 	w.net.RunUntilIdle(100000)
-	w.store.Get("a", func([]byte, bool, error) {})
-	w.store.Get("missing", func([]byte, bool, error) {})
+	w.store.Get([]byte("a"), func([]byte, bool, error) {})
+	w.store.Get([]byte("missing"), func([]byte, bool, error) {})
 	w.net.RunUntilIdle(100000)
 	st := w.store.Stats
 	if st.Sets != 1 || st.Gets != 2 || st.Hits != 1 || st.Misses != 1 {
@@ -322,11 +322,11 @@ func TestStoreExpiryAges(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Expiry = 1 // 1 second TTL
 	w := newSimWorld(10, 3, cfg)
-	w.store.Set("k", []byte("v"), func(error) {})
+	w.store.Set([]byte("k"), []byte("v"), func(error) {})
 	w.net.RunUntilIdle(100000)
 	w.net.RunFor(2 * time.Second)
 	found := true
-	w.store.Get("k", func(v []byte, ok bool, err error) { found = ok })
+	w.store.Get([]byte("k"), func(v []byte, ok bool, err error) { found = ok })
 	w.net.RunUntilIdle(100000)
 	if found {
 		t.Fatal("entry did not expire")

@@ -22,8 +22,10 @@ go test -run '^$' -bench \
   -benchmem ./internal/netsim/ | tee -a "$MICRO_LOG"
 go test -run '^$' -bench 'BenchmarkTCPThroughput' -benchmem \
   ./internal/tcp/ | tee -a "$MICRO_LOG"
-go test -run '^$' -bench 'BenchmarkFlowFastPath' -benchmem \
+go test -run '^$' -bench 'BenchmarkFlowFastPath|BenchmarkStorageWritePath' -benchmem \
   ./internal/core/ | tee -a "$MICRO_LOG"
+go test -run '^$' -bench 'BenchmarkMemcacheSession' -benchmem \
+  ./internal/memcache/ | tee -a "$MICRO_LOG"
 go test -run '^$' -bench 'BenchmarkSimulatorThroughput' -benchmem \
   . | tee -a "$MICRO_LOG"
 go test -run '^$' -bench 'BenchmarkStorageB' -benchtime 2000x \
@@ -51,6 +53,11 @@ TIMER_NS="$(pick "$MICRO_LOG" BenchmarkNetsimTimerChurn 3)"
 TCP_MBS="$(awk '$1 ~ /^BenchmarkTCPThroughput/ {for(i=1;i<NF;i++) if($(i+1)=="MB/s") print $i}' "$MICRO_LOG" | head -1)"
 FLOW_NS="$(pick "$MICRO_LOG" BenchmarkFlowFastPath 3)"
 SIM_NS="$(pick "$MICRO_LOG" BenchmarkSimulatorThroughput 3)"
+STORAGE_NS="$(pick "$MICRO_LOG" BenchmarkStorageWritePath 3)"
+STORAGE_ALLOCS="$(awk '$1 ~ /^BenchmarkStorageWritePath/ {for(i=1;i<NF;i++) if($(i+1)=="allocs/op") print $i}' "$MICRO_LOG" | head -1)"
+MCSESS_NS="$(awk '$1 ~ /^BenchmarkMemcacheSession(-[0-9]+)?$/ {print $3}' "$MICRO_LOG" | head -1)"
+MCSESS_ALLOCS="$(awk '$1 ~ /^BenchmarkMemcacheSession(-[0-9]+)?$/ {for(i=1;i<NF;i++) if($(i+1)=="allocs/op") print $i}' "$MICRO_LOG" | head -1)"
+MCSESS_REF_NS="$(awk '$1 ~ /^BenchmarkMemcacheSessionReference/ {print $3}' "$MICRO_LOG" | head -1)"
 # metric <log> <BenchmarkName> <unit>: extract a named custom metric.
 metric() { awk -v b="$2" -v u="$3" '$1 ~ "^"b {for(i=1;i<NF;i++) if($(i+1)==u) print $i}' "$1" | head -1; }
 SB_BATCH_RT="$(metric "$MICRO_LOG" BenchmarkStorageBBatched roundtrips/write)"
@@ -79,6 +86,11 @@ cat > "$OUT" <<EOF
 {
   "seed_baseline": {
     "note": "pre-fast-path: binary event heap, closure Send, per-segment clones",
+    "storage_note": "pre-zero-alloc storage dataplane: Sprintf flow keys, per-call record/batch allocation, strings.Fields parser, container/list LRU",
+    "storage_write_ns_op": 38564,
+    "storage_write_allocs_op": 87,
+    "memcache_session_ns_op": 5193,
+    "memcache_session_allocs_op": 27,
     "simulator_throughput_ns_op": 213.4,
     "simulator_throughput_B_op": 73,
     "simulator_throughput_allocs_op": 4,
@@ -106,6 +118,11 @@ cat > "$OUT" <<EOF
     "tcp_throughput_MB_s": $(jsonnum "$TCP_MBS"),
     "flow_fast_path_ns_op": $(jsonnum "$FLOW_NS"),
     "simulator_throughput_ns_op": $(jsonnum "$SIM_NS"),
+    "storage_write_ns_op": $(jsonnum "$STORAGE_NS"),
+    "storage_write_allocs_op": $(jsonnum "$STORAGE_ALLOCS"),
+    "memcache_session_ns_op": $(jsonnum "$MCSESS_NS"),
+    "memcache_session_allocs_op": $(jsonnum "$MCSESS_ALLOCS"),
+    "memcache_session_reference_ns_op": $(jsonnum "$MCSESS_REF_NS"),
     "storage_b_batched_roundtrips_per_write": $(jsonnum "$SB_BATCH_RT"),
     "storage_b_sequential_roundtrips_per_write": $(jsonnum "$SB_SEQ_RT"),
     "storage_b_batched_virtual_us": $(jsonnum "$SB_BATCH_US"),

@@ -10,13 +10,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== dataplane fast-fail (vet + race on rules/httpsim/core/tcpstore/reconfig) =="
+echo "== dataplane fast-fail (vet + race on rules/httpsim/core/tcpstore/memcache/reconfig) =="
 # The compiled rule engine, the request parser it reads through, the
-# write-barrier dataplane, its store client, and the live reconfiguration
-# engine are where regressions bite hardest; vet and race them first so a
-# broken index or barrier fails in seconds, not after the full suite.
-go vet ./internal/rules/ ./internal/httpsim/ ./internal/core/ ./internal/tcpstore/ ./internal/reconfig/
-go test -race ./internal/rules/ ./internal/httpsim/ ./internal/core/ ./internal/tcpstore/ ./internal/reconfig/
+# write-barrier dataplane, its store client, the zero-copy memcached
+# protocol+engine under it, and the live reconfiguration engine are where
+# regressions bite hardest; vet and race them first so a broken index,
+# barrier, or parser fails in seconds, not after the full suite.
+go vet ./internal/rules/ ./internal/httpsim/ ./internal/core/ ./internal/tcpstore/ ./internal/memcache/ ./internal/reconfig/
+go test -race ./internal/rules/ ./internal/httpsim/ ./internal/core/ ./internal/tcpstore/ ./internal/memcache/ ./internal/reconfig/
 
 echo "== go vet =="
 go vet ./...
