@@ -4,7 +4,13 @@
 //
 // Usage:
 //
-//	yodasim -exp table1|fig6|fig9|fig10|fig12|fig12b|fig13|fig14|cpu|upgrade|all [-seed N] [-parallel]
+//	yodasim -exp table1|fig6|fig9|fig10|fig12|fig12b|fig13|fig14|cpu|upgrade|mflow|all [-seed N] [-parallel] [-shards N]
+//
+// -shards selects the number of per-shard event loops for the sharded
+// experiments (currently mflow, which holds ~1M flows open across the
+// fleet, kills part of it, and verifies per-flow recovery); the paper
+// figures run on the single event loop regardless, so their output is
+// independent of -shards.
 //
 // -parallel runs independent trials on separate goroutines: the Figure 6
 // rule-count points, the Figure 12 arms, and (with -exp all) the
@@ -28,8 +34,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, fig6, fig9, fig10, fig12, fig12b, fig13, fig14, cpu, upgrade, all")
+	exp := flag.String("exp", "all", "experiment to run: table1, fig6, fig9, fig10, fig12, fig12b, fig13, fig14, cpu, upgrade, mflow, all")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	shardsN := flag.Int("shards", runtime.NumCPU(), "event-loop shards for sharded experiments (mflow)")
 	parallel := flag.Bool("parallel", false, "run independent trials/experiments on separate goroutines")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof allocation profile (taken at exit) to this file")
@@ -115,13 +122,22 @@ func main() {
 			cfg.Seed = *seed
 			return experiments.RunUpgrade(cfg)
 		},
+		// mflow is the sharded-dataplane scale experiment (~1M concurrent
+		// flows + failure storm). It is not part of -exp all: it is a
+		// capacity run, not a paper figure.
+		"mflow": func() fmt.Stringer {
+			cfg := experiments.DefaultMflowConfig()
+			cfg.Seed = *seed
+			cfg.Shards = *shardsN
+			return experiments.RunMflow(cfg)
+		},
 	}
 
 	order := []string{"table1", "fig6", "fig9", "fig10", "cpu", "fig12", "fig12b", "fig13", "fig14", "upgrade"}
 	if *exp != "all" {
 		run, ok := runners[*exp]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; one of %v, fig11, or all\n", *exp, order)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; one of %v, fig11, mflow, or all\n", *exp, order)
 			os.Exit(2)
 		}
 		fmt.Println(run().String())

@@ -246,7 +246,7 @@ func (in *Instance) selectAndDial(f *flow, req *httpsim.Request) {
 		in.reject(f, 503, "vip not assigned to this instance")
 		return
 	}
-	decision := engine.Select(req, in.net.Rand().Float64(), in.info)
+	decision := engine.Select(req, in.rng.Float64(), in.info)
 	lookup := in.cfg.LookupBase + time.Duration(decision.Scanned)*in.cfg.LookupPerRule
 	// Only the scan itself burns CPU; LookupBase models pipeline latency
 	// (queueing, context switches) that does not occupy a core.
@@ -294,7 +294,7 @@ func (in *Instance) sendServerSyn(f *flow) {
 	// For TLS flows the handshake bytes were consumed by the instance and
 	// are not forwarded, so the backend's numbering starts where the
 	// client's application data starts.
-	in.l4.SendViaSNAT(&netsim.Packet{
+	in.l4.SendViaSNAT(in.net, &netsim.Packet{
 		Src:    f.snat,
 		Dst:    f.server,
 		Flags:  netsim.FlagSYN,
@@ -357,7 +357,7 @@ func (in *Instance) serverHandshakePacket(f *flow, pkt *netsim.Packet) {
 		}
 		// ACK the SYN-ACK and forward the buffered request bytes in the
 		// client's own sequence space.
-		in.l4.SendViaSNAT(&netsim.Packet{
+		in.l4.SendViaSNAT(in.net, &netsim.Packet{
 			Src: f.snat, Dst: f.server,
 			Flags: netsim.FlagACK,
 			Seq:   f.clientDataBase(), Ack: f.s + 1,
@@ -389,7 +389,7 @@ func (in *Instance) forwardClientBytes(f *flow, seq uint32, data []byte) {
 		pkt.Seq, pkt.Ack = seq+uint32(off), f.s+1
 		pkt.Window = 1 << 20
 		pkt.Payload = data[off:end:end]
-		in.l4.SendViaSNAT(pkt, in.IP())
+		in.l4.SendViaSNAT(in.net, pkt, in.IP())
 	}
 }
 
@@ -418,7 +418,7 @@ func (in *Instance) reject(f *flow, code int, reason string) {
 // abortToServer propagates a client RST to the backend and drops state.
 // Both tunnel states route client RSTs here.
 func (in *Instance) abortToServer(f *flow, pkt *netsim.Packet) {
-	in.l4.SendViaSNAT(&netsim.Packet{
+	in.l4.SendViaSNAT(in.net, &netsim.Packet{
 		Src: f.snat, Dst: f.server,
 		Flags: netsim.FlagRST, Seq: pkt.Seq, Ack: pkt.Ack - f.delta,
 	}, in.IP())
@@ -439,7 +439,7 @@ func (in *Instance) tunnelFromClient(f *flow, pkt *netsim.Packet) {
 	fwd.Seq, fwd.Ack = pkt.Seq, pkt.Ack-f.delta
 	fwd.Window = pkt.Window
 	fwd.Payload = f.tlsDecryptFromClient(pkt.Seq, pkt.Payload)
-	in.l4.SendViaSNAT(fwd, in.IP())
+	in.l4.SendViaSNAT(in.net, fwd, in.IP())
 	in.maybeFinish(f)
 }
 
@@ -454,7 +454,7 @@ func (in *Instance) tunnelFromServer(f *flow, pkt *netsim.Packet) {
 	}
 	if pkt.Flags.Has(netsim.FlagSYN) {
 		// Retransmitted SYN-ACK: our ACK got lost. Re-ACK.
-		in.l4.SendViaSNAT(&netsim.Packet{
+		in.l4.SendViaSNAT(in.net, &netsim.Packet{
 			Src: f.snat, Dst: f.server,
 			Flags: netsim.FlagACK,
 			Seq:   f.clientDataBase(), Ack: f.s + 1,

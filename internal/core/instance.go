@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/rand"
 	"time"
 
 	"repro/internal/l4lb"
@@ -85,8 +86,11 @@ type VIPStats struct {
 
 // Instance is one Yoda L7 load-balancer instance.
 type Instance struct {
-	host  *netsim.Host
-	net   *netsim.Network
+	host *netsim.Host
+	net  *netsim.Network
+	// rng is the owning shard's deterministic RNG, cached at construction
+	// so rule-engine draws stay shard-local under the sharded dataplane.
+	rng   *rand.Rand
 	l4    *l4lb.LB
 	store *tcpstore.Store
 	cfg   Config
@@ -145,6 +149,7 @@ func NewInstance(host *netsim.Host, lb *l4lb.LB, store *tcpstore.Store, cfg Conf
 	inst := &Instance{
 		host:       host,
 		net:        host.Network(),
+		rng:        host.Network().Rand(),
 		l4:         lb,
 		store:      store,
 		cfg:        cfg,

@@ -1,0 +1,110 @@
+package core_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/httpsim"
+	"repro/internal/memcache"
+	"repro/internal/netsim"
+	"repro/internal/tcpstore"
+)
+
+// shardsFlag lets CI sweep the shard count of the sharded end-to-end
+// tests (ci.sh runs this package with -shards=4 under -race).
+var shardsFlag = flag.Int("shards", 4, "shard count for sharded cluster tests")
+
+// newShardedTestbed mirrors newTestbed on a sharded dataplane: stores,
+// backends, instances, and clients are spread round-robin across shards,
+// so every request crosses shards several times (client shard -> L4 on
+// shard 0 -> instance shard -> store shards -> backend shard and back).
+func newShardedTestbed(t *testing.T, seed int64, shards, nYoda int) *testbed {
+	t.Helper()
+	c := cluster.NewSharded(seed, shards)
+	c.AddStoreServers(3, memcache.DefaultSimServerConfig())
+	objects := map[string][]byte{
+		"/10k":  bytes.Repeat([]byte("a"), 10*1024),
+		"/100k": bytes.Repeat([]byte("b"), 100*1024),
+		"/tiny": []byte("ok"),
+	}
+	for i := 1; i <= 3; i++ {
+		c.AddBackend(fmt.Sprintf("srv-%d", i), objects, httpsim.DefaultServerConfig())
+	}
+	c.AddYodaN(nYoda, core.DefaultConfig(), tcpstore.DefaultConfig())
+	vip := c.AddVIP("mysite")
+	c.InstallPolicy(vip, c.SimpleSplitRules("srv-1", "srv-2", "srv-3"), nil)
+	return &testbed{
+		c:       c,
+		vip:     vip,
+		vipHP:   netsim.HostPort{IP: vip, Port: 80},
+		objects: objects,
+	}
+}
+
+// runShardedFetches drives nClients concurrent fetches through a sharded
+// testbed and returns a deterministic transcript of the outcomes.
+func runShardedFetches(t *testing.T, seed int64, shards int) string {
+	t.Helper()
+	tb := newShardedTestbed(t, seed, shards, 4)
+	if tb.c.Sharded != nil {
+		defer tb.c.Sharded.Close()
+	}
+	paths := []string{"/10k", "/100k", "/tiny"}
+	const nClients = 12
+	results := make([]*httpsim.FetchResult, nClients)
+	for i := 0; i < nClients; i++ {
+		i := i
+		cl := tb.c.NewClient(httpsim.DefaultClientConfig())
+		cl.Get(tb.vipHP, paths[i%len(paths)], func(r *httpsim.FetchResult) { results[i] = r })
+	}
+	tb.c.RunFor(10 * time.Second)
+	var lines []string
+	for i, res := range results {
+		path := paths[i%len(paths)]
+		if res == nil {
+			t.Fatalf("client %d (%s): fetch never completed", i, path)
+		}
+		if res.Err != nil {
+			t.Fatalf("client %d (%s): %v", i, path, res.Err)
+		}
+		if !bytes.Equal(res.Resp.Body, tb.objects[path]) {
+			t.Fatalf("client %d (%s): body corrupted, %d bytes", i, path, len(res.Resp.Body))
+		}
+		lines = append(lines, fmt.Sprintf("client%d %s elapsed=%v", i, path, res.Elapsed()))
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestShardedClusterEndToEnd pushes full HTTP fetches through the entire
+// stack — client TCP, L4 mux, Yoda instance with TCPStore state writes,
+// backend — on a multi-shard dataplane. Under `go test -race` this is
+// the whole-stack handoff race check.
+func TestShardedClusterEndToEnd(t *testing.T) {
+	shards := *shardsFlag
+	if shards < 2 {
+		shards = 2
+	}
+	runShardedFetches(t, 1, shards)
+}
+
+// TestShardedClusterDeterminism runs the same sharded testbed twice and
+// requires byte-identical outcome transcripts (completion timing
+// included): conservative sync must make the full stack reproducible
+// regardless of goroutine scheduling.
+func TestShardedClusterDeterminism(t *testing.T) {
+	shards := *shardsFlag
+	if shards < 2 {
+		shards = 2
+	}
+	first := runShardedFetches(t, 3, shards)
+	second := runShardedFetches(t, 3, shards)
+	if first != second {
+		t.Fatalf("sharded cluster not deterministic:\nrun1:\n%s\n\nrun2:\n%s", first, second)
+	}
+}

@@ -1,0 +1,536 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// The mflow experiment is the scale headline the sharded dataplane
+// unlocks: around a million concurrent flows held open across a fleet of
+// L7 LB instances, a mid-run failure storm killing a slice of the fleet,
+// and per-flow recovery verified for every survivor. The full Yoda stack
+// (real TCP endpoints, TCPStore writes) costs tens of kilobytes per
+// flow, so at this scale mflow models each tier with a compact
+// flow-table abstraction instead:
+//
+//   - drivers: one host per driver owning a block of client flows, one
+//     byte of state per flow (no tcp.Conn);
+//   - muxes: stateless L4 muxes — rendezvous hashing over the live
+//     instance list, no affinity table (the property Yoda relies on is
+//     exactly that HRW only remaps flows whose instance died);
+//   - instances: a flow table mapping tuple -> backend, installed on
+//     SYN, consulted on data, deleted on FIN. A mid-flow packet with no
+//     entry is a recovered flow (its instance died); the rendezvous
+//     re-pick lands every such flow on the same replacement instance
+//     from every mux, which recovers it and counts it;
+//   - backends: stateless responders replying straight to the client
+//     (DSR), so returns skip the mux tier.
+//
+// Everything is RNG-free and timer-deterministic, so the result summary
+// is byte-identical across runs and across shard counts — which is what
+// lets the determinism tests compare a 1-shard run against a 4-shard
+// run directly.
+
+// MflowConfig parameterizes the million-flow experiment.
+type MflowConfig struct {
+	Seed   int64
+	Shards int
+
+	Flows     int // total concurrent flows (rounded up to a driver multiple)
+	Drivers   int // client driver hosts; each owns Flows/Drivers flows
+	Muxes     int // stateless L4 muxes, spread across shards
+	Instances int // L7 LB instances
+	Backends  int // backend responders
+	StormKill int // instances killed in the mid-run failure storm
+
+	BatchSize  int           // flows each driver touches per pacing tick
+	BatchEvery time.Duration // pacing tick
+	Settle     time.Duration // post-phase settling time (covers client RTT)
+}
+
+// DefaultMflowConfig is the headline configuration: 2^20 flows over 16
+// instances, 4 of which die mid-run.
+func DefaultMflowConfig() MflowConfig {
+	return MflowConfig{
+		Seed:       1,
+		Shards:     4,
+		Flows:      1 << 20,
+		Drivers:    32,
+		Muxes:      8,
+		Instances:  16,
+		Backends:   32,
+		StormKill:  4,
+		BatchSize:  64,
+		BatchEvery: 2 * time.Millisecond,
+		Settle:     300 * time.Millisecond,
+	}
+}
+
+// mfHash is HRW-style tuple hashing for mflow (FNV-1a over the tuple
+// words, splitmix64 finalizer, salted per candidate).
+func mfHash(ft netsim.FourTuple, salt uint64) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, w := range [5]uint64{
+		uint64(ft.Src.IP), uint64(ft.Dst.IP),
+		uint64(ft.Src.Port), uint64(ft.Dst.Port), salt,
+	} {
+		h = (h ^ w) * prime
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// mfPick selects by highest random weight: removing candidates only
+// remaps tuples whose winner was removed, which is the recovery-routing
+// property the experiment leans on.
+func mfPick(ft netsim.FourTuple, cands []netsim.IP) netsim.IP {
+	var best netsim.IP
+	var bestW uint64
+	for _, ip := range cands {
+		if w := mfHash(ft, uint64(ip)); w > bestW || best == 0 {
+			best, bestW = ip, w
+		}
+	}
+	return best
+}
+
+// mfMux is a stateless L4 mux: encapsulate toward the HRW winner over
+// the live instance list. insts is replaced (never mutated in place) by
+// the driver between runs, so shard goroutines read it lock-free.
+type mfMux struct {
+	net   *netsim.Network
+	vip   netsim.IP
+	insts []netsim.IP
+	Fwd   uint64
+}
+
+func (m *mfMux) HandlePacket(pkt *netsim.Packet) {
+	if len(m.insts) == 0 {
+		m.net.ReleasePacket(pkt)
+		return
+	}
+	m.Fwd++
+	pkt.SetOuter(m.vip, mfPick(pkt.Tuple(), m.insts))
+	m.net.Send(pkt)
+}
+
+// mfInstance is a flow-table L7 LB instance.
+type mfInstance struct {
+	net      *netsim.Network
+	ip       netsim.IP
+	backends []netsim.IP
+	table    map[netsim.FourTuple]netsim.IP
+
+	Installed      uint64 // SYN: entry created
+	Recovered      uint64 // mid-flow packet with no entry: flow adopted
+	RecoveredOnFin uint64 // FIN with no entry: must stay 0 (HRW stability)
+	Removed        uint64 // FIN: entry deleted
+}
+
+func (in *mfInstance) HandlePacket(pkt *netsim.Packet) {
+	pkt.Outer = nil // decapsulate
+	t := pkt.Tuple()
+	var be netsim.IP
+	switch {
+	case pkt.Flags.Has(netsim.FlagSYN):
+		be = mfPick(t, in.backends)
+		in.table[t] = be
+		in.Installed++
+	case pkt.Flags.Has(netsim.FlagFIN):
+		var ok bool
+		if be, ok = in.table[t]; ok {
+			delete(in.table, t)
+			in.Removed++
+		} else {
+			be = mfPick(t, in.backends)
+			in.RecoveredOnFin++
+		}
+	default:
+		var ok bool
+		if be, ok = in.table[t]; !ok {
+			// The flow's original instance died; this instance is the HRW
+			// re-pick and adopts the flow.
+			be = mfPick(t, in.backends)
+			in.table[t] = be
+			in.Recovered++
+		}
+	}
+	pkt.SetOuter(in.ip, be)
+	in.net.Send(pkt)
+}
+
+// mfBackend replies to every request straight to the client (DSR),
+// reusing the pooled packet: zero allocations per exchange.
+type mfBackend struct {
+	net  *netsim.Network
+	Syns uint64
+	Data uint64
+	Fins uint64
+}
+
+func (b *mfBackend) HandlePacket(pkt *netsim.Packet) {
+	pkt.Outer = nil
+	switch {
+	case pkt.Flags.Has(netsim.FlagSYN):
+		b.Syns++
+		pkt.Flags = netsim.FlagSYN | netsim.FlagACK
+	case pkt.Flags.Has(netsim.FlagFIN):
+		b.Fins++
+		pkt.Flags = netsim.FlagFIN | netsim.FlagACK
+	default:
+		b.Data++
+		pkt.Flags = netsim.FlagACK
+	}
+	pkt.Src, pkt.Dst = pkt.Dst, pkt.Src
+	b.net.Send(pkt)
+}
+
+// Driver flow states.
+const (
+	mfIdle uint8 = iota
+	mfSynSent
+	mfEstablished
+	mfProbeSent
+	mfProbeAcked
+	mfFinSent
+	mfClosed
+)
+
+// Driver phases (what the next batch sends).
+const (
+	mfPhaseOpen uint8 = iota + 1
+	mfPhaseProbe
+	mfPhaseClose
+)
+
+// mfDriver owns a block of client flows: one byte of state per flow,
+// ports basePort+i on its own IP. Batches are paced by a timer so a
+// phase ramps over virtual time instead of detonating in one event.
+type mfDriver struct {
+	net    *netsim.Network
+	ip     netsim.IP
+	mux    netsim.HostPort
+	base   uint16
+	state  []uint8
+	batch  int
+	every  time.Duration
+	phase  uint8
+	cursor int
+	stepFn func()
+
+	established int
+	acked       int
+	closed      int
+}
+
+func (d *mfDriver) start(phase uint8, after time.Duration) {
+	d.phase, d.cursor = phase, 0
+	d.net.Schedule(after, d.stepFn)
+}
+
+func (d *mfDriver) step() {
+	end := d.cursor + d.batch
+	if end > len(d.state) {
+		end = len(d.state)
+	}
+	for i := d.cursor; i < end; i++ {
+		pkt := d.net.AllocPacket()
+		pkt.Src = netsim.HostPort{IP: d.ip, Port: d.base + uint16(i)}
+		pkt.Dst = d.mux
+		switch d.phase {
+		case mfPhaseOpen:
+			pkt.Flags = netsim.FlagSYN
+			d.state[i] = mfSynSent
+		case mfPhaseProbe:
+			pkt.Flags = netsim.FlagPSH
+			d.state[i] = mfProbeSent
+		case mfPhaseClose:
+			pkt.Flags = netsim.FlagFIN
+			d.state[i] = mfFinSent
+		}
+		d.net.Send(pkt)
+	}
+	d.cursor = end
+	if d.cursor < len(d.state) {
+		d.net.Schedule(d.every, d.stepFn)
+	}
+}
+
+func (d *mfDriver) HandlePacket(pkt *netsim.Packet) {
+	i := int(pkt.Dst.Port) - int(d.base)
+	if i >= 0 && i < len(d.state) {
+		switch {
+		case pkt.Flags.Has(netsim.FlagSYN | netsim.FlagACK):
+			if d.state[i] == mfSynSent {
+				d.state[i] = mfEstablished
+				d.established++
+			}
+		case pkt.Flags.Has(netsim.FlagFIN | netsim.FlagACK):
+			if d.state[i] == mfFinSent {
+				d.state[i] = mfClosed
+				d.closed++
+			}
+		case pkt.Flags.Has(netsim.FlagACK):
+			if d.state[i] == mfProbeSent {
+				d.state[i] = mfProbeAcked
+				d.acked++
+			}
+		}
+	}
+	d.net.ReleasePacket(pkt)
+}
+
+// MflowResult carries the outcome. Summary() covers only virtual-time
+// deterministic fields (identical across shard counts); wall-clock and
+// memory figures are reported separately by String().
+type MflowResult struct {
+	Cfg MflowConfig
+
+	Peak        int // concurrent established flows at ramp end
+	Established int
+	ProbeAcked  int
+	Closed      int
+
+	DeadFlows      int // flow-table entries on storm-killed instances
+	Recovered      int // flows adopted by surviving instances
+	RecoveredOnFin int
+
+	Delivered       uint64
+	Executed        uint64
+	DroppedNoRoute  uint64
+	DroppedByPolicy uint64
+
+	LiveTableEntries int
+	PendingAfter     int
+	SimTime          time.Duration
+
+	Wall             time.Duration
+	HeapBytesPerFlow float64
+
+	Failures []string
+}
+
+// Pass reports whether every invariant held.
+func (r *MflowResult) Pass() bool { return len(r.Failures) == 0 }
+
+// Summary renders the deterministic portion of the result.
+func (r *MflowResult) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mflow: flows=%d drivers=%d muxes=%d instances=%d backends=%d storm=%d\n",
+		r.Cfg.Flows, r.Cfg.Drivers, r.Cfg.Muxes, r.Cfg.Instances, r.Cfg.Backends, r.Cfg.StormKill)
+	fmt.Fprintf(&b, "  peak concurrent: %d (established=%d probeAcked=%d closed=%d)\n",
+		r.Peak, r.Established, r.ProbeAcked, r.Closed)
+	fmt.Fprintf(&b, "  storm: deadFlows=%d recovered=%d recoveredOnFin=%d\n",
+		r.DeadFlows, r.Recovered, r.RecoveredOnFin)
+	fmt.Fprintf(&b, "  events: executed=%d delivered=%d dropped=%d+%d\n",
+		r.Executed, r.Delivered, r.DroppedNoRoute, r.DroppedByPolicy)
+	fmt.Fprintf(&b, "  end state: liveTableEntries=%d pending=%d simTime=%v\n",
+		r.LiveTableEntries, r.PendingAfter, r.SimTime)
+	if r.Pass() {
+		b.WriteString("  PASS")
+	} else {
+		fmt.Fprintf(&b, "  FAIL:\n    %s", strings.Join(r.Failures, "\n    "))
+	}
+	return b.String()
+}
+
+func (r *MflowResult) String() string {
+	return fmt.Sprintf("%s\n  perf: shards=%d wall=%v events/s=%.0f heapBytes/flow=%.0f",
+		r.Summary(), r.Cfg.Shards, r.Wall.Round(time.Millisecond),
+		float64(r.Executed)/r.Wall.Seconds(), r.HeapBytesPerFlow)
+}
+
+func (r *MflowResult) failf(format string, args ...any) {
+	r.Failures = append(r.Failures, fmt.Sprintf(format, args...))
+}
+
+func heapInUse() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// RunMflow executes the million-flow experiment: ramp to the full flow
+// population, kill StormKill instances, probe every flow once (verifying
+// recovery of every orphaned flow), then close everything and drain the
+// network to quiescence.
+func RunMflow(cfg MflowConfig) *MflowResult {
+	perDriver := (cfg.Flows + cfg.Drivers - 1) / cfg.Drivers
+	cfg.Flows = perDriver * cfg.Drivers
+	res := &MflowResult{Cfg: cfg}
+
+	heapBase := heapInUse()
+	wallStart := time.Now()
+
+	sn := netsim.NewSharded(cfg.Seed, cfg.Shards)
+	defer sn.Close()
+	shards := sn.Shards()
+
+	// Muxes: vip 10.254.0.(m+1) on shard m%S. Drivers address mux d%M, so
+	// flow tuples — and therefore every pick — do not depend on the shard
+	// count.
+	muxes := make([]*mfMux, cfg.Muxes)
+	liveInsts := make([]netsim.IP, cfg.Instances)
+	for i := range liveInsts {
+		liveInsts[i] = netsim.IPv4(10, 0, 1, byte(i+1))
+	}
+	for m := range muxes {
+		nw := sn.Shard(m % shards)
+		mx := &mfMux{net: nw, vip: netsim.IPv4(10, 254, 0, byte(m+1)), insts: liveInsts}
+		nw.Attach(mx.vip, mx)
+		muxes[m] = mx
+	}
+
+	insts := make([]*mfInstance, cfg.Instances)
+	for i := range insts {
+		nw := sn.Shard(i % shards)
+		in := &mfInstance{
+			net: nw, ip: liveInsts[i],
+			table: make(map[netsim.FourTuple]netsim.IP),
+		}
+		insts[i] = in
+		nw.Attach(in.ip, in)
+	}
+	backendIPs := make([]netsim.IP, cfg.Backends)
+	backends := make([]*mfBackend, cfg.Backends)
+	for i := range backends {
+		nw := sn.Shard(i % shards)
+		backendIPs[i] = netsim.IPv4(10, 0, 2, byte(i+1))
+		backends[i] = &mfBackend{net: nw}
+		nw.Attach(backendIPs[i], backends[i])
+	}
+	for _, in := range insts {
+		in.backends = backendIPs
+	}
+
+	drivers := make([]*mfDriver, cfg.Drivers)
+	for d := range drivers {
+		nw := sn.Shard(d % shards)
+		drv := &mfDriver{
+			net:   nw,
+			ip:    netsim.IPv4(100, 0, byte(d>>8), byte(d&0xff)+1),
+			mux:   netsim.HostPort{IP: muxes[d%cfg.Muxes].vip, Port: 80},
+			base:  1024,
+			state: make([]uint8, perDriver),
+			batch: cfg.BatchSize,
+			every: cfg.BatchEvery,
+		}
+		drv.stepFn = drv.step
+		drivers[d] = drv
+		nw.Attach(drv.ip, drv)
+	}
+
+	// Phase span: staggered starts + the paced batches + settle (which
+	// must cover the ~60ms client round trip).
+	batches := (perDriver + cfg.BatchSize - 1) / cfg.BatchSize
+	stagger := 53 * time.Microsecond
+	span := time.Duration(cfg.Drivers)*stagger + time.Duration(batches)*cfg.BatchEvery + cfg.Settle
+
+	startPhase := func(phase uint8) {
+		for d, drv := range drivers {
+			drv.start(phase, time.Duration(d)*stagger)
+		}
+	}
+	counts := func() (established, acked, closed int) {
+		for _, drv := range drivers {
+			established += drv.established
+			acked += drv.acked
+			closed += drv.closed
+		}
+		return
+	}
+
+	// Ramp: open every flow.
+	startPhase(mfPhaseOpen)
+	sn.RunFor(span)
+	res.Established, _, _ = counts()
+	res.Peak = res.Established
+	if res.Peak != cfg.Flows {
+		res.failf("ramp: established %d of %d flows", res.Peak, cfg.Flows)
+	}
+	// Peak-population memory, attributed per flow.
+	res.HeapBytesPerFlow = float64(int64(heapInUse())-int64(heapBase)) / float64(cfg.Flows)
+
+	// Failure storm: kill StormKill instances spread across the fleet —
+	// detach the host and drop it from every mux's live list (a driver-
+	// phase control-plane action, like the real controller's L4 update).
+	dead := make(map[netsim.IP]bool, cfg.StormKill)
+	for k := 0; k < cfg.StormKill && cfg.Instances > 0; k++ {
+		victim := insts[k*cfg.Instances/cfg.StormKill]
+		dead[victim.ip] = true
+		res.DeadFlows += len(victim.table)
+		victim.net.Detach(victim.ip)
+	}
+	live := make([]netsim.IP, 0, cfg.Instances-len(dead))
+	for _, ip := range liveInsts {
+		if !dead[ip] {
+			live = append(live, ip)
+		}
+	}
+	for _, mx := range muxes {
+		mx.insts = live
+	}
+
+	// Probe: one data packet per flow. Orphaned flows must be adopted by
+	// the HRW re-pick instance; every probe must come back acknowledged.
+	startPhase(mfPhaseProbe)
+	sn.RunFor(span)
+	_, res.ProbeAcked, _ = counts()
+	if res.ProbeAcked != cfg.Flows {
+		res.failf("probe: acked %d of %d flows", res.ProbeAcked, cfg.Flows)
+	}
+	for _, in := range insts {
+		if !dead[in.ip] {
+			res.Recovered += int(in.Recovered)
+			res.RecoveredOnFin += int(in.RecoveredOnFin)
+		}
+	}
+	if res.Recovered != res.DeadFlows {
+		res.failf("recovery: %d flows adopted, %d were orphaned", res.Recovered, res.DeadFlows)
+	}
+
+	// Teardown: close every flow, then drain to quiescence.
+	startPhase(mfPhaseClose)
+	sn.RunFor(span)
+	sn.RunUntilIdle(1 << 24)
+	_, _, res.Closed = counts()
+	if res.Closed != cfg.Flows {
+		res.failf("teardown: closed %d of %d flows", res.Closed, cfg.Flows)
+	}
+	for _, in := range insts {
+		if !dead[in.ip] {
+			res.LiveTableEntries += len(in.table)
+		}
+	}
+	if res.LiveTableEntries != 0 {
+		res.failf("teardown: %d flow-table entries leaked on live instances", res.LiveTableEntries)
+	}
+	if res.RecoveredOnFin != 0 {
+		res.failf("HRW instability: %d FINs missed their flow's instance", res.RecoveredOnFin)
+	}
+
+	res.Delivered = sn.Delivered()
+	res.Executed = sn.Executed()
+	res.DroppedNoRoute = sn.DroppedNoRoute()
+	res.DroppedByPolicy = sn.DroppedByPolicy()
+	if res.DroppedNoRoute != 0 {
+		res.failf("%d packets dropped with no route (post-storm leakage)", res.DroppedNoRoute)
+	}
+	res.PendingAfter = sn.Pending()
+	if res.PendingAfter != 0 {
+		res.failf("network not quiescent: %d pending", res.PendingAfter)
+	}
+	res.SimTime = sn.Now()
+	res.Wall = time.Since(wallStart)
+	return res
+}

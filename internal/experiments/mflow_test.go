@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// smallMflowConfig shrinks the headline run to CI scale: 8192 flows,
+// same topology shape, same storm fraction.
+func smallMflowConfig(shards int) MflowConfig {
+	return MflowConfig{
+		Seed:       1,
+		Shards:     shards,
+		Flows:      8192,
+		Drivers:    8,
+		Muxes:      4,
+		Instances:  8,
+		Backends:   8,
+		StormKill:  2,
+		BatchSize:  64,
+		BatchEvery: 2 * time.Millisecond,
+		Settle:     150 * time.Millisecond,
+	}
+}
+
+// TestMflowInvariants runs the small configuration and requires every
+// invariant to hold: full ramp, every orphaned flow recovered exactly
+// once, clean teardown, quiescent network.
+func TestMflowInvariants(t *testing.T) {
+	res := RunMflow(smallMflowConfig(2))
+	if !res.Pass() {
+		t.Fatalf("mflow invariants failed:\n%s", res.Summary())
+	}
+	if res.DeadFlows == 0 {
+		t.Fatal("storm killed no flows — the recovery path was never exercised")
+	}
+}
+
+// TestMflowDeterminism requires byte-identical summaries across repeated
+// runs at the same shard count.
+func TestMflowDeterminism(t *testing.T) {
+	a := RunMflow(smallMflowConfig(2)).Summary()
+	b := RunMflow(smallMflowConfig(2)).Summary()
+	if a != b {
+		t.Fatalf("mflow not deterministic:\nrun1:\n%s\n\nrun2:\n%s", a, b)
+	}
+}
+
+// TestMflowShardCountInvariant is the conservative-sync acceptance test
+// at experiment level: the deterministic summary must not depend on how
+// many shards executed it.
+func TestMflowShardCountInvariant(t *testing.T) {
+	base := RunMflow(smallMflowConfig(1)).Summary()
+	for _, shards := range []int{2, 4} {
+		got := RunMflow(smallMflowConfig(shards)).Summary()
+		if got != base {
+			t.Fatalf("summary differs between 1 shard and %d shards:\n1 shard:\n%s\n\n%d shards:\n%s",
+				shards, base, shards, got)
+		}
+	}
+}
+
+// BenchmarkMflowMemPerFlow reports the peak heap cost per concurrent
+// flow; bench.sh runs it with -benchtime=1x to populate
+// mflow_mem_bytes_per_flow in BENCH_core.json.
+func BenchmarkMflowMemPerFlow(b *testing.B) {
+	cfg := smallMflowConfig(2)
+	cfg.Flows = 1 << 16
+	cfg.Drivers = 16
+	for i := 0; i < b.N; i++ {
+		res := RunMflow(cfg)
+		if !res.Pass() {
+			b.Fatalf("mflow failed:\n%s", res.Summary())
+		}
+		b.ReportMetric(res.HeapBytesPerFlow, "bytes/flow")
+		b.ReportMetric(float64(res.Executed)/res.Wall.Seconds(), "events/s")
+	}
+}

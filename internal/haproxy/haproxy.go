@@ -10,6 +10,7 @@
 package haproxy
 
 import (
+	"math/rand"
 	"time"
 
 	"repro/internal/httpsim"
@@ -51,7 +52,10 @@ func DefaultConfig() Config {
 type Instance struct {
 	host *netsim.Host
 	net  *netsim.Network
-	cfg  Config
+	// rng is the owning shard's deterministic RNG handle (never reach
+	// through Network.Rand on the request path).
+	rng *rand.Rand
+	cfg Config
 
 	engines map[netsim.IP]*rules.Engine
 	info    rules.BackendInfo
@@ -79,6 +83,7 @@ func NewInstance(host *netsim.Host, port uint16, cfg Config) *Instance {
 	inst := &Instance{
 		host:    host,
 		net:     host.Network(),
+		rng:     host.Network().Rand(),
 		cfg:     cfg,
 		engines: make(map[netsim.IP]*rules.Engine),
 		CPU:     metrics.NewCPUMeter(cfg.Cores),
@@ -154,7 +159,7 @@ func (pc *proxyConn) clientData(c *tcp.Conn, d []byte) {
 		c.Close()
 		return
 	}
-	decision := engine.Select(req, in.net.Rand().Float64(), in.info)
+	decision := engine.Select(req, in.rng.Float64(), in.info)
 	in.CPU.Charge(in.net.Now(), time.Duration(decision.Scanned)*in.cfg.LookupPerRule)
 	if !decision.OK {
 		c.Write(httpsim.NewResponse(503, []byte("no rule matched")).Marshal())

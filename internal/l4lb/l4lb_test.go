@@ -162,7 +162,7 @@ func TestSNATReturnPath(t *testing.T) {
 		Dst:   netsim.HostPort{IP: server, Port: 80},
 		Flags: netsim.FlagSYN,
 	}
-	lb.SendViaSNAT(out, inst1)
+	lb.SendViaSNAT(n, out, inst1)
 	n.RunUntilIdle(100)
 	if len(srvCol.got) != 1 {
 		t.Fatalf("server got %d packets", len(srvCol.got))
@@ -194,7 +194,7 @@ func TestSNATFailoverAfterInstanceRemoval(t *testing.T) {
 		Dst: netsim.HostPort{IP: server, Port: 80},
 	}
 	n.Attach(server, &collector{})
-	lb.SendViaSNAT(out, inst1)
+	lb.SendViaSNAT(n, out, inst1)
 	lb.RemoveInstance(inst1)
 	n.Detach(inst1)
 	reply := &netsim.Packet{
@@ -215,7 +215,7 @@ func TestClearSNAT(t *testing.T) {
 		Dst: netsim.HostPort{IP: server, Port: 80},
 	}
 	n.Attach(server, &collector{})
-	lb.SendViaSNAT(out, inst1)
+	lb.SendViaSNAT(n, out, inst1)
 	if lb.AffinityCount() != 1 {
 		t.Fatalf("affinity = %d", lb.AffinityCount())
 	}

@@ -32,8 +32,11 @@ type TraceEvent struct {
 	Reason  string
 }
 
-// Network is the discrete-event simulator core. It is not safe for
-// concurrent use: all components run inside its single event loop.
+// Network is one discrete-event simulator loop. It is not safe for
+// concurrent use: all components run inside its single event loop. In a
+// sharded simulation (see ShardedNetwork) each shard is a Network of its
+// own; the coordinator runs whole shards on separate goroutines, but no
+// individual Network is ever touched by two goroutines at once.
 type Network struct {
 	now     time.Duration
 	seq     uint64
@@ -43,6 +46,16 @@ type Network struct {
 	jitter  float64 // fraction of latency, uniform ±jitter
 	dropFn  func(pkt *Packet) bool
 	tracer  func(TraceEvent)
+
+	// Sharding (see shard.go). coord is nil for standalone networks;
+	// when set, Sends to IPs owned by other shards are handed off to the
+	// coordinator instead of being scheduled locally. violation records
+	// the first lookahead violation observed on this shard's goroutine,
+	// checked (and raised) by the coordinator after the window barrier.
+	shard     int
+	coord     *ShardedNetwork
+	executed  uint64
+	violation string
 
 	// Scheduler state (see sched.go): a timer wheel for near events, a
 	// typed heap for far ones, and a small heap for the cursor's slot.
@@ -121,8 +134,14 @@ func (n *Network) Attach(ip IP, node Node) {
 	if ip == 0 {
 		panic("netsim: cannot attach to the unspecified address")
 	}
+	if n.coord != nil {
+		n.coord.noteAttach(ip, n.shard)
+	}
 	n.nodes[ip] = node
 }
+
+// ShardID returns this network's shard index (0 for standalone networks).
+func (n *Network) ShardID() int { return n.shard }
 
 // Detach removes the node at ip, if any. Subsequent packets to ip are
 // dropped, which is how host failure is modelled.
@@ -161,6 +180,12 @@ func (n *Network) Send(pkt *Packet) {
 		d += time.Duration((n.rng.Float64()*2 - 1) * n.jitter * float64(d))
 		if d < 0 {
 			d = 0
+		}
+	}
+	if n.coord != nil && len(n.coord.shards) > 1 {
+		if ds := n.coord.shardFor(dst); ds != n.shard {
+			n.coord.push(n, ds, n.now+d, pkt, dst)
+			return
 		}
 	}
 	e := n.allocEvent()
@@ -203,6 +228,7 @@ func (n *Network) trace(pkt *Packet, dropped bool, reason string) {
 func (n *Network) execute(e *event) {
 	n.curHeap.pop()
 	n.queued--
+	n.executed++
 	if e.at > n.now {
 		n.now = e.at
 	}
@@ -260,6 +286,18 @@ func (n *Network) RunUntilIdle(maxEvents int) int {
 
 // Pending returns the number of live (not cancelled) queued events.
 func (n *Network) Pending() int { return n.queued - n.cancelledPending }
+
+// Executed returns the number of events this loop has executed.
+func (n *Network) Executed() uint64 { return n.executed }
+
+// NextEventAt reports the virtual time of the earliest live queued
+// event, positioning the scheduler on it without executing anything.
+func (n *Network) NextEventAt() (time.Duration, bool) {
+	if e := n.nextEvent(); e != nil {
+		return e.at, true
+	}
+	return 0, false
+}
 
 // String summarizes the network state for debugging.
 func (n *Network) String() string {

@@ -1,0 +1,490 @@
+package netsim
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// This file implements the sharded multi-core dataplane: N per-shard
+// event loops advancing under deterministic conservative synchronization.
+//
+// Each shard is a full *Network — its own virtual clock, timer wheel,
+// event/packet/buffer freelists, and RNG — so every component keeps the
+// exact single-loop programming model it always had: a component lives on
+// one shard, holds that shard's *Network handle, and never sees
+// concurrency. The only cross-shard interaction is a packet send, and
+// packets take at least one link latency to arrive. That latency is the
+// *lookahead* of a conservative parallel discrete-event scheme:
+//
+//	invariant: if every window the coordinator opens is at most
+//	`lookahead` wide, and every cross-shard packet is delayed by at
+//	least `lookahead`, then a packet handed off during window
+//	[T, T+W) is delivered at sender_time + latency >= T + lookahead
+//	>= T + W — i.e. never in the receiving shard's past.
+//
+// Shards therefore run windows in parallel with no locks at all on the
+// hot path: cross-shard sends append to single-producer/single-consumer
+// handoff queues that are double-buffered by window parity (producers
+// write the current window's buffer, consumers drain the previous
+// window's), and the only synchronization is the barrier between windows.
+// Determinism does not depend on thread scheduling: within a shard,
+// events execute in (time, sequence) order exactly as on a single loop;
+// handed-off packets are ingested at each window start in fixed shard
+// order, and each queue preserves its sender's (deterministic) execution
+// order, so sequence numbers — and thus tie-breaks — are reproducible.
+//
+// With one shard the coordinator delegates straight to the underlying
+// Network: no windows, no goroutines, no handoffs. A `-shards 1` run is
+// byte-identical to the pre-sharding scheduler by construction, which is
+// what pins all existing figures.
+
+// DefaultLookahead is the minimum cross-shard packet latency the
+// coordinator assumes: the intra-DC one-way delay of DefaultLatency.
+// Topologies with faster links (or jitter pulling latency below it) must
+// SetLookahead accordingly; violations are detected and panic.
+const DefaultLookahead = 150 * time.Microsecond
+
+// handoff is one cross-shard packet delivery in flight between windows.
+type handoff struct {
+	at  time.Duration
+	dst IP
+	pkt *Packet
+}
+
+// shardWork is one window assignment delivered to a shard worker.
+type shardWork struct {
+	end        time.Duration
+	readParity int
+}
+
+// ShardedNetwork coordinates N per-shard event loops. Construction,
+// topology setup, and the Run/RunFor/RunUntilIdle drivers must be called
+// from a single goroutine (the "driver"); between runs the driver may
+// freely mutate any shard's components, exactly like the single-loop
+// model. While a run is in progress the shards execute on their own
+// goroutines and the driver must not touch them.
+type ShardedNetwork struct {
+	shards    []*Network
+	routes    map[IP]int32 // permanent IP -> owning shard
+	lookahead time.Duration
+	now       time.Duration
+	running   bool // inside a parallel window (guards route mutation)
+
+	// Cross-shard handoff queues, double-buffered by window parity:
+	// out[p][src*S+dst] is written by shard src during windows of parity
+	// p and drained by shard dst at the start of the next window. The
+	// barrier between windows is the only synchronization the queues
+	// need.
+	out         [2][][]handoff
+	writeParity int
+	windowEnd   time.Duration // end of the window now executing (violation check)
+
+	// Worker goroutines, started lazily on the first multi-shard window
+	// and parked on workCh between windows. Close releases them.
+	workCh []chan shardWork
+	doneCh chan struct{}
+}
+
+// NewSharded creates a network of `shards` event loops. Shard 0 is
+// seeded with exactly `seed` — so a 1-shard network reproduces New(seed)
+// bit for bit — and shard i>0 with a value mixed from (seed, i).
+func NewSharded(seed int64, shards int) *ShardedNetwork {
+	if shards < 1 {
+		shards = 1
+	}
+	sn := &ShardedNetwork{
+		routes:    make(map[IP]int32),
+		lookahead: DefaultLookahead,
+	}
+	for i := 0; i < shards; i++ {
+		nw := New(shardSeed(seed, i))
+		nw.shard = i
+		nw.coord = sn
+		sn.shards = append(sn.shards, nw)
+	}
+	for p := 0; p < 2; p++ {
+		sn.out[p] = make([][]handoff, shards*shards)
+	}
+	return sn
+}
+
+// shardSeed derives shard i's RNG seed. Shard 0 keeps the caller's seed
+// unchanged so single-shard runs match New(seed) exactly.
+func shardSeed(seed int64, i int) int64 {
+	if i == 0 {
+		return seed
+	}
+	return int64(splitmix64(uint64(seed) + 0x9e3779b97f4a7c15*uint64(i)))
+}
+
+// splitmix64 is the splitmix64 finalizer, used for shard seed derivation
+// and for the default IP->shard placement hash.
+func splitmix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Shards returns the shard count.
+func (sn *ShardedNetwork) Shards() int { return len(sn.shards) }
+
+// Shard returns shard i's event loop. Components are placed on a shard
+// by being built against its handle (e.g. NewHost(sn.Shard(i), ip)).
+func (sn *ShardedNetwork) Shard(i int) *Network { return sn.shards[i] }
+
+// Now returns the coordinator's virtual clock: the end of the last
+// completed window (all shards have advanced at least this far).
+func (sn *ShardedNetwork) Now() time.Duration { return sn.now }
+
+// Lookahead returns the conservative-sync window bound.
+func (sn *ShardedNetwork) Lookahead() time.Duration { return sn.lookahead }
+
+// SetLookahead overrides the window bound. It must be at most the
+// minimum cross-shard packet latency (after jitter); a too-large value
+// is detected at the first violating handoff and panics.
+func (sn *ShardedNetwork) SetLookahead(d time.Duration) {
+	if d <= 0 {
+		panic("netsim: lookahead must be positive")
+	}
+	sn.lookahead = d
+}
+
+// SetLatency installs the latency model on every shard.
+func (sn *ShardedNetwork) SetLatency(f LatencyFunc) {
+	for _, sh := range sn.shards {
+		sh.SetLatency(f)
+	}
+}
+
+// SetJitter sets latency jitter on every shard. Jitter shrinks the
+// effective minimum latency by the jitter fraction; callers using it on
+// sharded topologies must SetLookahead((1-frac) * min latency).
+func (sn *ShardedNetwork) SetJitter(frac float64) {
+	for _, sh := range sn.shards {
+		sh.SetJitter(frac)
+	}
+}
+
+// SetDropFunc installs a loss-injection policy on every shard. The
+// function is invoked from shard goroutines concurrently and must not
+// mutate shared state.
+func (sn *ShardedNetwork) SetDropFunc(f func(pkt *Packet) bool) {
+	for _, sh := range sn.shards {
+		sh.SetDropFunc(f)
+	}
+}
+
+// Place pins ip to a shard before it is first attached. Attaching
+// through a shard handle pins the IP implicitly; Place exists for
+// placement policies that must route packets to an IP before the
+// component is built.
+func (sn *ShardedNetwork) Place(ip IP, shard int) {
+	if shard < 0 || shard >= len(sn.shards) {
+		panic(fmt.Sprintf("netsim: Place(%s, %d): no such shard", ip, shard))
+	}
+	if s, ok := sn.routes[ip]; ok && int(s) != shard {
+		panic(fmt.Sprintf("netsim: %s already placed on shard %d", ip, s))
+	}
+	sn.routes[ip] = int32(shard)
+}
+
+// ShardFor returns the shard that owns (or would own) ip: its pinned
+// placement if attached or Placed, else the default placement hash.
+func (sn *ShardedNetwork) ShardFor(ip IP) int { return sn.shardFor(ip) }
+
+func (sn *ShardedNetwork) shardFor(ip IP) int {
+	if s, ok := sn.routes[ip]; ok {
+		return int(s)
+	}
+	return int(splitmix64(uint64(ip)) % uint64(len(sn.shards)))
+}
+
+// noteAttach pins ip to the attaching shard. IPs never migrate between
+// shards (their in-flight packets are routed by the pinning), and new
+// IPs cannot appear while shard goroutines are running — the route table
+// is read lock-free during windows.
+func (sn *ShardedNetwork) noteAttach(ip IP, shard int) {
+	if s, ok := sn.routes[ip]; ok {
+		if int(s) != shard {
+			panic(fmt.Sprintf("netsim: attach of %s on shard %d, but it is pinned to shard %d", ip, shard, s))
+		}
+		return
+	}
+	if sn.running {
+		panic(fmt.Sprintf("netsim: attach of new IP %s while a sharded run is in progress", ip))
+	}
+	sn.routes[ip] = int32(shard)
+}
+
+// push files a cross-shard delivery into the current window's handoff
+// buffer. Called from the sending shard's goroutine; the (src, dst) slot
+// is single-producer/single-consumer by construction.
+func (sn *ShardedNetwork) push(src *Network, dstShard int, at time.Duration, pkt *Packet, dst IP) {
+	if at < sn.windowEnd && src.violation == "" {
+		src.violation = fmt.Sprintf(
+			"netsim: cross-shard packet shard %d->%d due %v before window end %v: latency below lookahead %v (SetLookahead lower)",
+			src.shard, dstShard, at, sn.windowEnd, sn.lookahead)
+	}
+	slot := src.shard*len(sn.shards) + dstShard
+	sn.out[sn.writeParity][slot] = append(sn.out[sn.writeParity][slot], handoff{at: at, dst: dst, pkt: pkt})
+}
+
+// ingest drains every handoff queue addressed to sh from the previous
+// window, filing each delivery as a fresh local event. Queues are
+// visited in sender-shard order and each preserves its sender's
+// execution order, so the sequence numbers assigned here — the
+// deterministic tie-break for same-time events — are reproducible
+// regardless of how the OS scheduled the shard goroutines.
+func (sn *ShardedNetwork) ingest(sh *Network, parity int) {
+	s := len(sn.shards)
+	for src := 0; src < s; src++ {
+		slot := src*s + sh.shard
+		q := sn.out[parity][slot]
+		for i := range q {
+			h := q[i]
+			if h.at < sh.now {
+				if sh.violation == "" {
+					sh.violation = fmt.Sprintf(
+						"netsim: handoff into shard %d's past: due %v, clock %v (lookahead too large)",
+						sh.shard, h.at, sh.now)
+				}
+				h.at = sh.now
+			}
+			e := sh.allocEvent()
+			sh.seq++
+			e.at, e.seq, e.kind, e.pkt, e.dst = h.at, sh.seq, evDeliver, h.pkt, h.dst
+			sh.scheduleEvent(e)
+			q[i] = handoff{}
+		}
+		sn.out[parity][slot] = q[:0]
+	}
+}
+
+// startWorkers lazily spawns one goroutine per shard; they park on
+// workCh between windows. Close releases them.
+func (sn *ShardedNetwork) startWorkers() {
+	if sn.workCh != nil {
+		return
+	}
+	sn.workCh = make([]chan shardWork, len(sn.shards))
+	sn.doneCh = make(chan struct{}, len(sn.shards))
+	for i := range sn.shards {
+		sn.workCh[i] = make(chan shardWork)
+		go sn.worker(i)
+	}
+}
+
+func (sn *ShardedNetwork) worker(i int) {
+	sh := sn.shards[i]
+	for w := range sn.workCh[i] {
+		sn.ingest(sh, w.readParity)
+		sh.Run(w.end)
+		sn.doneCh <- struct{}{}
+	}
+}
+
+// Close stops the shard worker goroutines. The network remains usable;
+// the next run restarts them. Only needed by callers that create many
+// sharded networks in one process.
+func (sn *ShardedNetwork) Close() {
+	for _, ch := range sn.workCh {
+		close(ch)
+	}
+	sn.workCh, sn.doneCh = nil, nil
+}
+
+// round executes one window on every shard in parallel: each shard
+// ingests the previous window's handoffs, then runs its events through
+// end (inclusive) and parks its clock there. The channel barrier at
+// entry and exit establishes the happens-before edges the lock-free
+// handoff buffers rely on.
+func (sn *ShardedNetwork) round(end time.Duration) {
+	sn.startWorkers()
+	readParity := sn.writeParity
+	sn.writeParity ^= 1
+	sn.windowEnd = end
+	sn.running = true
+	w := shardWork{end: end, readParity: readParity}
+	for _, ch := range sn.workCh {
+		ch <- w
+	}
+	for range sn.shards {
+		<-sn.doneCh
+	}
+	sn.running = false
+	for _, sh := range sn.shards {
+		if sh.violation != "" {
+			msg := sh.violation
+			sh.violation = ""
+			panic(msg)
+		}
+	}
+	if end > sn.now {
+		sn.now = end
+	}
+}
+
+// nextTime returns the earliest pending occurrence across all shards and
+// un-ingested handoffs, letting the window loop jump over idle gaps
+// instead of grinding empty lookahead-sized windows through them.
+func (sn *ShardedNetwork) nextTime() (time.Duration, bool) {
+	var best time.Duration
+	found := false
+	for _, sh := range sn.shards {
+		if at, ok := sh.NextEventAt(); ok && (!found || at < best) {
+			best, found = at, true
+		}
+	}
+	for _, q := range sn.out[sn.writeParity] {
+		for i := range q {
+			if at := q[i].at; !found || at < best {
+				best, found = at, true
+			}
+		}
+	}
+	return best, found
+}
+
+// handoffDue reports whether any un-ingested handoff is due at or before t.
+func (sn *ShardedNetwork) handoffDue(t time.Duration) bool {
+	for _, q := range sn.out[sn.writeParity] {
+		for i := range q {
+			if q[i].at <= t {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Run executes events until the virtual clock would pass deadline, then
+// parks every shard's clock at the deadline. Single-shard networks run
+// the plain event loop; multi-shard networks advance in conservative
+// windows of at most the lookahead.
+func (sn *ShardedNetwork) Run(deadline time.Duration) {
+	if len(sn.shards) == 1 {
+		sn.shards[0].Run(deadline)
+		sn.now = deadline
+		return
+	}
+	for sn.now < deadline {
+		end := deadline
+		if t, ok := sn.nextTime(); ok && t < deadline {
+			if t < sn.now {
+				t = sn.now
+			}
+			if e := t + sn.lookahead; e < deadline {
+				end = e
+			}
+		}
+		sn.round(end)
+	}
+	// A packet sent in the final window with latency exactly equal to
+	// the lookahead lands precisely on the deadline; deliver those too,
+	// matching the single loop's inclusive deadline.
+	for sn.handoffDue(deadline) {
+		sn.round(deadline)
+	}
+}
+
+// RunFor advances the simulation by d from the current time.
+func (sn *ShardedNetwork) RunFor(d time.Duration) { sn.Run(sn.now + d) }
+
+// RunUntilIdle executes events until every shard's queue and every
+// handoff queue drains, or about maxEvents have run (the cap is checked
+// between windows, so the count may overshoot by up to one window). It
+// returns the number of events executed.
+func (sn *ShardedNetwork) RunUntilIdle(maxEvents int) int {
+	if len(sn.shards) == 1 {
+		k := sn.shards[0].RunUntilIdle(maxEvents)
+		sn.now = sn.shards[0].Now()
+		return k
+	}
+	total := 0
+	for total < maxEvents {
+		t, ok := sn.nextTime()
+		if !ok {
+			break
+		}
+		if t < sn.now {
+			t = sn.now
+		}
+		before := sn.Executed()
+		sn.round(t + sn.lookahead)
+		total += int(sn.Executed() - before)
+	}
+	return total
+}
+
+// Pending returns the number of live queued events across all shards
+// plus cross-shard deliveries still in handoff queues.
+func (sn *ShardedNetwork) Pending() int {
+	n := 0
+	for _, sh := range sn.shards {
+		n += sh.Pending()
+	}
+	for p := 0; p < 2; p++ {
+		for _, q := range sn.out[p] {
+			n += len(q)
+		}
+	}
+	return n
+}
+
+// Delivered returns the total delivered-packet count across shards.
+func (sn *ShardedNetwork) Delivered() uint64 {
+	var n uint64
+	for _, sh := range sn.shards {
+		n += sh.Delivered
+	}
+	return n
+}
+
+// DroppedNoRoute returns the total no-route drop count across shards.
+func (sn *ShardedNetwork) DroppedNoRoute() uint64 {
+	var n uint64
+	for _, sh := range sn.shards {
+		n += sh.DroppedNoRoute
+	}
+	return n
+}
+
+// DroppedByPolicy returns the total policy drop count across shards.
+func (sn *ShardedNetwork) DroppedByPolicy() uint64 {
+	var n uint64
+	for _, sh := range sn.shards {
+		n += sh.DroppedByPolicy
+	}
+	return n
+}
+
+// Executed returns the total number of events executed across shards.
+func (sn *ShardedNetwork) Executed() uint64 {
+	var n uint64
+	for _, sh := range sn.shards {
+		n += sh.executed
+	}
+	return n
+}
+
+// String summarizes the whole sharded network, aggregating node counts,
+// pending events, and delivery/drop statistics across every shard.
+func (sn *ShardedNetwork) String() string {
+	nodes := 0
+	for _, sh := range sn.shards {
+		nodes += len(sh.nodes)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "netsim{shards=%d t=%s nodes=%d pending=%d delivered=%d dropped=%d+%d",
+		len(sn.shards), sn.now, nodes, sn.Pending(), sn.Delivered(),
+		sn.DroppedNoRoute(), sn.DroppedByPolicy())
+	for i, sh := range sn.shards {
+		fmt.Fprintf(&b, " s%d:%d", i, sh.Pending())
+	}
+	b.WriteByte('}')
+	return b.String()
+}

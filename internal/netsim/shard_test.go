@@ -1,0 +1,460 @@
+package netsim
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// shardsFlag lets CI sweep the shard count (ci.sh runs this package with
+// -shards=4 under the race detector). Tests that need a specific
+// topology shape pin their own count.
+var shardsFlag = flag.Int("shards", 4, "shard count for sharded netsim tests")
+
+// recorder logs every delivery it receives, stamped with its own shard's
+// clock. Each recorder is touched only by its shard's goroutine.
+type recorder struct {
+	net *Network
+	log []string
+}
+
+func (r *recorder) HandlePacket(pkt *Packet) {
+	r.log = append(r.log, fmt.Sprintf("%v %s %s len=%d", r.net.Now(), pkt.Tuple(), pkt.Flags, pkt.Len()))
+	r.net.ReleasePacket(pkt)
+}
+
+// bouncer returns every packet to its sender, reusing the pooled packet.
+type bouncer struct {
+	net  *Network
+	recv int
+}
+
+func (b *bouncer) HandlePacket(pkt *Packet) {
+	b.recv++
+	pkt.Src, pkt.Dst = pkt.Dst, pkt.Src
+	b.net.Send(pkt)
+}
+
+// scriptedWorkload drives a fixed mix of jittered sends, timers,
+// cancellations, and reschedules against one event loop and returns the
+// full delivery log. The same script against the same loop must yield
+// the same bytes — it is the differential oracle for the sharded
+// coordinator's single-shard mode.
+func scriptedWorkload(nw *Network, run func(time.Duration), runUntilIdle func(int) int) string {
+	nw.SetJitter(0.2)
+	a, b := IPv4(10, 1, 0, 1), IPv4(10, 1, 0, 2)
+	ra := &recorder{net: nw}
+	rb := &recorder{net: nw}
+	nw.Attach(a, ra)
+	nw.Attach(b, rb)
+
+	send := func(src, dst IP, port uint16) {
+		pkt := nw.AllocPacket()
+		pkt.Src = HostPort{IP: src, Port: port}
+		pkt.Dst = HostPort{IP: dst, Port: port}
+		pkt.Flags = FlagPSH
+		nw.Send(pkt)
+	}
+	for i := 0; i < 50; i++ {
+		send(a, b, uint16(1000+i))
+	}
+	var timers []Timer
+	for i := 0; i < 20; i++ {
+		port := uint16(2000 + i)
+		d := time.Duration(i) * 100 * time.Microsecond
+		timers = append(timers, nw.Schedule(d, func() { send(b, a, port) }))
+	}
+	// Cancel every third timer, reschedule half of those later.
+	for i := 0; i < 20; i += 3 {
+		timers[i].Stop()
+		if i%2 == 0 {
+			port := uint16(3000 + i)
+			nw.Schedule(5*time.Millisecond, func() { send(b, a, port) })
+		}
+	}
+	run(10 * time.Millisecond)
+	for i := 0; i < 10; i++ {
+		send(a, b, uint16(4000+i))
+	}
+	runUntilIdle(1 << 20)
+	return strings.Join(ra.log, "\n") + "\n--\n" + strings.Join(rb.log, "\n")
+}
+
+// TestShardedSingleShardByteIdentical pins the headline determinism
+// guarantee: a 1-shard ShardedNetwork reproduces the plain Network's
+// timeline bit for bit, including RNG-driven jitter.
+func TestShardedSingleShardByteIdentical(t *testing.T) {
+	plain := New(7)
+	want := scriptedWorkload(plain, plain.Run, plain.RunUntilIdle)
+
+	sn := NewSharded(7, 1)
+	defer sn.Close()
+	got := scriptedWorkload(sn.Shard(0), sn.Run, sn.RunUntilIdle)
+	if got != want {
+		t.Fatalf("1-shard sharded run diverged from plain Network:\nplain:\n%s\n\nsharded:\n%s", want, got)
+	}
+	if sn.Delivered() != plain.Delivered {
+		t.Fatalf("delivered: sharded %d, plain %d", sn.Delivered(), plain.Delivered)
+	}
+}
+
+// TestShardedPinnedTopologyMatchesSingle checks that a 4-shard network
+// whose entire topology lives on shard 0 — so no packet ever crosses a
+// shard — also reproduces the plain timeline byte for byte.
+func TestShardedPinnedTopologyMatchesSingle(t *testing.T) {
+	plain := New(7)
+	want := scriptedWorkload(plain, plain.Run, plain.RunUntilIdle)
+
+	sn := NewSharded(7, 4)
+	defer sn.Close()
+	got := scriptedWorkload(sn.Shard(0), sn.Run, sn.RunUntilIdle)
+	if got != want {
+		t.Fatalf("cross-shard-free 4-shard run diverged from plain Network:\nplain:\n%s\n\nsharded:\n%s", want, got)
+	}
+}
+
+// crossShardWorkload spreads bouncer pairs and recorders across all
+// shards with heavy cross-shard traffic and returns the combined log.
+func crossShardWorkload(t *testing.T, seed int64, shards int) string {
+	t.Helper()
+	sn := NewSharded(seed, shards)
+	defer sn.Close()
+	var recs []*recorder
+	var bounce []*bouncer
+	for s := 0; s < shards; s++ {
+		nw := sn.Shard(s)
+		r := &recorder{net: nw}
+		nw.Attach(IPv4(10, 2, 0, byte(s+1)), r)
+		recs = append(recs, r)
+		bb := &bouncer{net: nw}
+		nw.Attach(IPv4(10, 3, 0, byte(s+1)), bb)
+		bounce = append(bounce, bb)
+	}
+	// Every shard sends to every recorder and pings every bouncer.
+	for s := 0; s < shards; s++ {
+		nw := sn.Shard(s)
+		for d := 0; d < shards; d++ {
+			pkt := nw.AllocPacket()
+			pkt.Src = HostPort{IP: IPv4(10, 2, 0, byte(s+1)), Port: uint16(100 + s)}
+			pkt.Dst = HostPort{IP: IPv4(10, 2, 0, byte(d+1)), Port: uint16(200 + d)}
+			nw.Send(pkt)
+			pkt = nw.AllocPacket()
+			pkt.Src = HostPort{IP: IPv4(10, 2, 0, byte(s+1)), Port: uint16(300 + s)}
+			pkt.Dst = HostPort{IP: IPv4(10, 3, 0, byte(d+1)), Port: uint16(400 + d)}
+			nw.Send(pkt)
+		}
+	}
+	sn.RunFor(20 * time.Millisecond)
+	if got := sn.Pending(); got != 0 {
+		// Bounced packets ping-pong forever between recorder and bouncer?
+		// No: recorders release, bouncers return to recorders, which
+		// release. The network must be quiescent here.
+		t.Fatalf("pending after run: %d (%s)", got, sn.String())
+	}
+	var parts []string
+	for i, r := range recs {
+		parts = append(parts, fmt.Sprintf("shard%d:\n%s", i, strings.Join(r.log, "\n")))
+	}
+	return strings.Join(parts, "\n==\n")
+}
+
+// TestCrossShardDeterminism runs a heavily cross-shard workload twice
+// and demands identical logs: the conservative windows plus fixed ingest
+// order make results independent of OS thread scheduling. Under
+// `go test -race` this is also the handoff-queue race check.
+func TestCrossShardDeterminism(t *testing.T) {
+	shards := *shardsFlag
+	if shards < 2 {
+		shards = 2
+	}
+	first := crossShardWorkload(t, 11, shards)
+	second := crossShardWorkload(t, 11, shards)
+	if first != second {
+		t.Fatalf("cross-shard run not deterministic:\nrun1:\n%s\n\nrun2:\n%s", first, second)
+	}
+	if !strings.Contains(first, "shard1:") || len(first) < shards*10 {
+		t.Fatalf("suspiciously empty workload log:\n%s", first)
+	}
+}
+
+// TestCrossShardDeliveryTiming checks that a cross-shard hop arrives at
+// exactly the link latency, including a delivery landing precisely on an
+// inclusive Run deadline.
+func TestCrossShardDeliveryTiming(t *testing.T) {
+	sn := NewSharded(1, 2)
+	defer sn.Close()
+	n0, n1 := sn.Shard(0), sn.Shard(1)
+	r := &recorder{net: n1}
+	dst := IPv4(10, 4, 0, 2)
+	n1.Attach(dst, r)
+	src := IPv4(10, 4, 0, 1)
+	n0.Attach(src, &recorder{net: n0})
+
+	pkt := n0.AllocPacket()
+	pkt.Src = HostPort{IP: src, Port: 1}
+	pkt.Dst = HostPort{IP: dst, Port: 2}
+	n0.Send(pkt)
+
+	// Deadline exactly at the arrival time: the inclusive-deadline
+	// semantics of the single loop must hold across the handoff.
+	sn.Run(150 * time.Microsecond)
+	if len(r.log) != 1 {
+		t.Fatalf("expected delivery exactly at the 150µs deadline, log: %v", r.log)
+	}
+	if !strings.HasPrefix(r.log[0], "150µs ") {
+		t.Fatalf("delivery not at link latency: %q", r.log[0])
+	}
+	if sn.Pending() != 0 {
+		t.Fatalf("pending after run: %s", sn.String())
+	}
+}
+
+// TestTimerCancelBeforeCrossShardSend covers the satellite case: a timer
+// on shard A whose payload would cross to shard B is cancelled before it
+// fires — nothing may cross, and the network must drain to quiescence.
+func TestTimerCancelBeforeCrossShardSend(t *testing.T) {
+	sn := NewSharded(1, 2)
+	defer sn.Close()
+	n0, n1 := sn.Shard(0), sn.Shard(1)
+	r := &recorder{net: n1}
+	dst := IPv4(10, 5, 0, 2)
+	n1.Attach(dst, r)
+	src := IPv4(10, 5, 0, 1)
+	n0.Attach(src, &recorder{net: n0})
+
+	fired := false
+	tm := n0.Schedule(time.Millisecond, func() {
+		fired = true
+		pkt := n0.AllocPacket()
+		pkt.Src = HostPort{IP: src, Port: 1}
+		pkt.Dst = HostPort{IP: dst, Port: 2}
+		n0.Send(pkt)
+	})
+	tm.Stop()
+	if tm.Active() {
+		t.Fatal("stopped timer still active")
+	}
+	if got := sn.RunUntilIdle(1000); got != 0 {
+		t.Fatalf("executed %d events after cancelling the only timer", got)
+	}
+	if fired || len(r.log) != 0 {
+		t.Fatalf("cancelled timer fired (fired=%v log=%v)", fired, r.log)
+	}
+	if sn.Pending() != 0 {
+		t.Fatalf("not quiescent: %s", sn.String())
+	}
+}
+
+// TestTimerStopAfterHandoffIsInert covers the stale-handle side: once
+// the timer fired and its send crossed shards, Stop on the stale handle
+// must be a no-op — the in-flight packet still arrives, exactly once.
+func TestTimerStopAfterHandoffIsInert(t *testing.T) {
+	sn := NewSharded(1, 2)
+	defer sn.Close()
+	n0, n1 := sn.Shard(0), sn.Shard(1)
+	r := &recorder{net: n1}
+	dst := IPv4(10, 6, 0, 2)
+	n1.Attach(dst, r)
+	src := IPv4(10, 6, 0, 1)
+	n0.Attach(src, &recorder{net: n0})
+
+	tm := n0.Schedule(time.Millisecond, func() {
+		pkt := n0.AllocPacket()
+		pkt.Src = HostPort{IP: src, Port: 1}
+		pkt.Dst = HostPort{IP: dst, Port: 2}
+		n0.Send(pkt)
+	})
+	// Run past the timer but short of the delivery: the packet is now
+	// queued toward shard B and the handle is stale.
+	sn.Run(time.Millisecond + 50*time.Microsecond)
+	if len(r.log) != 0 {
+		t.Fatalf("delivery arrived early: %v", r.log)
+	}
+	if tm.Active() {
+		t.Fatal("fired timer still reports active")
+	}
+	tm.Stop() // must not cancel the in-flight delivery
+	sn.RunFor(time.Millisecond)
+	if len(r.log) != 1 {
+		t.Fatalf("expected exactly one delivery, got %v", r.log)
+	}
+}
+
+// TestTimerRescheduleAcrossShards cancels a cross-shard-bound timer and
+// reschedules it later: exactly one delivery, at the new time.
+func TestTimerRescheduleAcrossShards(t *testing.T) {
+	sn := NewSharded(1, 2)
+	defer sn.Close()
+	n0, n1 := sn.Shard(0), sn.Shard(1)
+	r := &recorder{net: n1}
+	dst := IPv4(10, 7, 0, 2)
+	n1.Attach(dst, r)
+	src := IPv4(10, 7, 0, 1)
+	n0.Attach(src, &recorder{net: n0})
+
+	fire := func() {
+		pkt := n0.AllocPacket()
+		pkt.Src = HostPort{IP: src, Port: 1}
+		pkt.Dst = HostPort{IP: dst, Port: 2}
+		n0.Send(pkt)
+	}
+	tm := n0.Schedule(time.Millisecond, fire)
+	tm.Stop()
+	n0.Schedule(3*time.Millisecond, fire)
+	sn.RunFor(10 * time.Millisecond)
+	if len(r.log) != 1 {
+		t.Fatalf("expected exactly one delivery, got %v", r.log)
+	}
+	want := fmt.Sprintf("%v ", 3*time.Millisecond+150*time.Microsecond)
+	if !strings.HasPrefix(r.log[0], want) {
+		t.Fatalf("delivery at %q, want prefix %q", r.log[0], want)
+	}
+}
+
+// TestRunUntilIdleDrainsCrossShardQueues chains relays across shards
+// over 30ms Internet links — each hop sits far beyond the lookahead, so
+// RunUntilIdle must keep jumping windows and draining handoff queues
+// until true quiescence.
+func TestRunUntilIdleDrainsCrossShardQueues(t *testing.T) {
+	const hops = 9
+	sn := NewSharded(1, 3)
+	defer sn.Close()
+	ips := make([]IP, hops+1)
+	for i := range ips {
+		ips[i] = IPv4(100, 8, 0, byte(i+1)) // non-DC: 30ms per hop
+	}
+	final := &recorder{net: sn.Shard(hops % 3)}
+	sn.Shard(hops%3).Attach(ips[hops], final)
+	for i := hops - 1; i >= 0; i-- {
+		nw := sn.Shard(i % 3)
+		next := ips[i+1]
+		nw.Attach(ips[i], NodeFunc(func(pkt *Packet) {
+			pkt.Src, pkt.Dst = pkt.Dst, HostPort{IP: next, Port: pkt.Dst.Port}
+			nw.Send(pkt)
+		}))
+	}
+	pkt := sn.Shard(0).AllocPacket()
+	pkt.Src = HostPort{IP: ips[0], Port: 9}
+	pkt.Dst = HostPort{IP: ips[0], Port: 9}
+	sn.Shard(0).Send(pkt)
+
+	executed := sn.RunUntilIdle(1 << 20)
+	if executed == 0 {
+		t.Fatal("RunUntilIdle executed nothing")
+	}
+	if len(final.log) != 1 {
+		t.Fatalf("chain did not complete: %v", final.log)
+	}
+	want := fmt.Sprintf("%v ", time.Duration(hops+1)*30*time.Millisecond)
+	if !strings.HasPrefix(final.log[0], want) {
+		t.Fatalf("final delivery %q, want prefix %q", final.log[0], want)
+	}
+	if sn.Pending() != 0 {
+		t.Fatalf("handoff queues not drained: %s", sn.String())
+	}
+	if sn.Delivered() != hops+1 {
+		t.Fatalf("delivered %d, want %d", sn.Delivered(), hops+1)
+	}
+}
+
+// TestShardedStatsAggregation exercises the satellite fix: Pending,
+// Delivered, DroppedNoRoute, DroppedByPolicy, and String must aggregate
+// across shards (and count handoffs still in flight).
+func TestShardedStatsAggregation(t *testing.T) {
+	sn := NewSharded(1, 4)
+	defer sn.Close()
+	src := IPv4(10, 9, 0, 1)
+	sn.Shard(0).Attach(src, &recorder{net: sn.Shard(0)})
+	for s := 1; s < 4; s++ {
+		nw := sn.Shard(s)
+		nw.Attach(IPv4(10, 9, 0, byte(s+1)), &recorder{net: nw})
+	}
+	sn.SetDropFunc(func(pkt *Packet) bool { return pkt.Dst.Port == 666 })
+	noRoute := IPv4(10, 9, 9, 9)
+	sn.Place(noRoute, 2) // never attached: counted as no-route on shard 2
+
+	send := func(dst IP, port uint16) {
+		pkt := sn.Shard(0).AllocPacket()
+		pkt.Src = HostPort{IP: src, Port: 1}
+		pkt.Dst = HostPort{IP: dst, Port: port}
+		sn.Shard(0).Send(pkt)
+	}
+	for s := 1; s < 4; s++ {
+		send(IPv4(10, 9, 0, byte(s+1)), 80)
+	}
+	send(noRoute, 80)
+	send(IPv4(10, 9, 0, 2), 666)
+
+	// Before running, the cross-shard sends sit in handoff queues and
+	// must still show up as pending.
+	if got := sn.Pending(); got != 5 {
+		t.Fatalf("pending before run: %d, want 5 (%s)", got, sn.String())
+	}
+	sn.RunFor(time.Millisecond)
+	if got := sn.Delivered(); got != 3 {
+		t.Fatalf("delivered %d, want 3", got)
+	}
+	if got := sn.DroppedNoRoute(); got != 1 {
+		t.Fatalf("droppedNoRoute %d, want 1", got)
+	}
+	if got := sn.DroppedByPolicy(); got != 1 {
+		t.Fatalf("droppedByPolicy %d, want 1", got)
+	}
+	if got := sn.Pending(); got != 0 {
+		t.Fatalf("pending after run: %d", got)
+	}
+	if sn.Executed() == 0 {
+		t.Fatal("executed counter did not advance")
+	}
+	s := sn.String()
+	if !strings.Contains(s, "shards=4") || !strings.Contains(s, "delivered=3") || !strings.Contains(s, "dropped=1+1") {
+		t.Fatalf("aggregate String missing fields: %s", s)
+	}
+}
+
+// TestLookaheadViolationPanics: a lookahead wider than the narrowest
+// cross-shard link breaks the conservative invariant; the coordinator
+// must detect the violating handoff and panic on the driver goroutine.
+func TestLookaheadViolationPanics(t *testing.T) {
+	sn := NewSharded(1, 2)
+	defer sn.Close()
+	sn.SetLookahead(time.Millisecond) // > the 150µs intra-DC latency
+	n0, n1 := sn.Shard(0), sn.Shard(1)
+	src, dst := IPv4(10, 10, 0, 1), IPv4(10, 10, 0, 2)
+	n0.Attach(src, &recorder{net: n0})
+	n1.Attach(dst, &recorder{net: n1})
+	n0.Schedule(500*time.Microsecond, func() {
+		pkt := n0.AllocPacket()
+		pkt.Src = HostPort{IP: src, Port: 1}
+		pkt.Dst = HostPort{IP: dst, Port: 2}
+		n0.Send(pkt)
+	})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("expected lookahead-violation panic")
+		} else if !strings.Contains(fmt.Sprint(r), "lookahead") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	sn.RunFor(5 * time.Millisecond)
+}
+
+// TestShardPlacementPinning: attaching the same IP from two different
+// shards is a placement bug and must panic.
+func TestShardPlacementPinning(t *testing.T) {
+	sn := NewSharded(1, 2)
+	defer sn.Close()
+	ip := IPv4(10, 11, 0, 1)
+	sn.Shard(0).Attach(ip, &recorder{net: sn.Shard(0)})
+	if got := sn.ShardFor(ip); got != 0 {
+		t.Fatalf("ShardFor after attach: %d, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected cross-shard re-attach to panic")
+		}
+	}()
+	sn.Shard(1).Attach(ip, &recorder{net: sn.Shard(1)})
+}

@@ -17,6 +17,7 @@ package tcp
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"time"
 
@@ -135,8 +136,12 @@ type rtxBuf struct {
 
 // Conn is one endpoint of a TCP connection.
 type Conn struct {
-	host   *netsim.Host
-	net    *netsim.Network
+	host *netsim.Host
+	net  *netsim.Network
+	// rng is the owning shard's deterministic RNG, cached at construction
+	// so draws never reach through Network.Rand on a hot path and every
+	// draw is attributable to the shard the connection lives on.
+	rng    *rand.Rand
 	cfg    Config
 	cb     Callbacks
 	local  netsim.HostPort
@@ -145,9 +150,9 @@ type Conn struct {
 	state State
 
 	// Send side.
-	iss       uint32 // initial send sequence
-	sndUna    uint32 // oldest unacknowledged
-	sndNxt    uint32 // next to send
+	iss    uint32 // initial send sequence
+	sndUna uint32 // oldest unacknowledged
+	sndNxt uint32 // next to send
 	// sndBuf holds unsent+unacked payload; live bytes are
 	// sndBuf[sndHead:], and sndBuf[sndHead] is at seq bufSeq. The head
 	// index (instead of re-slicing forward) lets the buffer reset to the
@@ -189,7 +194,7 @@ func Dial(h *netsim.Host, remote netsim.HostPort, cb Callbacks, cfg Config) *Con
 func DialFrom(h *netsim.Host, localPort uint16, remote netsim.HostPort, cb Callbacks, cfg Config) *Conn {
 	c := newConn(h, netsim.HostPort{IP: h.IP(), Port: localPort}, remote, cb, cfg)
 	c.state = StateSynSent
-	c.iss = c.net.Rand().Uint32()
+	c.iss = c.rng.Uint32()
 	c.sndUna = c.iss
 	c.sndNxt = c.iss + 1
 	c.bufSeq = c.iss + 1
@@ -203,6 +208,7 @@ func newConn(h *netsim.Host, local, remote netsim.HostPort, cb Callbacks, cfg Co
 	c := &Conn{
 		host:     h,
 		net:      h.Network(),
+		rng:      h.Network().Rand(),
 		cfg:      cfg,
 		cb:       cb,
 		local:    local,

@@ -34,6 +34,10 @@ go test -run '^$' -bench 'BenchmarkRuleSelect(Reference)?/rules=1000$' \
   -benchmem ./internal/rules/ | tee -a "$MICRO_LOG"
 go test -run '^$' -bench 'BenchmarkReconfigMigration' -benchtime 3x \
   ./internal/reconfig/ | tee -a "$MICRO_LOG"
+go test -run '^$' -bench 'BenchmarkShardedEventLoop' \
+  ./internal/netsim/ | tee -a "$MICRO_LOG"
+go test -run '^$' -bench 'BenchmarkMflowMemPerFlow' -benchtime 1x \
+  ./internal/experiments/ | tee -a "$MICRO_LOG"
 
 if [[ "${FAST:-0}" != "1" ]]; then
   echo "== figure benchmarks (one run each; Fig13 takes minutes) =="
@@ -66,6 +70,12 @@ SB_BATCH_US="$(metric "$MICRO_LOG" BenchmarkStorageBBatched virtual-µs/write)"
 SB_SEQ_US="$(metric "$MICRO_LOG" BenchmarkStorageBSequential virtual-µs/write)"
 RECONFIG_TPUT="$(metric "$MICRO_LOG" BenchmarkReconfigMigration migrated_flows/s)"
 RECONFIG_DRAIN_MS="$(metric "$MICRO_LOG" BenchmarkReconfigMigration drain_ms/op)"
+SHARD1_EPS="$(metric "$MICRO_LOG" 'BenchmarkShardedEventLoop/shards=1' events/s)"
+SHARD2_EPS="$(metric "$MICRO_LOG" 'BenchmarkShardedEventLoop/shards=2' events/s)"
+SHARD4_EPS="$(metric "$MICRO_LOG" 'BenchmarkShardedEventLoop/shards=4' events/s)"
+SHARD8_EPS="$(metric "$MICRO_LOG" 'BenchmarkShardedEventLoop/shards=8' events/s)"
+MFLOW_BPF="$(metric "$MICRO_LOG" BenchmarkMflowMemPerFlow bytes/flow)"
+MFLOW_EPS="$(metric "$MICRO_LOG" BenchmarkMflowMemPerFlow events/s)"
 RULE_SEL_NS="$(pick "$MICRO_LOG" 'BenchmarkRuleSelect/rules=1000' 3)"
 RULE_SEL_ALLOCS="$(awk '$1 ~ /^BenchmarkRuleSelect\/rules=1000/ {for(i=1;i<NF;i++) if($(i+1)=="allocs/op") print $i}' "$MICRO_LOG" | head -1)"
 RULE_REF_NS="$(pick "$MICRO_LOG" 'BenchmarkRuleSelectReference/rules=1000' 3)"
@@ -129,6 +139,15 @@ cat > "$OUT" <<EOF
     "storage_b_sequential_virtual_us": $(jsonnum "$SB_SEQ_US"),
     "reconfig_migration_flows_per_s": $(jsonnum "$RECONFIG_TPUT"),
     "reconfig_drain_virtual_ms": $(jsonnum "$RECONFIG_DRAIN_MS"),
+    "sharded_note": "measured on $(nproc) CPU(s); with one hardware thread the shard speedup reflects working-set locality only, not parallel execution",
+    "sharded_events_per_s": {
+      "shards_1": $(jsonnum "$SHARD1_EPS"),
+      "shards_2": $(jsonnum "$SHARD2_EPS"),
+      "shards_4": $(jsonnum "$SHARD4_EPS"),
+      "shards_8": $(jsonnum "$SHARD8_EPS")
+    },
+    "mflow_mem_bytes_per_flow": $(jsonnum "$MFLOW_BPF"),
+    "mflow_events_per_s": $(jsonnum "$MFLOW_EPS"),
     "rule_select_ns_op": $(jsonnum "$RULE_SEL_NS"),
     "rule_select_allocs_op": $(jsonnum "$RULE_SEL_ALLOCS"),
     "rule_select_reference_ns_op": $(jsonnum "$RULE_REF_NS"),

@@ -19,6 +19,23 @@ echo "== dataplane fast-fail (vet + race on rules/httpsim/core/tcpstore/memcache
 go vet ./internal/rules/ ./internal/httpsim/ ./internal/core/ ./internal/tcpstore/ ./internal/memcache/ ./internal/reconfig/
 go test -race ./internal/rules/ ./internal/httpsim/ ./internal/core/ ./internal/tcpstore/ ./internal/memcache/ ./internal/reconfig/
 
+echo "== sharded dataplane fast-fail (race at 4 shards: netsim + whole-stack e2e) =="
+# The conservative-sync coordinator is lock-free by design (happens-before
+# comes only from the round barriers), so the race detector on a 4-shard
+# run is the proof the handoff discipline holds end to end.
+go test -race ./internal/netsim/ -args -shards=4
+go test -race -run 'TestSharded' ./internal/core/ -args -shards=4
+
+echo "== rng lint (grep fast-fail; TestNoStrayRNGConstruction is the test half) =="
+# Only netsim (per-shard RNGs) and the trial-level drivers may construct
+# generators; dataplane components must cache Network.Rand at build time.
+if grep -rn --include='*.go' 'rand\.New(' cmd examples internal *.go 2>/dev/null \
+  | grep -v '_test\.go:' \
+  | grep -Ev '^internal/(netsim|trace|workload|experiments)/'; then
+  echo "FAIL: rand.New outside the netsim/trace/workload/experiments allowlist" >&2
+  exit 1
+fi
+
 echo "== go vet =="
 go vet ./...
 
