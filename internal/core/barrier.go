@@ -85,7 +85,7 @@ func (op *barrierOp) resolve(res tcpstore.SetResult) {
 		in.freeBarrierOps = append(in.freeBarrierOps, op)
 	}
 	in.StorageLat.Add(in.net.Now() - storeStart)
-	if in.flows[f.clientTuple()] != f {
+	if in.flows.get(f.clientTuple()) != f {
 		return // flow torn down while the write was in flight
 	}
 	if res.TimedOut {

@@ -33,8 +33,8 @@ func benchTunnelSetup(n *netsim.Network) (*Instance, *flow) {
 		clientNextSeq: 1001,
 		toClientNext:  5001,
 	}
-	in.flows[f.clientTuple()] = f
-	in.flows[f.serverTuple()] = f
+	in.flows.put(f.clientTuple(), f)
+	in.flows.put(f.serverTuple(), f)
 
 	// Sinks for both forwarding directions release the pooled packets.
 	sink := netsim.NodeFunc(func(pkt *netsim.Packet) { n.ReleasePacket(pkt) })
@@ -125,8 +125,8 @@ func benchStorageSetup(n *netsim.Network) (*Instance, *flow) {
 		state:       stateTunnel,
 		backendName: "be-1",
 	}
-	in.flows[f.clientTuple()] = f
-	in.flows[f.serverTuple()] = f
+	in.flows.put(f.clientTuple(), f)
+	in.flows.put(f.serverTuple(), f)
 	return in, f
 }
 

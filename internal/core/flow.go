@@ -52,6 +52,12 @@ type flow struct {
 	start      time.Duration // SYN arrival
 	dialStart  time.Duration // backend selection began, for the Figure 9 breakdown
 	lastActive time.Duration
+
+	// Flow-index bookkeeping (see flowindex.go): idxSlot is the flow's
+	// slot+1 in the index's store (0 = unindexed), idxRefs the number of
+	// tuple orientations currently pointing at that slot.
+	idxSlot uint32
+	idxRefs uint8
 }
 
 func (f *flow) clientTuple() netsim.FourTuple {
@@ -107,7 +113,7 @@ func (in *Instance) newClientFlow(pkt *netsim.Packet) {
 		start:         now,
 		lastActive:    now,
 	}
-	in.flows[f.clientTuple()] = f
+	in.flows.put(f.clientTuple(), f)
 	in.statsFor(pkt.Dst.IP).NewFlows++
 	in.armIdle(f)
 	// storage-a: the SYN header goes to TCPStore before the SYN-ACK, so a
@@ -272,13 +278,13 @@ func (in *Instance) selectAndDial(f *flow, req *httpsim.Request) {
 	// re-inspecting ciphertext mid-stream (documented simplification).
 	f.keepAlive = req.KeepAlive() && f.tls == nil
 	f.snat = netsim.HostPort{IP: f.vip.IP, Port: port}
-	in.flows[f.serverTuple()] = f
+	in.flows.put(f.serverTuple(), f)
 	// Learn sticky bindings so subsequent sessions pin (Table 3 rule-4).
 	if ck := sessionCookie(req); ck != "" {
 		engine.Learn("cookie-table", ck, decision.Backend)
 	}
 	in.net.Schedule(lookup, func() {
-		if in.flows[f.clientTuple()] != f || f.state != stateDialing {
+		if in.flows.get(f.clientTuple()) != f || f.state != stateDialing {
 			return
 		}
 		in.sendServerSyn(f)
@@ -304,7 +310,7 @@ func (in *Instance) sendServerSyn(f *flow) {
 	f.dialTries++
 	f.dialTimer.Stop()
 	f.dialTimer = in.net.Schedule(3*time.Second, func() {
-		if f.state != stateDialing || in.flows[f.clientTuple()] != f {
+		if f.state != stateDialing || in.flows.get(f.clientTuple()) != f {
 			return
 		}
 		if f.dialTries >= 3 {
@@ -484,7 +490,7 @@ func (in *Instance) maybeFinish(f *flow) {
 		return
 	}
 	in.net.Schedule(in.cfg.FinLinger, func() {
-		if in.flows[f.clientTuple()] == f {
+		if in.flows.get(f.clientTuple()) == f {
 			in.teardown(f, true)
 		}
 	})
@@ -493,11 +499,9 @@ func (in *Instance) maybeFinish(f *flow) {
 // teardown removes flow state locally, from TCPStore, and from the L4
 // LB's SNAT table.
 func (in *Instance) teardown(f *flow, deleteStore bool) {
-	if in.flows[f.clientTuple()] == f {
-		delete(in.flows, f.clientTuple())
-	}
-	if f.server.IP != 0 && in.flows[f.serverTuple()] == f {
-		delete(in.flows, f.serverTuple())
+	in.flows.del(f.clientTuple(), f)
+	if f.server.IP != 0 {
+		in.flows.del(f.serverTuple(), f)
 	}
 	f.idleTimer.Stop()
 	f.dialTimer.Stop()
@@ -520,7 +524,7 @@ func (in *Instance) armIdle(f *flow) {
 	var arm func()
 	arm = func() {
 		f.idleTimer = in.net.Schedule(in.cfg.FlowIdleTimeout, func() {
-			if in.flows[f.clientTuple()] != f {
+			if in.flows.get(f.clientTuple()) != f {
 				return
 			}
 			if in.net.Now()-f.lastActive >= in.cfg.FlowIdleTimeout {
@@ -540,11 +544,11 @@ func (in *Instance) armIdle(f *flow) {
 // terminated.
 func (in *Instance) TerminateBackendFlows(backend netsim.HostPort) int {
 	var victims []*flow
-	for t, f := range in.flows {
-		if t == f.clientTuple() && f.server == backend {
+	in.flows.forEach(func(f *flow) {
+		if f.server == backend {
 			victims = append(victims, f)
 		}
-	}
+	})
 	for _, f := range victims {
 		in.net.Send(&netsim.Packet{
 			Src: f.vip, Dst: f.client,
@@ -635,7 +639,7 @@ func (in *Instance) recoverFlow(tuple netsim.FourTuple, pkt *netsim.Packet) {
 		}
 		in.Recovered++
 		for _, q := range queued {
-			if cur, ok := in.flows[q.Tuple()]; ok {
+			if cur := in.flows.get(q.Tuple()); cur != nil {
 				in.dispatch(cur, q)
 			}
 		}
@@ -645,7 +649,7 @@ func (in *Instance) recoverFlow(tuple netsim.FourTuple, pkt *netsim.Packet) {
 // installRecovered builds a local flow from a TCPStore record.
 func (in *Instance) installRecovered(rec *Record) *flow {
 	ct := netsim.FourTuple{Src: rec.Client, Dst: rec.VIP}
-	if existing, ok := in.flows[ct]; ok {
+	if existing := in.flows.get(ct); existing != nil {
 		return existing // raced with another recovery or a live flow
 	}
 	f := &flow{
@@ -684,11 +688,11 @@ func (in *Instance) installRecovered(rec *Record) *flow {
 		// for pipelining, which this reproduction does not persist).
 		f.keepAlive = false
 		f.toClientNext = f.c + 1
-		in.flows[f.serverTuple()] = f
+		in.flows.put(f.serverTuple(), f)
 	default:
 		return nil
 	}
-	in.flows[ct] = f
+	in.flows.put(ct, f)
 	in.armIdle(f)
 	return f
 }

@@ -99,7 +99,7 @@ type Instance struct {
 	info      rules.BackendInfo                 // backend health/load view
 	tlsIdents map[netsim.IP]*securesim.Identity // per-VIP SSL termination identities
 
-	flows        map[netsim.FourTuple]*flow
+	flows        flowIndex                          // tuple → flow, compact (see flowindex.go)
 	pending      map[netsim.FourTuple]*pendingQueue // packets awaiting a TCPStore lookup
 	pendingTotal int                                // packets across all pending queues
 	snatNext     uint16
@@ -155,7 +155,6 @@ func NewInstance(host *netsim.Host, lb *l4lb.LB, store *tcpstore.Store, cfg Conf
 		cfg:        cfg,
 		engines:    make(map[netsim.IP]*rules.Engine),
 		tlsIdents:  make(map[netsim.IP]*securesim.Identity),
-		flows:      make(map[netsim.FourTuple]*flow),
 		pending:    make(map[netsim.FourTuple]*pendingQueue),
 		snatNext:   cfg.SNATBase,
 		snatInUse:  make(map[uint16]bool),
@@ -164,6 +163,7 @@ func NewInstance(host *netsim.Host, lb *l4lb.LB, store *tcpstore.Store, cfg Conf
 		ConnLat:    metrics.NewDurationHistogram(),
 		Stats:      make(map[netsim.IP]*VIPStats),
 	}
+	inst.flows.init()
 	host.Default = netsim.PortHandlerFunc(inst.handlePacket)
 	return inst
 }
@@ -229,28 +229,24 @@ func (in *Instance) HasVIP(vip netsim.IP) bool {
 func (in *Instance) SetBackendInfo(info rules.BackendInfo) { in.info = info }
 
 // FlowCount returns the number of live flow entries (both orientations).
-func (in *Instance) FlowCount() int { return len(in.flows) }
+func (in *Instance) FlowCount() int { return in.flows.entries() }
 
-// ClientFlowCount returns the number of live connections (client-side
-// orientation only, so each connection counts once regardless of phase).
+// ClientFlowCount returns the number of live connections (each
+// connection counts once regardless of phase).
 func (in *Instance) ClientFlowCount() int {
 	n := 0
-	for t, f := range in.flows {
-		if t == f.clientTuple() {
-			n++
-		}
-	}
+	in.flows.forEach(func(*flow) { n++ })
 	return n
 }
 
 // VIPFlowCount returns the live connections terminating at vip.
 func (in *Instance) VIPFlowCount(vip netsim.IP) int {
 	n := 0
-	for t, f := range in.flows {
-		if t == f.clientTuple() && f.vip.IP == vip {
+	in.flows.forEach(func(f *flow) {
+		if f.vip.IP == vip {
 			n++
 		}
-	}
+	})
 	return n
 }
 
@@ -260,14 +256,14 @@ func (in *Instance) VIPFlowCount(vip netsim.IP) int {
 // applied a mapping change, a losing instance's flows stop receiving
 // packets and this timestamp freezes.
 func (in *Instance) VIPLastActive(vip netsim.IP) (last time.Duration, ok bool) {
-	for t, f := range in.flows {
-		if t == f.clientTuple() && f.vip.IP == vip {
+	in.flows.forEach(func(f *flow) {
+		if f.vip.IP == vip {
 			ok = true
 			if f.lastActive > last {
 				last = f.lastActive
 			}
 		}
-	}
+	})
 	return last, ok
 }
 
@@ -285,15 +281,15 @@ func (in *Instance) VIPLastActive(vip netsim.IP) (last time.Duration, ok bool) {
 // Returns the number of flows released.
 func (in *Instance) ReleaseVIPFlows(vip netsim.IP) int {
 	var victims []*flow
-	for t, f := range in.flows {
-		if t == f.clientTuple() && f.vip.IP == vip {
+	in.flows.forEach(func(f *flow) {
+		if f.vip.IP == vip {
 			victims = append(victims, f)
 		}
-	}
+	})
 	for _, f := range victims {
-		delete(in.flows, f.clientTuple())
-		if f.server.IP != 0 && in.flows[f.serverTuple()] == f {
-			delete(in.flows, f.serverTuple())
+		in.flows.del(f.clientTuple(), f)
+		if f.server.IP != 0 {
+			in.flows.del(f.serverTuple(), f)
 		}
 		f.idleTimer.Stop()
 		f.dialTimer.Stop()
@@ -334,7 +330,7 @@ func (in *Instance) statsFor(vip netsim.IP) *VIPStats {
 func (in *Instance) Fail() {
 	in.dead = true
 	in.host.Detach()
-	in.flows = make(map[netsim.FourTuple]*flow)
+	in.flows.init()
 	in.pending = make(map[netsim.FourTuple]*pendingQueue)
 	in.pendingTotal = 0
 }
@@ -406,7 +402,7 @@ func (in *Instance) processPacket(pkt *netsim.Packet) {
 	st.Packets++
 	st.PayloadByte += uint64(len(pkt.Payload))
 
-	if f, ok := in.flows[tuple]; ok {
+	if f := in.flows.get(tuple); f != nil {
 		in.dispatch(f, pkt)
 		return
 	}

@@ -278,7 +278,7 @@ func (in *Instance) kaSwitchBackend(f *flow, next kaRequest, backend rules.Backe
 		Flags: netsim.FlagRST, Seq: next.startSeq, Ack: f.s + 1,
 	}, in.IP())
 	oldServerTuple := f.serverTuple()
-	delete(in.flows, oldServerTuple)
+	in.flows.del(oldServerTuple, f)
 	in.store.Delete(in.flowKey(oldServerTuple), nil)
 	in.l4.ClearSNAT(oldServerTuple)
 	in.releaseSNATPort(f.snat.Port)
@@ -294,7 +294,7 @@ func (in *Instance) kaSwitchBackend(f *flow, next kaRequest, backend rules.Backe
 	f.server = backend.Addr
 	f.backendName = backend.Name
 	f.snat = netsim.HostPort{IP: f.vip.IP, Port: port}
-	in.flows[f.serverTuple()] = f
+	in.flows.put(f.serverTuple(), f)
 	ka.switching = true
 	ka.pendReq = &next
 	f.dialTries = 0
@@ -312,7 +312,7 @@ func (in *Instance) kaSendSwitchSyn(f *flow) {
 	f.dialTries++
 	f.dialTimer.Stop()
 	f.dialTimer = in.net.Schedule(3*time.Second, func() {
-		if !ka.switching || ka.committing || in.flows[f.clientTuple()] != f {
+		if !ka.switching || ka.committing || in.flows.get(f.clientTuple()) != f {
 			return
 		}
 		if f.dialTries >= 3 {

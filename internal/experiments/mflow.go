@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/flowmap"
 	"repro/internal/netsim"
 )
 
@@ -22,11 +23,14 @@ import (
 //   - muxes: stateless L4 muxes — rendezvous hashing over the live
 //     instance list, no affinity table (the property Yoda relies on is
 //     exactly that HRW only remaps flows whose instance died);
-//   - instances: a flow table mapping tuple -> backend, installed on
-//     SYN, consulted on data, deleted on FIN. A mid-flow packet with no
-//     entry is a recovered flow (its instance died); the rendezvous
-//     re-pick lands every such flow on the same replacement instance
-//     from every mux, which recovers it and counts it;
+//   - instances: a compact flow table (flowmap.Compact) mapping
+//     tuple -> backend index, installed on SYN, consulted on data,
+//     deleted on FIN — the Concury-style structure the production l4lb
+//     and core layers share, which is what pushes the per-flow memory
+//     headline below 40 bytes. A mid-flow packet with no entry is a
+//     recovered flow (its instance died); the rendezvous re-pick lands
+//     every such flow on the same replacement instance from every mux,
+//     which recovers it and counts it;
 //   - backends: stateless responders replying straight to the client
 //     (DSR), so returns skip the mux tier.
 //
@@ -103,6 +107,21 @@ func mfPick(ft netsim.FourTuple, cands []netsim.IP) netsim.IP {
 	return best
 }
 
+// mfPickIdx is mfPick returning the winner's index instead of its IP —
+// the form the compact flow table stores, since its values are small
+// integers rather than addresses. The weight function is identical, so
+// cands[mfPickIdx(ft, cands)] == mfPick(ft, cands).
+func mfPickIdx(ft netsim.FourTuple, cands []netsim.IP) int {
+	best := -1
+	var bestW uint64
+	for i, ip := range cands {
+		if w := mfHash(ft, uint64(ip)); w > bestW || best < 0 {
+			best, bestW = i, w
+		}
+	}
+	return best
+}
+
 // mfMux is a stateless L4 mux: encapsulate toward the HRW winner over
 // the live instance list. insts is replaced (never mutated in place) by
 // the driver between runs, so shard goroutines read it lock-free.
@@ -123,12 +142,23 @@ func (m *mfMux) HandlePacket(pkt *netsim.Packet) {
 	m.net.Send(pkt)
 }
 
-// mfInstance is a flow-table L7 LB instance.
+// mfInstance is a flow-table L7 LB instance. Its table is the compact
+// flow map storing the backend's index in the (fleet-wide, immutable)
+// backend slice — 16 bytes per slot instead of a Go map entry, which is
+// where the experiment's heapBytes/flow headline comes from.
+//
+// False-hit discipline: the flowmap contract permits a never-inserted
+// tuple to alias a live entry's 64-bit tag. Here a false hit would
+// route a recovered flow to the aliased entry's backend without
+// counting it — but flow identity decisions hang off packet flags (SYN
+// installs, FIN deletes), never off the lookup, and a 64-bit collision
+// within one instance's table is beyond workload reach, so the
+// recovery invariants stay exact.
 type mfInstance struct {
 	net      *netsim.Network
 	ip       netsim.IP
 	backends []netsim.IP
-	table    map[netsim.FourTuple]netsim.IP
+	table    *flowmap.Compact
 
 	Installed      uint64 // SYN: entry created
 	Recovered      uint64 // mid-flow packet with no entry: flow adopted
@@ -142,26 +172,29 @@ func (in *mfInstance) HandlePacket(pkt *netsim.Packet) {
 	var be netsim.IP
 	switch {
 	case pkt.Flags.Has(netsim.FlagSYN):
-		be = mfPick(t, in.backends)
-		in.table[t] = be
+		idx := mfPickIdx(t, in.backends)
+		in.table.Insert(t, flowmap.Value(idx))
 		in.Installed++
+		be = in.backends[idx]
 	case pkt.Flags.Has(netsim.FlagFIN):
-		var ok bool
-		if be, ok = in.table[t]; ok {
-			delete(in.table, t)
+		if v, ok := in.table.LookupMaybe(t); ok {
+			in.table.Delete(t)
 			in.Removed++
+			be = in.backends[v]
 		} else {
 			be = mfPick(t, in.backends)
 			in.RecoveredOnFin++
 		}
 	default:
-		var ok bool
-		if be, ok = in.table[t]; !ok {
+		if v, ok := in.table.LookupMaybe(t); ok {
+			be = in.backends[v]
+		} else {
 			// The flow's original instance died; this instance is the HRW
 			// re-pick and adopts the flow.
-			be = mfPick(t, in.backends)
-			in.table[t] = be
+			idx := mfPickIdx(t, in.backends)
+			in.table.Insert(t, flowmap.Value(idx))
 			in.Recovered++
+			be = in.backends[idx]
 		}
 	}
 	pkt.SetOuter(in.ip, be)
@@ -391,12 +424,18 @@ func RunMflow(cfg MflowConfig) *MflowResult {
 		muxes[m] = mx
 	}
 
+	// Size each table for its HRW share of the population plus headroom
+	// for the hash spread, so the ramp runs without growth rebuilds.
+	perInstance := 0
+	if cfg.Instances > 0 {
+		perInstance = cfg.Flows / cfg.Instances
+	}
 	insts := make([]*mfInstance, cfg.Instances)
 	for i := range insts {
 		nw := sn.Shard(i % shards)
 		in := &mfInstance{
 			net: nw, ip: liveInsts[i],
-			table: make(map[netsim.FourTuple]netsim.IP),
+			table: flowmap.NewCompact(perInstance + perInstance/8),
 		}
 		insts[i] = in
 		nw.Attach(in.ip, in)
@@ -468,7 +507,7 @@ func RunMflow(cfg MflowConfig) *MflowResult {
 	for k := 0; k < cfg.StormKill && cfg.Instances > 0; k++ {
 		victim := insts[k*cfg.Instances/cfg.StormKill]
 		dead[victim.ip] = true
-		res.DeadFlows += len(victim.table)
+		res.DeadFlows += victim.table.Len()
 		victim.net.Detach(victim.ip)
 	}
 	live := make([]netsim.IP, 0, cfg.Instances-len(dead))
@@ -509,7 +548,7 @@ func RunMflow(cfg MflowConfig) *MflowResult {
 	}
 	for _, in := range insts {
 		if !dead[in.ip] {
-			res.LiveTableEntries += len(in.table)
+			res.LiveTableEntries += in.table.Len()
 		}
 	}
 	if res.LiveTableEntries != 0 {

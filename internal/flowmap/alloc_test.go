@@ -1,0 +1,36 @@
+package flowmap
+
+import "testing"
+
+// TestCompactZeroAllocSteadyState pins the allocation budget of the
+// hot operations: once the table has reached its working size and the
+// value range has been seen, insert, lookup, delete, and eviction must
+// not allocate. This is what makes the structure safe on the per-packet
+// path.
+func TestCompactZeroAllocSteadyState(t *testing.T) {
+	const n = 1 << 14
+	c := NewCompact(n)
+	for i := 0; i < n; i++ {
+		c.Insert(tupleN(i), Value(i&63))
+	}
+
+	i := 0
+	if avg := testing.AllocsPerRun(1000, func() {
+		ft := tupleN(i & (n - 1))
+		c.Delete(ft)
+		c.Insert(ft, Value(i&63))
+		if _, hit := c.LookupMaybe(ft); !hit {
+			t.Fatal("steady-state lookup missed")
+		}
+		i++
+	}); avg != 0 {
+		t.Fatalf("steady-state delete/insert/lookup allocates %.1f/op", avg)
+	}
+
+	if avg := testing.AllocsPerRun(100, func() {
+		c.EvictValue(Value(i & 63))
+		i++
+	}); avg != 0 {
+		t.Fatalf("EvictValue allocates %.1f/op", avg)
+	}
+}

@@ -1,0 +1,73 @@
+package flowmap
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+// FuzzFlowmapDifferential interprets the fuzz input as an op script —
+// one byte selects the operation, the next bytes the tuple index and
+// value — and runs it through Compact and the Map oracle in lockstep.
+// Any divergence in lookup results, delete results, or Len is a bug in
+// the compact structure (or a genuine 64-bit tag collision, which
+// random inputs cannot realistically find; see the package comment).
+func FuzzFlowmapDifferential(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 1, 1, 2, 2, 1, 2, 3, 0, 0})
+	f.Add([]byte{0, 10, 1, 3, 1, 0, 10, 0, 2, 10})
+	f.Add([]byte{0, 5, 0, 0, 6, 1, 3, 0, 1, 5, 0, 7, 2, 2, 5})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		c := NewCompact(0)
+		m := NewMap()
+		tuple := func(b byte) netsim.FourTuple {
+			return netsim.FourTuple{
+				Src: netsim.HostPort{IP: netsim.IP(0x64000000 + uint32(b>>4)), Port: 1024 + uint16(b&0x0f)},
+				Dst: netsim.HostPort{IP: 0x0afe0001, Port: 80},
+			}
+		}
+		for i := 0; i+1 < len(script); {
+			op := script[i]
+			switch op % 4 {
+			case 0: // insert: needs tuple + value bytes
+				if i+2 >= len(script) {
+					return
+				}
+				ft, v := tuple(script[i+1]), Value(script[i+2]%8)
+				c.Insert(ft, v)
+				m.Insert(ft, v)
+				i += 3
+			case 1: // delete
+				ft := tuple(script[i+1])
+				if cd, md := c.Delete(ft), m.Delete(ft); cd != md {
+					t.Fatalf("op %d: Delete compact=%v map=%v", i, cd, md)
+				}
+				i += 2
+			case 2: // lookup
+				ft := tuple(script[i+1])
+				cv, chit := c.LookupMaybe(ft)
+				mv, mhit := m.LookupMaybe(ft)
+				if chit != mhit || (chit && cv != mv) {
+					t.Fatalf("op %d: lookup compact=(%d,%v) map=(%d,%v)", i, cv, chit, mv, mhit)
+				}
+				i += 2
+			default: // evict value (the epoch bump, mid-sequence)
+				v := Value(script[i+1] % 8)
+				c.EvictValue(v)
+				m.EvictValue(v)
+				i += 2
+			}
+			if c.Len() != m.Len() {
+				t.Fatalf("op %d: Len compact=%d map=%d", i, c.Len(), m.Len())
+			}
+		}
+		// Full-universe sweep at the end of every script.
+		for b := 0; b < 256; b++ {
+			ft := tuple(byte(b))
+			cv, chit := c.LookupMaybe(ft)
+			mv, mhit := m.LookupMaybe(ft)
+			if chit != mhit || (chit && cv != mv) {
+				t.Fatalf("sweep %d: compact=(%d,%v) map=(%d,%v)", b, cv, chit, mv, mhit)
+			}
+		}
+	})
+}

@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/flowmap"
 	"repro/internal/netsim"
 )
 
@@ -44,9 +45,27 @@ func DefaultConfig() Config {
 
 // mux is one L4 mux instance: its own copy of the VIP maps plus a flow
 // affinity table.
+//
+// The affinity table is a compact flow map (Concury-style: a few bytes
+// per flow instead of a Go map entry) whose values are indices into the
+// LB's (VIP, instance) pair registry. Storing the pair rather than the
+// bare instance is what makes every eviction path an O(1) epoch bump
+// on the pair's value instead of an O(flows) scan: a mapping update
+// evicts the (vip, inst) pairs the update removed, instance death
+// evicts every pair naming the instance, VIP withdrawal evicts every
+// pair naming the VIP.
+//
+// False-hit discipline (see flowmap's package comment): the mux holds
+// no richer per-flow state to validate a hit against, so it must be —
+// and is — positioned where a false hit is benign: an unknown tuple
+// aliasing a live entry's 64-bit tag is forwarded to a live pair's
+// instance with affinity-grade stickiness, exactly what the rendezvous
+// pick would have provided, just to a possibly different instance.
+// Correctness-critical paths (SNAT-range return routing, new-flow
+// placement after the miss) never depend on a compact hit.
 type mux struct {
-	vipMap   map[netsim.IP][]netsim.IP      // VIP -> assigned L7 instance IPs
-	affinity map[netsim.FourTuple]netsim.IP // flow -> chosen instance
+	vipMap   map[netsim.IP][]netsim.IP // VIP -> assigned L7 instance IPs
+	affinity *flowmap.Compact          // flow -> pair index (see LB.pairs)
 }
 
 // snatRange is a per-instance SNAT source-port block. Because the
@@ -68,8 +87,15 @@ type snatRange struct {
 func newMux() *mux {
 	return &mux{
 		vipMap:   make(map[netsim.IP][]netsim.IP),
-		affinity: make(map[netsim.FourTuple]netsim.IP),
+		affinity: flowmap.NewCompact(0),
 	}
+}
+
+// affinityPair is one (VIP, instance) assignment; affinity entries
+// store the pair's registry index as their flowmap value.
+type affinityPair struct {
+	vip  netsim.IP
+	inst netsim.IP
 }
 
 // LB is the layer-4 load balancer.
@@ -83,9 +109,21 @@ type LB struct {
 	snatRanges []snatRange
 	vips       map[netsim.IP]bool
 
-	// VIPTraffic counts packets per VIP since the last ReadTraffic call,
-	// feeding the controller's statistics.
-	vipPackets map[netsim.IP]uint64
+	// pairs is the (VIP, instance) registry affinity values point into;
+	// pairIdx is its reverse index. Pairs are append-only: an evicted
+	// pair's entries die via the per-mux epoch bump, and re-assignment
+	// of the same (vip, inst) reuses the same index with a fresh
+	// generation. Registry growth is bounded by distinct assignments
+	// ever made (tens to hundreds), not by flows.
+	pairs   []affinityPair
+	pairIdx map[affinityPair]flowmap.Value
+
+	// vipPackets counts packets per VIP since the last ReadTraffic
+	// call, feeding the controller's statistics. trafficSpare is the
+	// double buffer ReadTraffic swaps in so the steady-state stats
+	// poll does not allocate a fresh map per cycle.
+	vipPackets   map[netsim.IP]uint64
+	trafficSpare map[netsim.IP]uint64
 	// Forwarded and NoInstanceDrops are lifetime counters.
 	Forwarded       uint64
 	NoInstanceDrops uint64
@@ -101,6 +139,7 @@ func New(n *netsim.Network, cfg Config) *LB {
 		rng:        n.Rand(),
 		cfg:        cfg,
 		vips:       make(map[netsim.IP]bool),
+		pairIdx:    make(map[affinityPair]flowmap.Value),
 		vipPackets: make(map[netsim.IP]uint64),
 	}
 	for i := 0; i < cfg.MuxCount; i++ {
@@ -127,11 +166,36 @@ func (lb *LB) RemoveVIP(vip netsim.IP) {
 	lb.net.Detach(vip)
 	for _, m := range lb.muxes {
 		delete(m.vipMap, vip)
-		for ft, _ := range m.affinity {
-			if ft.Dst.IP == vip || ft.Src.IP == vip {
-				delete(m.affinity, ft)
-			}
+	}
+	// Affinity keys are stored toward the VIP (vipOf == ft.Dst.IP), so
+	// evicting every pair registered for this VIP covers exactly the
+	// entries the old per-tuple scan deleted — in O(pairs), not O(flows).
+	for v, p := range lb.pairs {
+		if p.vip == vip {
+			lb.evictPair(flowmap.Value(v))
 		}
+	}
+}
+
+// pairVal returns the registry index for (vip, inst), registering the
+// pair on first use.
+func (lb *LB) pairVal(vip, inst netsim.IP) flowmap.Value {
+	p := affinityPair{vip: vip, inst: inst}
+	if v, ok := lb.pairIdx[p]; ok {
+		return v
+	}
+	v := flowmap.Value(len(lb.pairs))
+	lb.pairs = append(lb.pairs, p)
+	lb.pairIdx[p] = v
+	return v
+}
+
+// evictPair invalidates every affinity entry carrying the pair's value,
+// on every mux, via the flowmap epoch bump — O(muxes), independent of
+// how many flows were pinned to the pair.
+func (lb *LB) evictPair(v flowmap.Value) {
+	for _, m := range lb.muxes {
+		m.affinity.EvictValue(v)
 	}
 }
 
@@ -166,9 +230,12 @@ func (lb *LB) applyMapping(m *mux, vip netsim.IP, instances []netsim.IP) {
 	for _, ip := range instances {
 		allowed[ip] = true
 	}
-	for ft, inst := range m.affinity {
-		if vipOf(ft) == vip && !allowed[inst] {
-			delete(m.affinity, ft)
+	// Evict this VIP's no-longer-allowed pairs on this mux only: each
+	// mux applies the update after its own stagger delay, so the others
+	// keep forwarding on their old affinity until their turn.
+	for v, p := range lb.pairs {
+		if p.vip == vip && !allowed[p.inst] {
+			m.affinity.EvictValue(flowmap.Value(v))
 		}
 	}
 }
@@ -249,10 +316,12 @@ func (lb *LB) RemoveInstance(inst netsim.IP) {
 			}
 			m.vipMap[vip] = out
 		}
-		for ft, ip := range m.affinity {
-			if ip == inst {
-				delete(m.affinity, ft)
-			}
+	}
+	// One epoch bump per (vip, inst) pair naming the dead instance kills
+	// all of its affinity entries fleet-wide without visiting a flow.
+	for v, p := range lb.pairs {
+		if p.inst == inst {
+			lb.evictPair(flowmap.Value(v))
 		}
 	}
 }
@@ -268,12 +337,17 @@ func (lb *LB) handleVIPPacket(vip netsim.IP, pkt *netsim.Packet) {
 	lb.vipPackets[vip]++
 	tuple := pkt.Tuple()
 	m := lb.muxFor(tuple)
-	inst, ok := m.affinity[tuple]
-	if !ok {
+	var inst netsim.IP
+	if v, hit := m.affinity.LookupMaybe(tuple); hit {
+		// A hit resolves through the pair registry; a false hit (64-bit
+		// tag alias, see the mux comment) still lands on a live pair's
+		// instance, which is the benign-by-construction case.
+		inst = lb.pairs[v].inst
+	} else {
 		// SNAT returns route statelessly by the destination port's
 		// registered block; the affinity check above still wins so
 		// recovered flows can be pinned elsewhere.
-		if owner, hit := lb.snatOwner(tuple.Dst.Port); hit {
+		if owner, ok := lb.snatOwner(tuple.Dst.Port); ok {
 			lb.forward(pkt, vip, owner)
 			return
 		}
@@ -284,7 +358,7 @@ func (lb *LB) handleVIPPacket(vip netsim.IP, pkt *netsim.Packet) {
 			return
 		}
 		inst = rendezvousPick(tuple, insts)
-		m.affinity[tuple] = inst
+		m.affinity.Insert(tuple, lb.pairVal(vip, inst))
 	}
 	lb.forward(pkt, vip, inst)
 }
@@ -319,7 +393,7 @@ func (lb *LB) SendViaSNAT(via *netsim.Network, pkt *netsim.Packet, inst netsim.I
 	if owner, hit := lb.snatOwner(pkt.Src.Port); !hit || owner != inst {
 		ret := netsim.FourTuple{Src: pkt.Dst, Dst: pkt.Src} // reply orientation: toward VIP
 		m := lb.muxFor(ret)
-		m.affinity[ret] = inst
+		m.affinity.Insert(ret, lb.pairVal(vipOf(ret), inst))
 	}
 	via.Send(pkt)
 }
@@ -332,17 +406,26 @@ func (lb *LB) ClearSNAT(serverSide netsim.FourTuple) {
 		return
 	}
 	m := lb.muxFor(serverSide)
-	delete(m.affinity, serverSide)
+	m.affinity.Delete(serverSide)
 }
 
 func (lb *LB) muxFor(ft netsim.FourTuple) *mux {
 	return lb.muxes[tupleHash(ft, 0)%uint64(len(lb.muxes))]
 }
 
-// ReadTraffic returns and resets the per-VIP packet counters.
+// ReadTraffic returns and resets the per-VIP packet counters. The
+// returned map is valid until the next ReadTraffic call: the LB keeps
+// exactly two buffers and swaps between them, so the steady-state
+// stats poll performs zero map allocations. Callers that need the
+// counters beyond one poll cycle must copy them out.
 func (lb *LB) ReadTraffic() map[netsim.IP]uint64 {
 	out := lb.vipPackets
-	lb.vipPackets = make(map[netsim.IP]uint64)
+	if lb.trafficSpare == nil {
+		lb.trafficSpare = make(map[netsim.IP]uint64)
+	}
+	clear(lb.trafficSpare)
+	lb.vipPackets = lb.trafficSpare
+	lb.trafficSpare = out
 	return out
 }
 
@@ -351,7 +434,7 @@ func (lb *LB) ReadTraffic() map[netsim.IP]uint64 {
 func (lb *LB) AffinityCount() int {
 	n := 0
 	for _, m := range lb.muxes {
-		n += len(m.affinity)
+		n += m.affinity.Len()
 	}
 	return n
 }

@@ -108,8 +108,8 @@ type multiOp struct {
 	acks      []int
 	concern   []int
 	batches   []*batchState
-	replied   int  // batches whose outcome was counted (stops at done)
-	delivered int  // batch handle invocations, late replies included
+	replied   int // batches whose outcome was counted (stops at done)
+	delivered int // batch handle invocations, late replies included
 	done      bool
 	res       SetResult
 	cb        func(SetResult)
@@ -124,7 +124,7 @@ type batchState struct {
 	op     *multiOp
 	server netsim.HostPort
 	kvs    []memcache.KV
-	idxs   []int // entry indices, for per-entry accounting
+	idxs   []int                    // entry indices, for per-entry accounting
 	handle func(memcache.SimResult) // pre-bound reply callback
 }
 

@@ -38,6 +38,10 @@ go test -run '^$' -bench 'BenchmarkShardedEventLoop' \
   ./internal/netsim/ | tee -a "$MICRO_LOG"
 go test -run '^$' -bench 'BenchmarkMflowMemPerFlow' -benchtime 1x \
   ./internal/experiments/ | tee -a "$MICRO_LOG"
+go test -run '^$' -bench 'BenchmarkFlowmapLookup|BenchmarkFlowmapChurn' -benchmem \
+  ./internal/flowmap/ | tee -a "$MICRO_LOG"
+go test -run '^$' -bench 'BenchmarkFlowmapMemPerFlow' -benchtime 1x \
+  ./internal/flowmap/ | tee -a "$MICRO_LOG"
 
 if [[ "${FAST:-0}" != "1" ]]; then
   echo "== figure benchmarks (one run each; Fig13 takes minutes) =="
@@ -76,6 +80,12 @@ SHARD4_EPS="$(metric "$MICRO_LOG" 'BenchmarkShardedEventLoop/shards=4' events/s)
 SHARD8_EPS="$(metric "$MICRO_LOG" 'BenchmarkShardedEventLoop/shards=8' events/s)"
 MFLOW_BPF="$(metric "$MICRO_LOG" BenchmarkMflowMemPerFlow bytes/flow)"
 MFLOW_EPS="$(metric "$MICRO_LOG" BenchmarkMflowMemPerFlow events/s)"
+FM_LOOKUP_NS="$(pick "$MICRO_LOG" 'BenchmarkFlowmapLookup/impl=compact' 3)"
+FM_LOOKUP_MAP_NS="$(pick "$MICRO_LOG" 'BenchmarkFlowmapLookup/impl=map' 3)"
+FM_LOOKUP_ALLOCS="$(awk '$1 ~ /^BenchmarkFlowmapLookup\/impl=compact/ {for(i=1;i<NF;i++) if($(i+1)=="allocs/op") print $i}' "$MICRO_LOG" | head -1)"
+FM_CHURN_NS="$(pick "$MICRO_LOG" BenchmarkFlowmapChurn 3)"
+FM_BPF="$(metric "$MICRO_LOG" 'BenchmarkFlowmapMemPerFlow/impl=compact' bytes/flow)"
+FM_MAP_BPF="$(metric "$MICRO_LOG" 'BenchmarkFlowmapMemPerFlow/impl=map' bytes/flow)"
 RULE_SEL_NS="$(pick "$MICRO_LOG" 'BenchmarkRuleSelect/rules=1000' 3)"
 RULE_SEL_ALLOCS="$(awk '$1 ~ /^BenchmarkRuleSelect\/rules=1000/ {for(i=1;i<NF;i++) if($(i+1)=="allocs/op") print $i}' "$MICRO_LOG" | head -1)"
 RULE_REF_NS="$(pick "$MICRO_LOG" 'BenchmarkRuleSelectReference/rules=1000' 3)"
@@ -148,6 +158,12 @@ cat > "$OUT" <<EOF
     },
     "mflow_mem_bytes_per_flow": $(jsonnum "$MFLOW_BPF"),
     "mflow_events_per_s": $(jsonnum "$MFLOW_EPS"),
+    "flowmap_bytes_per_flow": $(jsonnum "$FM_BPF"),
+    "flowmap_map_baseline_bytes_per_flow": $(jsonnum "$FM_MAP_BPF"),
+    "flowmap_lookup_ns_op": $(jsonnum "$FM_LOOKUP_NS"),
+    "flowmap_map_baseline_lookup_ns_op": $(jsonnum "$FM_LOOKUP_MAP_NS"),
+    "flowmap_lookup_allocs_op": $(jsonnum "$FM_LOOKUP_ALLOCS"),
+    "flowmap_churn_ns_op": $(jsonnum "$FM_CHURN_NS"),
     "rule_select_ns_op": $(jsonnum "$RULE_SEL_NS"),
     "rule_select_allocs_op": $(jsonnum "$RULE_SEL_ALLOCS"),
     "rule_select_reference_ns_op": $(jsonnum "$RULE_REF_NS"),

@@ -1,29 +1,45 @@
 #!/usr/bin/env bash
 # ci.sh — the checks a change must pass before merging.
 #
-#   1. go vet          static checks
-#   2. go build        everything compiles, including cmd/
-#   3. go test -race   full suite under the race detector
-#   4. benchmarks      every Benchmark* compiles and runs one iteration
-#      (the heavy figure benchmarks are excluded by name; run
+#   1. gofmt -s -l + go vet   formatting and static checks, whole tree
+#   2. fast-fail stages       vet + race on the hottest packages, then
+#                             the 4-shard race runs and the RNG lint
+#   3. go build               everything compiles, including cmd/
+#   4. go test -race          full suite under the race detector
+#   5. benchmarks             every Benchmark* compiles and runs one
+#      iteration (the heavy figure benchmarks are excluded by name; run
 #      scripts/bench.sh for real numbers)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== dataplane fast-fail (vet + race on rules/httpsim/core/tcpstore/memcache/reconfig) =="
-# The compiled rule engine, the request parser it reads through, the
-# write-barrier dataplane, its store client, the zero-copy memcached
-# protocol+engine under it, and the live reconfiguration engine are where
-# regressions bite hardest; vet and race them first so a broken index,
-# barrier, or parser fails in seconds, not after the full suite.
-go vet ./internal/rules/ ./internal/httpsim/ ./internal/core/ ./internal/tcpstore/ ./internal/memcache/ ./internal/reconfig/
-go test -race ./internal/rules/ ./internal/httpsim/ ./internal/core/ ./internal/tcpstore/ ./internal/memcache/ ./internal/reconfig/
+echo "== format + vet clean sweep (gofmt -s -l, go vet ./...) =="
+# Formatting drift and vet findings are the cheapest checks in the file;
+# run them before anything that compiles or executes tests.
+if unformatted=$(gofmt -s -l cmd examples internal scripts 2>/dev/null); [ -n "$unformatted" ]; then
+  echo "FAIL: gofmt -s -l reports unformatted files:" >&2
+  echo "$unformatted" >&2
+  exit 1
+fi
+go vet ./...
 
-echo "== sharded dataplane fast-fail (race at 4 shards: netsim + whole-stack e2e) =="
+echo "== dataplane fast-fail (vet + race on flowmap/rules/httpsim/core/l4lb/tcpstore/memcache/reconfig) =="
+# The compact flow-map layer, the compiled rule engine, the request
+# parser it reads through, the write-barrier dataplane, the L4 mux
+# refactored onto the flow map, its store client, the zero-copy
+# memcached protocol+engine under it, and the live reconfiguration
+# engine are where regressions bite hardest; vet and race them first so
+# a broken index, barrier, or parser fails in seconds, not after the
+# full suite.
+go vet ./internal/flowmap/ ./internal/rules/ ./internal/httpsim/ ./internal/core/ ./internal/l4lb/ ./internal/tcpstore/ ./internal/memcache/ ./internal/reconfig/
+go test -race ./internal/flowmap/ ./internal/rules/ ./internal/httpsim/ ./internal/core/ ./internal/l4lb/ ./internal/tcpstore/ ./internal/memcache/ ./internal/reconfig/
+
+echo "== sharded dataplane fast-fail (race at 4 shards: netsim + l4lb SNAT + whole-stack e2e) =="
 # The conservative-sync coordinator is lock-free by design (happens-before
 # comes only from the round barriers), so the race detector on a 4-shard
-# run is the proof the handoff discipline holds end to end.
+# run is the proof the handoff discipline holds end to end. The l4lb run
+# covers cross-shard SNAT-range reads against the mux flow tables.
 go test -race ./internal/netsim/ -args -shards=4
+go test -race -run 'TestSharded' ./internal/l4lb/ -args -shards=4
 go test -race -run 'TestSharded' ./internal/core/ -args -shards=4
 
 echo "== rng lint (grep fast-fail; TestNoStrayRNGConstruction is the test half) =="
@@ -35,9 +51,6 @@ if grep -rn --include='*.go' 'rand\.New(' cmd examples internal *.go 2>/dev/null
   echo "FAIL: rand.New outside the netsim/trace/workload/experiments allowlist" >&2
   exit 1
 fi
-
-echo "== go vet =="
-go vet ./...
 
 echo "== go build =="
 go build ./...
