@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	yodasim -exp table1|fig6|fig9|fig10|fig12|fig12b|fig13|fig14|cpu|upgrade|mflow|all [-seed N] [-parallel] [-shards N]
+//	yodasim -exp table1|fig6|fig9|fig10|fig12|fig12b|fig13|fig14|cpu|upgrade|mflow|all [-seed N] [-parallel] [-shards N] [-recovery hybrid]
 //
 // -shards selects the number of per-shard event loops for the sharded
 // experiments (currently mflow, which holds ~1M flows open across the
@@ -37,6 +37,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: table1, fig6, fig9, fig10, fig12, fig12b, fig13, fig14, cpu, upgrade, mflow, all")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	shardsN := flag.Int("shards", runtime.NumCPU(), "event-loop shards for sharded experiments (mflow)")
+	recovery := flag.String("recovery", "", "mflow recovery model: empty (pure HRW re-pick) or hybrid (stateless-table gated adoption)")
 	parallel := flag.Bool("parallel", false, "run independent trials/experiments on separate goroutines")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof allocation profile (taken at exit) to this file")
@@ -129,6 +130,7 @@ func main() {
 			cfg := experiments.DefaultMflowConfig()
 			cfg.Seed = *seed
 			cfg.Shards = *shardsN
+			cfg.Recovery = *recovery
 			return experiments.RunMflow(cfg)
 		},
 	}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/memcache"
 	"repro/internal/netsim"
 	"repro/internal/rules"
+	"repro/internal/stateless"
 	"repro/internal/tcpstore"
 )
 
@@ -51,6 +52,15 @@ type Cluster struct {
 	VIPs     map[string]netsim.IP
 
 	Health *rules.StaticInfo // shared backend health/load view
+
+	// Hybrid is the shared stateless-derivation table when the cluster
+	// runs in hybrid recovery mode (EnableHybrid before adding components);
+	// nil keeps the paper-faithful persist-before-ACK path everywhere.
+	Hybrid *stateless.Table
+	// hybridPools records, per VIP, the derivable backend pool extracted
+	// from the last installed rule set (absent when the rules are not
+	// derivable); HybridRefresh rebuilds the table's entries from it.
+	hybridPools map[netsim.IP][]stateless.Backend
 
 	nextClient  int
 	nextBackend int
@@ -97,6 +107,75 @@ func NewSharded(seed int64, shards int) *Cluster {
 		Backends: make(map[string]*Backend),
 		VIPs:     make(map[string]netsim.IP),
 		Health:   &rules.StaticInfo{Dead: map[string]bool{}, Loads: map[string]float64{}},
+	}
+}
+
+// EnableHybrid switches the cluster into hybrid stateful/stateless
+// recovery mode: instances added afterwards share one derivation table
+// (and register their SNAT ranges in it), backends added afterwards use
+// the table's deterministic ISN key, and InstallPolicy keeps the table's
+// VIP entries fresh. Call it on an empty cluster, before adding
+// components.
+func (c *Cluster) EnableHybrid(secret uint64) *stateless.Table {
+	c.Hybrid = stateless.New(secret)
+	c.hybridPools = make(map[netsim.IP][]stateless.Backend)
+	return c.Hybrid
+}
+
+// HybridRecordPolicy classifies a VIP's rule set for derivation (only a
+// single universally-matching weighted split is derivable) and refreshes
+// the epoch table. InstallPolicy calls it; controllers that bypass
+// InstallPolicy call it from their own policy paths.
+func (c *Cluster) HybridRecordPolicy(vip netsim.IP, rs []rules.Rule) {
+	if c.Hybrid == nil {
+		return
+	}
+	if pool, ok := stateless.PoolFromRules(rs); ok {
+		c.hybridPools[vip] = pool
+	} else {
+		delete(c.hybridPools, vip)
+	}
+	c.HybridRefresh()
+}
+
+// HybridForgetVIP drops a removed VIP from the derivation table.
+func (c *Cluster) HybridForgetVIP(vip netsim.IP) {
+	if c.Hybrid == nil {
+		return
+	}
+	delete(c.hybridPools, vip)
+	c.Hybrid.RemoveVIP(vip)
+	c.HybridRefresh()
+}
+
+// HybridRefresh rebuilds the derivation table's VIP entries from the
+// recorded pools and the L4 LB's current mappings, bumps the epoch, and
+// flushes every live instance's still-unpersisted flows — the epoch
+// discipline that keeps derivation sound across planned reconfiguration
+// (flows predating the bump become persisted residue; only flows
+// established under the new entry stay derivable). No-op without
+// EnableHybrid.
+func (c *Cluster) HybridRefresh() {
+	if c.Hybrid == nil {
+		return
+	}
+	for vip, pool := range c.hybridPools {
+		c.Hybrid.SetVIP(vip, stateless.VIPEntry{Instances: c.L4.Mapping(vip), Pool: pool})
+	}
+	c.HybridBumpFlush()
+}
+
+// HybridBumpFlush bumps the epoch and flushes every live instance's
+// still-unpersisted flows, without rebuilding VIP entries — for callers
+// (the reconfig wave hook) that just re-pointed specific entries
+// themselves. No-op without EnableHybrid.
+func (c *Cluster) HybridBumpFlush() {
+	if c.Hybrid == nil {
+		return
+	}
+	c.Hybrid.Bump()
+	for _, in := range c.Yoda {
+		in.FlushUnpersisted()
 	}
 }
 
@@ -163,6 +242,10 @@ func (c *Cluster) AddYoda(cfg core.Config, storeCfg tcpstore.Config) *core.Insta
 	h := netsim.NewHost(c.netFor(c.nextYoda-1), netsim.IPv4(10, 0, yodaSubnet, byte(c.nextYoda)))
 	st := tcpstore.New(h, c.StoreAddrs, storeCfg)
 	cfg.SNATBase = 20000 + uint16(c.nextYoda)*cfg.SNATCount
+	if c.Hybrid != nil {
+		cfg.Hybrid = c.Hybrid
+		c.Hybrid.RegisterRange(h.IP(), cfg.SNATBase, cfg.SNATCount)
+	}
 	inst := core.NewInstance(h, c.L4, st, cfg)
 	inst.SetBackendInfo(c.Health)
 	if c.multiShard() {
@@ -197,6 +280,13 @@ func (c *Cluster) RestartYoda(i int, cfg core.Config, storeCfg tcpstore.Config) 
 	h.Reset()           // kernel state wipe: old conns/listeners are gone
 	c.nextYoda++
 	cfg.SNATBase = 20000 + uint16(c.nextYoda)*cfg.SNATCount
+	if c.Hybrid != nil {
+		// The new incarnation registers its fresh range (DecodeCookie
+		// prefers the latest registration) and sheds any dead mark.
+		cfg.Hybrid = c.Hybrid
+		c.Hybrid.RegisterRange(h.IP(), cfg.SNATBase, cfg.SNATCount)
+		c.Hybrid.Revive(h.IP())
+	}
 	st := tcpstore.New(h, c.StoreAddrs, storeCfg)
 	inst := core.NewInstance(h, c.L4, st, cfg)
 	inst.SetBackendInfo(c.Health)
@@ -232,6 +322,11 @@ func (c *Cluster) AddHAProxyN(n int, cfg haproxy.Config) {
 // registers it under name.
 func (c *Cluster) AddBackend(name string, objects map[string][]byte, cfg httpsim.ServerConfig) *Backend {
 	c.nextBackend++
+	if c.Hybrid != nil {
+		// Deterministic backend ISNs let a recovering instance rebuild the
+		// Delta translation without reading the record back.
+		cfg.TCP.ISNKey = c.Hybrid.ISNKey()
+	}
 	h := netsim.NewHost(c.netFor(c.nextBackend-1), netsim.IPv4(10, 0, backendSubnet, byte(c.nextBackend)))
 	srv := httpsim.NewServer(h, 80, httpsim.MapHandler(objects), cfg)
 	b := &Backend{
@@ -276,6 +371,7 @@ func (c *Cluster) InstallPolicy(vip netsim.IP, rs []rules.Rule, insts []*core.In
 		ips = append(ips, in.IP())
 	}
 	c.L4.SetMappingNow(vip, ips)
+	c.HybridRecordPolicy(vip, rs)
 }
 
 // InstallPolicyHAProxy mirrors InstallPolicy for the baseline.
@@ -312,6 +408,12 @@ func (c *Cluster) ClientHost() *netsim.Host {
 func (c *Cluster) KillYoda(i int) *core.Instance {
 	inst := c.Yoda[i]
 	inst.Fail()
+	if c.Hybrid != nil {
+		// Death deliberately does NOT bump the epoch: the dead instance's
+		// unpersisted flows must stay derivable under the entry they were
+		// established under.
+		c.Hybrid.MarkDead(inst.IP())
+	}
 	return inst
 }
 

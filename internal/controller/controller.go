@@ -17,6 +17,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/reconfig"
 	"repro/internal/rules"
+	"repro/internal/stateless"
 	"repro/internal/tcpstore"
 )
 
@@ -116,6 +117,8 @@ func New(c *cluster.Cluster, cfg Config) *Controller {
 		OnMapping: func(vip netsim.IP, insts []netsim.IP) {
 			ct.vipInstances[vip] = append([]netsim.IP(nil), insts...)
 		},
+		OnWaveStart: ct.hybridWaveStart,
+		OnWaveDone:  func() { ct.C.HybridRefresh() },
 	}, cfg.Reconfig)
 	return ct
 }
@@ -136,6 +139,7 @@ func (ct *Controller) SetPolicy(vip netsim.IP, rs []rules.Rule, insts []*core.In
 	}
 	ct.vipInstances[vip] = ips
 	ct.C.L4.SetMappingNow(vip, ips)
+	ct.C.HybridRecordPolicy(vip, rs)
 }
 
 // UpdatePolicy changes the rules for a VIP on every instance that holds
@@ -148,6 +152,7 @@ func (ct *Controller) UpdatePolicy(vip netsim.IP, rs []rules.Rule) {
 			in.InstallRules(vip, rs)
 		}
 	}
+	ct.C.HybridRecordPolicy(vip, rs)
 }
 
 // RemoveVIP withdraws a VIP: reverse order of addition (§5.2) — first the
@@ -159,6 +164,7 @@ func (ct *Controller) RemoveVIP(vip netsim.IP) {
 	}
 	delete(ct.policies, vip)
 	delete(ct.vipInstances, vip)
+	ct.C.HybridForgetVIP(vip)
 }
 
 // ApplyAssignment pushes a computed VIP→instance assignment onto the
@@ -204,6 +210,30 @@ func (ct *Controller) ApplyTarget(target map[netsim.IP][]netsim.IP) error {
 		return err
 	}
 	return ct.exec.Start(plan, nil)
+}
+
+// hybridWaveStart re-points the derivation table's entries for the VIPs
+// a reconfig wave moves at their TARGET mappings, then bumps the epoch
+// and flushes unpersisted flows — before any rule install or mapping
+// flip. From that point, flows handled by losing instances fail the
+// write-time owner check (the loser is absent from the target entry) and
+// stay persisted, so the drain's ReleaseVIPFlows never orphans an
+// unpersisted flow; flows landing on target instances after the flip
+// derive against the entry they will actually recover under.
+func (ct *Controller) hybridWaveStart(moves []reconfig.Move) {
+	h := ct.C.Hybrid
+	if h == nil {
+		return
+	}
+	for _, mv := range moves {
+		if e, ok := h.VIP(mv.VIP); ok {
+			h.SetVIP(mv.VIP, stateless.VIPEntry{
+				Instances: append([]netsim.IP(nil), mv.To...),
+				Pool:      e.Pool,
+			})
+		}
+	}
+	ct.C.HybridBumpFlush()
 }
 
 // ReconfigStats returns the current (or last finished) reconfiguration's
@@ -346,6 +376,12 @@ func (ct *Controller) monitorTick() {
 			ct.deadInstances[ip] = held
 			ct.Detections++
 			ct.C.L4.RemoveInstance(ip)
+			// Hybrid: death marks only — no epoch bump, no entry rebuild.
+			// The dead instance's unpersisted flows stay derivable under
+			// the entry they were established under.
+			if ct.C.Hybrid != nil {
+				ct.C.Hybrid.MarkDead(ip)
+			}
 		case alive && wasDead:
 			// Revival: the instance (or its restarted incarnation) is back.
 			// Re-install the current policies for the VIPs it held at death
@@ -355,6 +391,9 @@ func (ct *Controller) monitorTick() {
 			held := ct.deadInstances[ip]
 			delete(ct.deadInstances, ip)
 			ct.Revivals++
+			if ct.C.Hybrid != nil {
+				ct.C.Hybrid.Revive(ip)
+			}
 			for _, vip := range held {
 				rs, ok := ct.policies[vip]
 				if !ok {
@@ -505,4 +544,5 @@ func (ct *Controller) scaleTick() {
 		ct.vipInstances[vip] = ips
 		ct.C.L4.SetMapping(vip, ips)
 	}
+	ct.C.HybridRefresh()
 }

@@ -36,6 +36,10 @@ type BarrierStats struct {
 	Aborted uint64
 	// Timeouts: the store resolved at OpTimeout rather than by replies.
 	Timeouts uint64
+	// Skipped: barriers elided entirely in hybrid recovery mode because
+	// the stateless derivation reproduces the record exactly (the commit
+	// continuation ran synchronously, no store write was issued).
+	Skipped uint64
 }
 
 // writeBarrier persists entries in one batched store round trip, then
@@ -46,6 +50,10 @@ type BarrierStats struct {
 // forces the degrade path even under StrictPersist (used where no
 // sensible abort exists).
 func (in *Instance) writeBarrier(f *flow, entries []tcpstore.Entry, commit func(), fail func(error)) {
+	// The flow may now have store state (even a degraded write can have
+	// reached a replica), so teardown must issue deletes and the hybrid
+	// epoch flush can skip it.
+	f.persisted = true
 	op := in.takeBarrierOp()
 	op.f, op.commit, op.fail = f, commit, fail
 	op.storeStart = in.net.Now()

@@ -26,6 +26,12 @@ type flow struct {
 	backendName string
 	keepAlive   bool
 	recovered   bool
+	// persisted tracks whether any record for this flow was (or may have
+	// been) written to TCPStore. Always true on the paper-faithful path;
+	// hybrid flows that skip their barriers stay false, which gates the
+	// teardown deletes (nothing to delete) and marks them for the
+	// epoch-bump flush (see hybrid.go).
+	persisted bool
 
 	// Connection-phase request assembly.
 	reqBuf        []byte
@@ -120,6 +126,17 @@ func (in *Instance) newClientFlow(pkt *netsim.Packet) {
 	// failed instance's successor can regenerate the handshake state.
 	// Under StrictPersist an unrecoverable flow is dropped unanswered —
 	// the client's SYN retransmission retries the whole sequence.
+	//
+	// Hybrid mode skips storage-a entirely: everything a PhaseConn record
+	// carries is derivable (C is the tuple hash any instance computes,
+	// ClientISN is one less than the first retransmitted payload byte), so
+	// the SYN-ACK goes out synchronously. TLS flows get their key
+	// persisted later, at the tlsAdvance barrier, before it is needed.
+	if in.cfg.Hybrid != nil {
+		in.Barrier.Skipped++
+		in.sendSynAck(f)
+		return
+	}
 	in.writeBarrier(f, in.barrierEntries(f, PhaseConn, false),
 		func() { in.sendSynAck(f) },
 		func(error) { in.teardown(f, false) })
@@ -252,7 +269,17 @@ func (in *Instance) selectAndDial(f *flow, req *httpsim.Request) {
 		in.reject(f, 503, "vip not assigned to this instance")
 		return
 	}
-	decision := engine.Select(req, in.rng.Float64(), in.info)
+	// The split draw: hybrid mode replaces the RNG with a tuple-keyed
+	// uniform value so the decision is reproducible by any instance
+	// holding the table (the write-time self-check and recovery replay
+	// it); the paper-faithful mode keeps the shard RNG draw.
+	var draw float64
+	if in.cfg.Hybrid != nil {
+		draw = in.cfg.Hybrid.Draw(f.clientTuple())
+	} else {
+		draw = in.rng.Float64()
+	}
+	decision := engine.Select(req, draw, in.info)
 	lookup := in.cfg.LookupBase + time.Duration(decision.Scanned)*in.cfg.LookupPerRule
 	// Only the scan itself burns CPU; LookupBase models pipeline latency
 	// (queueing, context switches) that does not occupy a core.
@@ -263,9 +290,18 @@ func (in *Instance) selectAndDial(f *flow, req *httpsim.Request) {
 	}
 	// The SNAT port is claimed before any flow state mutates so an
 	// exhausted range rejects cleanly: silently reusing an in-use port
-	// would splice two live flows onto one backend tuple.
-	port, ok := in.allocSNATPort()
-	if !ok {
+	// would splice two live flows onto one backend tuple. Hybrid mode
+	// first tries the cookie-coded port the derivation layer predicts for
+	// this tuple and epoch; on collision the sequential fallback port
+	// fails the write-time self-check and the flow stays persisted.
+	var port uint16
+	var portOK bool
+	if pref, pok := in.hybridPreferredPort(f); pok {
+		port, portOK = in.allocSNATPortPreferred(pref)
+	} else {
+		port, portOK = in.allocSNATPort()
+	}
+	if !portOK {
 		in.statsFor(f.vip.IP).SNATExhausted++
 		in.reject(f, 503, "snat ports exhausted")
 		return
@@ -344,7 +380,15 @@ func (in *Instance) serverHandshakePacket(f *flow, pkt *netsim.Packet) {
 	// storage-b: persist the full translation state under both tuple
 	// orientations before ACKing the server (Figure 3). The two records
 	// ride one batched store round trip.
-	in.writeBarrier(f, in.barrierEntries(f, PhaseTunnel, true), func() {
+	//
+	// Hybrid mode first dry-runs the stateless derivation against the
+	// state actually installed (hybrid.go): when every field matches, the
+	// write is redundant — a successor derives the identical record — and
+	// the barrier is skipped with the commit run synchronously. Any
+	// mismatch (sticky hit, health drift, port-collision fallback, stale
+	// mux routing, TLS) keeps the flow on the persisted path, so residue
+	// classification is sound without enumerating causes.
+	commit := func() {
 		if f.state != stateDialing {
 			return
 		}
@@ -371,7 +415,13 @@ func (in *Instance) serverHandshakePacket(f *flow, pkt *netsim.Packet) {
 		}, in.IP())
 		in.forwardClientBytes(f, f.clientDataBase(), toForward)
 		f.reqBuf = nil
-	}, func(error) {
+	}
+	if in.hybridDerivable(f) {
+		in.Barrier.Skipped++
+		commit()
+		return
+	}
+	in.writeBarrier(f, in.barrierEntries(f, PhaseTunnel, true), commit, func(error) {
 		in.reject(f, 503, "flow state not persisted")
 	})
 }
@@ -509,9 +559,15 @@ func (in *Instance) teardown(f *flow, deleteStore bool) {
 		in.releaseSNATPort(f.snat.Port)
 	}
 	if deleteStore {
-		in.store.Delete(in.flowKey(f.clientTuple()), nil)
+		// Hybrid flows that never persisted have nothing to delete; the
+		// SNAT routing entry is cleared either way.
+		if f.persisted {
+			in.store.Delete(in.flowKey(f.clientTuple()), nil)
+			if f.server.IP != 0 {
+				in.store.Delete(in.flowKey(f.serverTuple()), nil)
+			}
+		}
 		if f.server.IP != 0 {
-			in.store.Delete(in.flowKey(f.serverTuple()), nil)
 			in.l4.ClearSNAT(f.serverTuple())
 		}
 	}
@@ -606,44 +662,14 @@ func (in *Instance) recoverFlow(tuple netsim.FourTuple, pkt *netsim.Packet) {
 			}
 		})
 	}
-	in.store.Get(in.flowKey(tuple), func(value []byte, ok bool, err error) {
-		if in.dead || in.pending[tuple] != q {
-			return // instance failed, or the queue already expired
-		}
-		queued := q.pkts
-		delete(in.pending, tuple)
-		in.pendingTotal -= len(queued)
-		q.expire.Stop()
-		if !ok || err != nil {
-			in.LookupMisses++
-			// State is gone (flow already finished, or never stored): reset
-			// the sender so it does not retry forever.
-			if len(queued) > 0 && !queued[0].Flags.Has(netsim.FlagRST) {
-				p := queued[0]
-				in.net.Send(&netsim.Packet{
-					Src: p.Dst, Dst: p.Src,
-					Flags: netsim.FlagRST | netsim.FlagACK,
-					Seq:   p.Ack, Ack: p.SeqEnd(),
-				})
-			}
-			return
-		}
-		rec, derr := UnmarshalRecord(value)
-		if derr != nil {
-			in.LookupMisses++
-			return
-		}
-		f := in.installRecovered(rec)
-		if f == nil {
-			return
-		}
-		in.Recovered++
-		for _, q := range queued {
-			if cur := in.flows.get(q.Tuple()); cur != nil {
-				in.dispatch(cur, q)
-			}
-		}
-	})
+	// Hybrid mode classifies the orphan (backend knock, dead-owner
+	// derivation, residue) before deciding whether and how to consult the
+	// store; the paper-faithful mode always reads and RSTs a miss.
+	if in.cfg.Hybrid != nil {
+		in.hybridRecover(tuple, q)
+		return
+	}
+	in.paperGet(tuple, q)
 }
 
 // installRecovered builds a local flow from a TCPStore record.

@@ -1,0 +1,431 @@
+package core
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/stateless"
+	"repro/internal/tcp"
+)
+
+// Hybrid stateful/stateless recovery (Cohen et al., "LB Scalability: the
+// Right Balance Between Being Stateful and Stateless"): most flows never
+// touch TCPStore because every persisted field is a deterministic
+// function of the 5-tuple, the table secret, and the current mapping
+// epoch. The mechanics:
+//
+//   - storage-a is skipped outright: C is the tuple hash every instance
+//     computes, and ClientISN is one less than the first retransmitted
+//     payload byte. TLS keys are persisted at the tlsAdvance barrier.
+//   - storage-b dry-runs the derivation against the state actually
+//     installed (hybridDerivable); only mismatches — the residue — are
+//     written. Matching flows run their commit synchronously.
+//   - recovery classifies orphans by direction. Backend-side knocks
+//     (destination port carries a SNAT cookie) still consult the store,
+//     but a miss under a current-epoch cookie is dropped WITHOUT a RST:
+//     the state lives on the client side of the flow and the client-side
+//     successor's repair write will be there for the backend's next
+//     retransmission. Client-side orphans derive the dead owner from the
+//     epoch entry, confirm tunnels via a parked backend knock when one
+//     exists, and otherwise fall back to the store; a clean miss there
+//     means the flow was never persisted, i.e. it is exactly the
+//     derivable population, and is rebuilt from the packet in hand.
+//   - every derivation-based tunnel install immediately repair-writes
+//     the derived record under both tuple orientations, so the
+//     backend-side successor converges through the store exactly as in
+//     the paper's protocol.
+//
+// Soundness of derivation against the *current* epoch entry: planned
+// reconfiguration bumps the epoch and then flushes unpersisted flows
+// (FlushUnpersisted), so an unpersisted orphan is always established
+// under the current entry; instance death does not bump. The residual
+// window — an owner dying after a bump before its flush write lands — is
+// one store round trip wide and degrades to the paper's store-miss
+// behaviour, never to a mis-derivation toward a dead backend, because
+// flows whose owner is absent from the current entry produce no
+// dead-owner candidate and take the store path.
+
+// hybridPreferredPort returns the cookie-coded SNAT port the derivation
+// layer predicts for a new flow on this instance.
+func (in *Instance) hybridPreferredPort(f *flow) (uint16, bool) {
+	if in.cfg.Hybrid == nil {
+		return 0, false
+	}
+	return in.cfg.Hybrid.PreferredPort(in.IP(), f.clientTuple())
+}
+
+// hybridDerivable reports whether the flow's tunnel state is exactly
+// what the stateless layer derives for its tuple — the storage-b records
+// are then redundant. Any deviation (TLS, recovered history, sticky or
+// health-driven selection, port-collision fallback, a stale mux routing
+// the tuple to a non-owner) fails a comparison and keeps the flow
+// persisted; the classification compares outcomes, not causes.
+func (in *Instance) hybridDerivable(f *flow) bool {
+	t := in.cfg.Hybrid
+	if t == nil || f.tls != nil || f.recovered || f.persisted {
+		return false
+	}
+	ct := f.clientTuple()
+	if owner, ok := t.Owner(f.vip.IP, ct); !ok || owner != in.IP() {
+		return false
+	}
+	b, ok := t.DeriveBackend(f.vip.IP, ct)
+	if !ok || b.Addr != f.server || b.Name != f.backendName {
+		return false
+	}
+	if pref, ok := t.PreferredPort(in.IP(), ct); !ok || pref != f.snat.Port {
+		return false
+	}
+	if tcp.DeterministicISN(t.ISNKey(), f.server, f.snat) != f.s {
+		return false
+	}
+	return true
+}
+
+// hybridRecover handles an orphan tuple's freshly created pending queue
+// in hybrid mode. It either resolves the queue from derivation alone or
+// hands it to one of the store-backed paths below; the caller is done
+// either way.
+func (in *Instance) hybridRecover(tuple netsim.FourTuple, q *pendingQueue) {
+	t := in.cfg.Hybrid
+	// Backend-side knock: the destination port decodes as a SNAT cookie.
+	if _, current, ok := t.DecodeCookie(tuple.Dst.Port); ok {
+		in.hybridServerGet(tuple, q, current)
+		return
+	}
+	// Client-side orphan. A tuple whose rendezvous chain has no dead
+	// prefix belongs to an alive owner (us, or stale routing): nothing to
+	// derive, paper semantics apply.
+	in.candScratch = t.DeadOwnerCandidates(tuple.Dst.IP, tuple, in.candScratch[:0])
+	cands := in.candScratch
+	if len(cands) == 0 {
+		in.paperGet(tuple, q)
+		return
+	}
+	b, bok := t.DeriveBackend(tuple.Dst.IP, tuple)
+	if !bok {
+		// Underivable pool: every flow of this VIP was persisted anyway.
+		in.paperGet(tuple, q)
+		return
+	}
+	// Knock check: a pending queue parked on a candidate's predicted
+	// server tuple is the backend knocking for exactly the flow this
+	// tuple describes — an established tunnel, confirmed without a store
+	// read.
+	for _, d := range cands {
+		port, ok := t.PreferredPort(d, tuple)
+		if !ok {
+			continue
+		}
+		st := netsim.FourTuple{Src: b.Addr, Dst: netsim.HostPort{IP: tuple.Dst.IP, Port: port}}
+		if kq, found := in.pending[st]; found {
+			in.hybridKnockConfirm(tuple, q, st, kq, b, port)
+			return
+		}
+	}
+	port, portOK := uint16(0), false
+	if len(cands) == 1 {
+		port, portOK = t.PreferredPort(cands[0], tuple)
+	}
+	in.hybridClientGet(tuple, q, b, port, portOK)
+}
+
+// resolveQueue detaches a pending queue, returning its packets; ok=false
+// when the queue already expired or the instance died.
+func (in *Instance) resolveQueue(tuple netsim.FourTuple, q *pendingQueue) ([]*netsim.Packet, bool) {
+	if in.dead || in.pending[tuple] != q {
+		return nil, false
+	}
+	queued := q.pkts
+	delete(in.pending, tuple)
+	in.pendingTotal -= len(queued)
+	q.expire.Stop()
+	return queued, true
+}
+
+// dispatchQueued replays a resolved queue into the flow table.
+func (in *Instance) dispatchQueued(queued []*netsim.Packet) {
+	for _, p := range queued {
+		if cur := in.flows.get(p.Tuple()); cur != nil {
+			in.dispatch(cur, p)
+		}
+	}
+}
+
+// paperGet is the paper-faithful store lookup: install on hit, RST the
+// sender on miss (recoverFlow's behaviour, shared by the hybrid paths
+// that fall through to it).
+func (in *Instance) paperGet(tuple netsim.FourTuple, q *pendingQueue) {
+	in.store.Get(in.flowKey(tuple), func(value []byte, ok bool, err error) {
+		queued, live := in.resolveQueue(tuple, q)
+		if !live {
+			return
+		}
+		if !ok || err != nil {
+			in.LookupMisses++
+			in.rstQueued(queued)
+			return
+		}
+		rec, derr := UnmarshalRecord(value)
+		if derr != nil {
+			in.LookupMisses++
+			return
+		}
+		if f := in.installRecovered(rec); f != nil {
+			in.Recovered++
+			in.dispatchQueued(queued)
+		}
+	})
+}
+
+// rstQueued resets the sender of a missed queue's first packet.
+func (in *Instance) rstQueued(queued []*netsim.Packet) {
+	if len(queued) == 0 || queued[0].Flags.Has(netsim.FlagRST) {
+		return
+	}
+	p := queued[0]
+	in.net.Send(&netsim.Packet{
+		Src: p.Dst, Dst: p.Src,
+		Flags: netsim.FlagRST | netsim.FlagACK,
+		Seq:   p.Ack, Ack: p.SeqEnd(),
+	})
+}
+
+// hybridServerGet consults the store for a backend-side knock. A hit is
+// the paper path (residue records and client-side repair writes land
+// here). A miss under a current-epoch cookie is dropped WITHOUT a RST —
+// the flow may be unpersisted, with its state derivable only from the
+// client side; answering RST would kill the backend connection before
+// the client-side successor can repair-write it. Stale or tail-range
+// ports keep the paper's RST (those flows were persisted; a miss means
+// the record is genuinely gone).
+func (in *Instance) hybridServerGet(tuple netsim.FourTuple, q *pendingQueue, current bool) {
+	in.store.Get(in.flowKey(tuple), func(value []byte, ok bool, err error) {
+		queued, live := in.resolveQueue(tuple, q)
+		if !live {
+			return
+		}
+		if ok && err == nil {
+			rec, derr := UnmarshalRecord(value)
+			if derr != nil {
+				in.LookupMisses++
+				return
+			}
+			if f := in.installRecovered(rec); f != nil {
+				in.Recovered++
+				in.dispatchQueued(queued)
+			}
+			return
+		}
+		if current {
+			in.SuppressedOrphans++
+			return
+		}
+		in.LookupMisses++
+		in.rstQueued(queued)
+	})
+}
+
+// hybridClientGet consults the store for a client-side orphan whose
+// rendezvous chain passes through dead instances. A hit is the paper
+// path. A clean miss means the flow was never persisted — exactly the
+// derivable population — and is classified by what the client has
+// acknowledged: nothing beyond the SYN-ACK, with payload in hand, and
+// the connection phase replays from the retransmitted request; data
+// acknowledged, with a single dead-owner candidate, and the tunnel state
+// is derived outright and repair-written. Ambiguous cases (bare ACK,
+// multiple candidates) are dropped quietly — the sender's retransmission
+// or a backend knock re-triggers classification with more evidence.
+func (in *Instance) hybridClientGet(tuple netsim.FourTuple, q *pendingQueue, b stateless.Backend, port uint16, portOK bool) {
+	in.store.Get(in.flowKey(tuple), func(value []byte, ok bool, err error) {
+		queued, live := in.resolveQueue(tuple, q)
+		if !live {
+			return
+		}
+		if ok && err == nil {
+			rec, derr := UnmarshalRecord(value)
+			if derr != nil {
+				in.LookupMisses++
+				return
+			}
+			if f := in.installRecovered(rec); f != nil {
+				in.Recovered++
+				in.dispatchQueued(queued)
+			}
+			return
+		}
+		p0 := queued[0]
+		if p0.Flags.Has(netsim.FlagRST) {
+			in.LookupMisses++
+			return
+		}
+		c := isnHash(tuple.Src, tuple.Dst)
+		if p0.Ack == c+1 {
+			if len(p0.Payload) > 0 {
+				if f := in.installDerivedConn(tuple, p0.Seq); f != nil {
+					in.DerivedRecoveries++
+					in.dispatchQueued(queued)
+				}
+				return
+			}
+			in.SuppressedOrphans++
+			return
+		}
+		if !portOK {
+			in.SuppressedOrphans++
+			return
+		}
+		f := in.installDerivedTunnel(tuple, b, port, p0.Seq)
+		if f == nil {
+			in.LookupMisses++
+			return
+		}
+		in.DerivedRecoveries++
+		in.hybridRepair(f, queued, nil)
+	})
+}
+
+// hybridKnockConfirm resolves a client-side orphan whose predicted
+// server tuple already has a backend knocking: install the derived
+// tunnel, repair-write it, then replay both queues.
+func (in *Instance) hybridKnockConfirm(tuple netsim.FourTuple, q *pendingQueue, st netsim.FourTuple, kq *pendingQueue, b stateless.Backend, port uint16) {
+	queued, live := in.resolveQueue(tuple, q)
+	if !live {
+		return
+	}
+	// Detaching the knock queue cancels its in-flight store lookup (the
+	// callback checks queue identity).
+	knocks, _ := in.resolveQueue(st, kq)
+	f := in.installDerivedTunnel(tuple, b, port, queued[0].Seq)
+	if f == nil {
+		in.LookupMisses++
+		return
+	}
+	in.DerivedRecoveries++
+	in.hybridRepair(f, queued, knocks)
+}
+
+// hybridRepair persists a derived flow's record under both tuple
+// orientations, then replays the queues. The write-before-dispatch order
+// is what lets the backend-side successor converge: its next lookup for
+// the server tuple hits this record.
+func (in *Instance) hybridRepair(f *flow, queued, knocks []*netsim.Packet) {
+	in.writeBarrier(f, in.barrierEntries(f, PhaseTunnel, true), func() {
+		in.dispatchQueued(queued)
+		in.dispatchQueued(knocks)
+	}, nil)
+}
+
+// installDerivedConn rebuilds a connection-phase flow from the packet in
+// hand: the client's first payload byte pins ClientISN, the tuple hash
+// pins C. The replayed request re-runs selection with the table draw, so
+// the flow converges onto the same backend the dead owner would have
+// picked (and classifies itself at its own storage-b).
+func (in *Instance) installDerivedConn(ct netsim.FourTuple, firstSeq uint32) *flow {
+	if existing := in.flows.get(ct); existing != nil {
+		return existing
+	}
+	now := in.net.Now()
+	f := &flow{
+		vip:           ct.Dst,
+		client:        ct.Src,
+		clientISN:     firstSeq - 1,
+		c:             isnHash(ct.Src, ct.Dst),
+		clientNextSeq: firstSeq,
+		state:         stateConn,
+		ooo:           make(map[uint32][]byte),
+		recovered:     true,
+		synAckSent:    true,
+		start:         now,
+		lastActive:    now,
+	}
+	f.toClientNext = f.c + 1
+	in.flows.put(ct, f)
+	in.armIdle(f)
+	return f
+}
+
+// installDerivedTunnel rebuilds a tunnel-phase flow entirely from the
+// derivation layer: backend and SNAT port from the epoch table, S from
+// the deterministic backend ISN, Delta = C − S. Mirrors
+// installRecovered's tunnel branch (keep-alive inspection is not
+// resumable and is dropped the same way).
+func (in *Instance) installDerivedTunnel(ct netsim.FourTuple, b stateless.Backend, port uint16, firstSeq uint32) *flow {
+	if existing := in.flows.get(ct); existing != nil {
+		return existing
+	}
+	snat := netsim.HostPort{IP: ct.Dst.IP, Port: port}
+	c := isnHash(ct.Src, ct.Dst)
+	s := tcp.DeterministicISN(in.cfg.Hybrid.ISNKey(), b.Addr, snat)
+	now := in.net.Now()
+	f := &flow{
+		vip:           ct.Dst,
+		client:        ct.Src,
+		clientISN:     firstSeq - 1,
+		c:             c,
+		s:             s,
+		delta:         c - s,
+		clientNextSeq: firstSeq,
+		server:        b.Addr,
+		snat:          snat,
+		backendName:   b.Name,
+		state:         stateTunnel,
+		ooo:           make(map[uint32][]byte),
+		recovered:     true,
+		synAckSent:    true,
+		toClientNext:  c + 1,
+		start:         now,
+		lastActive:    now,
+	}
+	in.flows.put(ct, f)
+	in.flows.put(f.serverTuple(), f)
+	in.armIdle(f)
+	return f
+}
+
+// FlowInfo is a read-only snapshot of one live flow, for tests and
+// diagnostics (the differential oracle compares these against the
+// stateless derivation).
+type FlowInfo struct {
+	Client, VIP, Server, SNAT netsim.HostPort
+	C, S, Delta               uint32
+	Persisted, Recovered      bool
+}
+
+// SnapshotFlows returns a snapshot of every live flow.
+func (in *Instance) SnapshotFlows() []FlowInfo {
+	var out []FlowInfo
+	in.flows.forEach(func(f *flow) {
+		out = append(out, FlowInfo{
+			Client: f.client, VIP: f.vip, Server: f.server, SNAT: f.snat,
+			C: f.c, S: f.s, Delta: f.delta,
+			Persisted: f.persisted, Recovered: f.recovered,
+		})
+	})
+	return out
+}
+
+// FlushUnpersisted writes every still-unpersisted flow's record to the
+// store under its current phase. The controller calls this on live
+// instances immediately after an epoch bump so the invariant holds that
+// every unpersisted flow in the system was established under the
+// current epoch — flows that predate the bump become ordinary persisted
+// residue and recover through the store, never through a stale
+// derivation. Returns the number of flows flushed.
+func (in *Instance) FlushUnpersisted() int {
+	if in.cfg.Hybrid == nil || in.dead {
+		return 0
+	}
+	var victims []*flow
+	in.flows.forEach(func(f *flow) {
+		if !f.persisted {
+			victims = append(victims, f)
+		}
+	})
+	for _, f := range victims {
+		phase, both := PhaseConn, false
+		if f.state == stateTunnel || f.state == stateKATunnel {
+			phase, both = PhaseTunnel, true
+		}
+		in.writeBarrier(f, in.barrierEntries(f, phase, both), func() {}, nil)
+	}
+	return len(victims)
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/rules"
 	"repro/internal/securesim"
+	"repro/internal/stateless"
 	"repro/internal/tcpstore"
 )
 
@@ -52,6 +53,12 @@ type Config struct {
 	PendingPerTuple int
 	PendingTotal    int
 	PendingExpiry   time.Duration
+	// Hybrid selects the hybrid stateful/stateless recovery mode: flows
+	// whose state the shared derivation table reproduces exactly skip
+	// their storage writes, and recovery tries derivation before (or
+	// instead of) a store read — see hybrid.go. Nil (the default) keeps
+	// the paper-faithful persist-before-ACK path for every flow.
+	Hybrid *stateless.Table
 }
 
 // DefaultConfig returns the calibrated instance configuration.
@@ -125,6 +132,14 @@ type Instance struct {
 	Recovered    uint64 // flows resurrected from TCPStore
 	LookupMisses uint64 // orphan packets with no recoverable state, or dropped while queued
 	Reselections uint64 // HTTP/1.1 backend switches
+	// DerivedRecoveries counts flows rebuilt by stateless derivation
+	// (hybrid mode) — no store record was read for them.
+	DerivedRecoveries uint64
+	// SuppressedOrphans counts recovery queues dropped quietly in hybrid
+	// mode — no RST sent — because the miss is expected to resolve on the
+	// sender's retransmission (a backend knock racing the client-side
+	// repair write, or a payloadless client probe).
+	SuppressedOrphans uint64
 	// SNATQuarantined counts SNAT ports left reserved by flows whose state
 	// migrated to another instance (see ReleaseVIPFlows); they return to
 	// the pool only when the instance restarts.
@@ -140,6 +155,7 @@ type Instance struct {
 	recRecord      Record
 	recTLS         TLSState
 	freeBarrierOps []*barrierOp
+	candScratch    []netsim.IP // hybrid dead-owner candidate scratch
 }
 
 // NewInstance creates a Yoda instance on host, using the given L4 LB for
@@ -377,6 +393,20 @@ func (in *Instance) allocSNATPort() (port uint16, ok bool) {
 		}
 	}
 	return 0, false
+}
+
+// allocSNATPortPreferred claims pref when it lies inside this instance's
+// range and is free, falling back to the sequential allocator otherwise.
+// The hybrid dial path asks for the cookie-coded port the derivation
+// layer predicts; a flow that had to fall back simply fails the write-time
+// self-check and stays persisted.
+func (in *Instance) allocSNATPortPreferred(pref uint16) (port uint16, ok bool) {
+	if pref >= in.cfg.SNATBase && uint32(pref) < uint32(in.cfg.SNATBase)+uint32(in.cfg.SNATCount) &&
+		!in.snatInUse[pref] {
+		in.snatInUse[pref] = true
+		return pref, true
+	}
+	return in.allocSNATPort()
 }
 
 func (in *Instance) releaseSNATPort(p uint16) { delete(in.snatInUse, p) }

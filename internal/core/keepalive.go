@@ -279,7 +279,9 @@ func (in *Instance) kaSwitchBackend(f *flow, next kaRequest, backend rules.Backe
 	}, in.IP())
 	oldServerTuple := f.serverTuple()
 	in.flows.del(oldServerTuple, f)
-	in.store.Delete(in.flowKey(oldServerTuple), nil)
+	if f.persisted {
+		in.store.Delete(in.flowKey(oldServerTuple), nil)
+	}
 	in.l4.ClearSNAT(oldServerTuple)
 	in.releaseSNATPort(f.snat.Port)
 

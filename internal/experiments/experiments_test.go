@@ -94,6 +94,45 @@ func TestFig10LatencyAndCPU(t *testing.T) {
 	_ = r.String()
 }
 
+// TestFig10HybridArm enables the hybrid-recovery sweep and checks both
+// that the store CPU drops roughly to the residue fraction and that the
+// default/replicated cells are bit-identical to a run without the arm
+// (each cell owns its simulation, so appending a sweep perturbs nothing).
+func TestFig10HybridArm(t *testing.T) {
+	cfg := Fig10Config{
+		Seed: 1, Servers: 2,
+		RatesPerServer: []int{4000, 20000},
+		Duration:       500 * time.Millisecond,
+		ValueBytes:     64,
+	}
+	base := RunFig10(cfg)
+	cfg.HybridResidue = 0.10
+	r := RunFig10(cfg)
+	if len(r.Points) != 6 {
+		t.Fatalf("points = %d, want 4 base + 2 hybrid", len(r.Points))
+	}
+	for i := 0; i < 4; i++ {
+		if r.Points[i] != base.Points[i] {
+			t.Fatalf("hybrid sweep perturbed base cell %d:\n  base:   %+v\n  hybrid: %+v",
+				i, base.Points[i], r.Points[i])
+		}
+	}
+	for _, p := range r.Points[4:] {
+		if !p.Hybrid || p.Replicas != 2 {
+			t.Fatalf("hybrid point mislabelled: %+v", p)
+		}
+		if p.SetMedian <= 0 {
+			t.Fatalf("hybrid set latency missing: %+v", p)
+		}
+	}
+	// Store CPU must track the residue fraction: ~0.1x of the fully
+	// persisted arm, with generous slack for fixed per-op costs.
+	if r.HybridCPURatioAtMax <= 0 || r.HybridCPURatioAtMax > 0.3 {
+		t.Fatalf("hybrid CPU ratio = %.3f, want ~0.1", r.HybridCPURatioAtMax)
+	}
+	_ = r.String()
+}
+
 func TestCPUOverhead(t *testing.T) {
 	cfg := CPUConfig{Seed: 1, Rates: []int{4000, 12000}, Duration: 300 * time.Millisecond, ObjectSize: 2048}
 	r := RunCPU(cfg)

@@ -25,6 +25,12 @@ type Fig10Config struct {
 	Duration time.Duration
 	// ValueBytes is the stored flow-state record size.
 	ValueBytes int
+	// HybridResidue, when positive, adds a third sweep modelling hybrid
+	// stateful/stateless recovery: the same client flow rate, but only
+	// this fraction of flows (the residue — TLS, keep-alive switches,
+	// epoch-pinned flows) reaches TCPStore; the rest are derived from
+	// packet-carried state and never touch it. 0 disables the arm.
+	HybridResidue float64
 }
 
 // DefaultFig10Config uses 3 servers and shortened windows (see Servers).
@@ -35,6 +41,7 @@ func DefaultFig10Config() Fig10Config {
 		RatesPerServer: []int{4000, 20000, 40000},
 		Duration:       2 * time.Second,
 		ValueBytes:     64,
+		HybridResidue:  0.10,
 	}
 }
 
@@ -42,9 +49,12 @@ func DefaultFig10Config() Fig10Config {
 type Fig10Point struct {
 	RatePerServer int
 	Replicas      int
-	SetMedian     time.Duration
-	GetMedian     time.Duration
-	DelMedian     time.Duration
+	// Hybrid marks the hybrid-recovery arm: RatePerServer is still the
+	// client flow rate, but only the residue fraction reaches the store.
+	Hybrid    bool
+	SetMedian time.Duration
+	GetMedian time.Duration
+	DelMedian time.Duration
 	// CPU is the mean Memcached server CPU utilization (Figure 11).
 	CPU float64
 }
@@ -60,15 +70,22 @@ type Fig10Result struct {
 	// CPURatioAtMax is replicated/default CPU at the highest rate
 	// (paper: ~2x).
 	CPURatioAtMax float64
+	// HybridCPURatioAtMax is hybrid/replicated server CPU at the highest
+	// rate: what taking derivable flows off the store buys back. With a
+	// residue fraction f it approaches f.
+	HybridCPURatioAtMax float64
 }
 
-// RunFig10 sweeps the ops rate for both replication settings.
+// RunFig10 sweeps the ops rate for both replication settings, plus the
+// hybrid-recovery arm when configured. Each cell builds its own
+// simulation from the seed, so appending the hybrid sweep cannot
+// perturb the default and replicated points.
 func RunFig10(cfg Fig10Config) *Fig10Result {
 	res := &Fig10Result{}
 	byKey := map[string]*Fig10Point{}
 	for _, replicas := range []int{1, 2} {
 		for _, rate := range cfg.RatesPerServer {
-			p := runFig10Cell(cfg, replicas, rate)
+			p := runFig10Cell(cfg, replicas, rate, rate)
 			res.Points = append(res.Points, p)
 			byKey[fmt.Sprintf("%d/%d", rate, replicas)] = &res.Points[len(res.Points)-1]
 		}
@@ -82,10 +99,29 @@ func RunFig10(cfg Fig10Config) *Fig10Result {
 			res.CPURatioAtMax = d2.CPU / d1.CPU
 		}
 	}
+	if cfg.HybridResidue > 0 {
+		var atMax *Fig10Point
+		for _, rate := range cfg.RatesPerServer {
+			opRate := int(float64(rate)*cfg.HybridResidue + 0.5)
+			p := runFig10Cell(cfg, 2, rate, opRate)
+			p.Hybrid = true
+			res.Points = append(res.Points, p)
+			if rate == maxRate {
+				atMax = &res.Points[len(res.Points)-1]
+			}
+		}
+		if atMax != nil && d2 != nil && d2.CPU > 0 {
+			res.HybridCPURatioAtMax = atMax.CPU / d2.CPU
+		}
+	}
 	return res
 }
 
-func runFig10Cell(cfg Fig10Config, replicas, ratePerServer int) Fig10Point {
+// runFig10Cell measures one cell. ratePerServer is the client flow rate
+// the point is labelled with; opRate is the rate at which store
+// operations are actually issued (lower in the hybrid arm, where only
+// residue flows reach the store).
+func runFig10Cell(cfg Fig10Config, replicas, ratePerServer, opRate int) Fig10Point {
 	n := netsim.New(cfg.Seed)
 	var servers []*memcache.SimServer
 	var addrs []netsim.HostPort
@@ -111,7 +147,7 @@ func runFig10Cell(cfg Fig10Config, replicas, ratePerServer int) Fig10Point {
 	getLat := metrics.NewDurationHistogram()
 	delLat := metrics.NewDurationHistogram()
 
-	totalRate := ratePerServer * cfg.Servers
+	totalRate := opRate * cfg.Servers
 	interval := time.Second / time.Duration(totalRate)
 	idx := 0
 	var tick func()
@@ -167,10 +203,15 @@ func runFig10Cell(cfg Fig10Config, replicas, ratePerServer int) Fig10Point {
 // String prints Figures 10 and 11 as one table.
 func (r *Fig10Result) String() string {
 	rows := make([][]string, 0, len(r.Points))
+	hybrid := false
 	for _, p := range r.Points {
 		mode := "default"
 		if p.Replicas == 2 {
 			mode = "yoda (2 replicas)"
+		}
+		if p.Hybrid {
+			mode = "hybrid (2 replicas)"
+			hybrid = true
 		}
 		rows = append(rows, []string{
 			fmt.Sprintf("%d", p.RatePerServer),
@@ -183,5 +224,9 @@ func (r *Fig10Result) String() string {
 	s += table([]string{"req/s/server", "mode", "set", "get", "delete", "CPU"}, rows)
 	s += fmt.Sprintf("replication latency overhead at max rate = %s (paper: <24%%)\n", fmtPct(r.OverheadAtMax))
 	s += fmt.Sprintf("replication CPU ratio at max rate = %.2fx (paper: ~2x)\n", r.CPURatioAtMax)
+	if hybrid {
+		s += fmt.Sprintf("hybrid store CPU at max rate = %.2fx of yoda (derivable flows never reach the store)\n",
+			r.HybridCPURatioAtMax)
+	}
 	return s
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/flowmap"
 	"repro/internal/netsim"
+	"repro/internal/stateless"
 )
 
 // The mflow experiment is the scale headline the sharded dataplane
@@ -43,6 +44,15 @@ import (
 type MflowConfig struct {
 	Seed   int64
 	Shards int
+
+	// Recovery selects the recovery model. "" (the default) is the pure
+	// HRW re-pick: any mid-flow packet with no table entry is adopted
+	// unconditionally. "hybrid" routes through the stateless derivation
+	// table: muxes pick by stateless.Rendezvous, and an instance adopts
+	// an orphan only when the table's dead-owner chain proves some dead
+	// instance could have owned it — unprovable orphans are rejected
+	// (AdoptRejected), which in a correct run never fires.
+	Recovery string
 
 	Flows     int // total concurrent flows (rounded up to a driver multiple)
 	Drivers   int // client driver hosts; each owns Flows/Drivers flows
@@ -129,6 +139,7 @@ type mfMux struct {
 	net   *netsim.Network
 	vip   netsim.IP
 	insts []netsim.IP
+	tbl   *stateless.Table // hybrid mode: pick must match the table's Owner
 	Fwd   uint64
 }
 
@@ -138,7 +149,13 @@ func (m *mfMux) HandlePacket(pkt *netsim.Packet) {
 		return
 	}
 	m.Fwd++
-	pkt.SetOuter(m.vip, mfPick(pkt.Tuple(), m.insts))
+	var to netsim.IP
+	if m.tbl != nil {
+		to = stateless.Rendezvous(pkt.Tuple(), m.insts)
+	} else {
+		to = mfPick(pkt.Tuple(), m.insts)
+	}
+	pkt.SetOuter(m.vip, to)
 	m.net.Send(pkt)
 }
 
@@ -159,11 +176,14 @@ type mfInstance struct {
 	ip       netsim.IP
 	backends []netsim.IP
 	table    *flowmap.Compact
+	tbl      *stateless.Table // hybrid mode: gates orphan adoption
+	cand     []netsim.IP      // dead-owner candidate scratch
 
 	Installed      uint64 // SYN: entry created
 	Recovered      uint64 // mid-flow packet with no entry: flow adopted
 	RecoveredOnFin uint64 // FIN with no entry: must stay 0 (HRW stability)
 	Removed        uint64 // FIN: entry deleted
+	AdoptRejected  uint64 // hybrid: orphan with no dead-owner proof (must stay 0)
 }
 
 func (in *mfInstance) HandlePacket(pkt *netsim.Packet) {
@@ -190,8 +210,20 @@ func (in *mfInstance) HandlePacket(pkt *netsim.Packet) {
 			be = in.backends[v]
 		} else {
 			// The flow's original instance died; this instance is the HRW
-			// re-pick and adopts the flow.
+			// re-pick and adopts the flow. In hybrid mode adoption must be
+			// proved: the derivation table's rendezvous chain for the tuple
+			// has to pass through at least one dead instance before reaching
+			// us, and the re-derived backend index must be in range —
+			// otherwise the packet is a stray and is dropped, not installed.
 			idx := mfPickIdx(t, in.backends)
+			if in.tbl != nil {
+				in.cand = in.tbl.DeadOwnerCandidates(t.Dst.IP, t, in.cand)
+				if len(in.cand) == 0 || idx < 0 || idx >= len(in.backends) {
+					in.AdoptRejected++
+					in.net.ReleasePacket(pkt)
+					return
+				}
+			}
 			in.table.Insert(t, flowmap.Value(idx))
 			in.Recovered++
 			be = in.backends[idx]
@@ -336,6 +368,7 @@ type MflowResult struct {
 	DeadFlows      int // flow-table entries on storm-killed instances
 	Recovered      int // flows adopted by surviving instances
 	RecoveredOnFin int
+	AdoptRejected  int // hybrid: adoptions refused for lack of a dead-owner proof
 
 	Delivered       uint64
 	Executed        uint64
@@ -364,6 +397,9 @@ func (r *MflowResult) Summary() string {
 		r.Peak, r.Established, r.ProbeAcked, r.Closed)
 	fmt.Fprintf(&b, "  storm: deadFlows=%d recovered=%d recoveredOnFin=%d\n",
 		r.DeadFlows, r.Recovered, r.RecoveredOnFin)
+	if r.Cfg.Recovery != "" {
+		fmt.Fprintf(&b, "  recovery: mode=%s adoptRejected=%d\n", r.Cfg.Recovery, r.AdoptRejected)
+	}
 	fmt.Fprintf(&b, "  events: executed=%d delivered=%d dropped=%d+%d\n",
 		r.Executed, r.Delivered, r.DroppedNoRoute, r.DroppedByPolicy)
 	fmt.Fprintf(&b, "  end state: liveTableEntries=%d pending=%d simTime=%v\n",
@@ -409,6 +445,15 @@ func RunMflow(cfg MflowConfig) *MflowResult {
 	defer sn.Close()
 	shards := sn.Shards()
 
+	// Hybrid arm: one shared derivation table, seeded deterministically.
+	// It is mutated only between phases (storm MarkDead) while every
+	// shard loop is parked, matching the control-plane discipline the
+	// real cluster follows.
+	var tbl *stateless.Table
+	if cfg.Recovery == "hybrid" {
+		tbl = stateless.New(uint64(cfg.Seed)*0x9e3779b97f4a7c15 + 0xdead)
+	}
+
 	// Muxes: vip 10.254.0.(m+1) on shard m%S. Drivers address mux d%M, so
 	// flow tuples — and therefore every pick — do not depend on the shard
 	// count.
@@ -419,9 +464,12 @@ func RunMflow(cfg MflowConfig) *MflowResult {
 	}
 	for m := range muxes {
 		nw := sn.Shard(m % shards)
-		mx := &mfMux{net: nw, vip: netsim.IPv4(10, 254, 0, byte(m+1)), insts: liveInsts}
+		mx := &mfMux{net: nw, vip: netsim.IPv4(10, 254, 0, byte(m+1)), insts: liveInsts, tbl: tbl}
 		nw.Attach(mx.vip, mx)
 		muxes[m] = mx
+		if tbl != nil {
+			tbl.SetVIP(mx.vip, stateless.VIPEntry{Instances: liveInsts})
+		}
 	}
 
 	// Size each table for its HRW share of the population plus headroom
@@ -434,7 +482,7 @@ func RunMflow(cfg MflowConfig) *MflowResult {
 	for i := range insts {
 		nw := sn.Shard(i % shards)
 		in := &mfInstance{
-			net: nw, ip: liveInsts[i],
+			net: nw, ip: liveInsts[i], tbl: tbl,
 			table: flowmap.NewCompact(perInstance + perInstance/8),
 		}
 		insts[i] = in
@@ -509,6 +557,9 @@ func RunMflow(cfg MflowConfig) *MflowResult {
 		dead[victim.ip] = true
 		res.DeadFlows += victim.table.Len()
 		victim.net.Detach(victim.ip)
+		if tbl != nil {
+			tbl.MarkDead(victim.ip) // death marks only — no epoch bump
+		}
 	}
 	live := make([]netsim.IP, 0, cfg.Instances-len(dead))
 	for _, ip := range liveInsts {
@@ -532,10 +583,14 @@ func RunMflow(cfg MflowConfig) *MflowResult {
 		if !dead[in.ip] {
 			res.Recovered += int(in.Recovered)
 			res.RecoveredOnFin += int(in.RecoveredOnFin)
+			res.AdoptRejected += int(in.AdoptRejected)
 		}
 	}
 	if res.Recovered != res.DeadFlows {
 		res.failf("recovery: %d flows adopted, %d were orphaned", res.Recovered, res.DeadFlows)
+	}
+	if res.AdoptRejected != 0 {
+		res.failf("hybrid: %d orphans rejected without a dead-owner proof", res.AdoptRejected)
 	}
 
 	// Teardown: close every flow, then drain to quiescence.

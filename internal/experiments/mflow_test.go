@@ -46,6 +46,41 @@ func TestMflowDeterminism(t *testing.T) {
 	}
 }
 
+// TestMflowHybridExactRecovery runs the hybrid arm: stateless-table
+// muxes, proof-gated adoption. Every orphan must still be recovered
+// exactly once (recovered == deadFlows, zero leaks, zero drops, zero
+// pending) and no adoption may ever be rejected for lack of a
+// dead-owner proof.
+func TestMflowHybridExactRecovery(t *testing.T) {
+	cfg := smallMflowConfig(2)
+	cfg.Recovery = "hybrid"
+	res := RunMflow(cfg)
+	if !res.Pass() {
+		t.Fatalf("hybrid mflow invariants failed:\n%s", res.Summary())
+	}
+	if res.DeadFlows == 0 {
+		t.Fatal("storm killed no flows — the hybrid recovery path was never exercised")
+	}
+	if res.Recovered != res.DeadFlows || res.AdoptRejected != 0 {
+		t.Fatalf("hybrid recovery not exact: recovered=%d deadFlows=%d adoptRejected=%d",
+			res.Recovered, res.DeadFlows, res.AdoptRejected)
+	}
+}
+
+// TestMflowHybridShardCountInvariant: the hybrid arm's summary is as
+// shard-independent as the default arm's.
+func TestMflowHybridShardCountInvariant(t *testing.T) {
+	mk := func(shards int) string {
+		cfg := smallMflowConfig(shards)
+		cfg.Recovery = "hybrid"
+		return RunMflow(cfg).Summary()
+	}
+	base := mk(1)
+	if got := mk(4); got != base {
+		t.Fatalf("hybrid summary differs between 1 and 4 shards:\n%s\n\nvs:\n%s", base, got)
+	}
+}
+
 // TestMflowShardCountInvariant is the conservative-sync acceptance test
 // at experiment level: the deterministic summary must not depend on how
 // many shards executed it.

@@ -73,6 +73,9 @@ func (e *Executor) runWave() {
 		return
 	}
 	wave := &e.plan.Waves[e.waveIdx]
+	if e.env.OnWaveStart != nil {
+		e.env.OnWaveStart(wave.Moves)
+	}
 	byIP := e.env.instByIP()
 
 	// Count the denominator for this wave's measured migrated fraction:
@@ -223,6 +226,9 @@ func (e *Executor) drain(wave *Wave, ws *waveState) {
 	}
 	e.stats.Waves++
 	e.waveIdx++
+	if e.env.OnWaveDone != nil {
+		e.env.OnWaveDone()
+	}
 	e.env.Net.Schedule(0, e.runWave)
 }
 

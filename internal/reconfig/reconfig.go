@@ -199,6 +199,17 @@ type Env struct {
 	// OnMapping, when non-nil, is invoked at each mapping flip so the
 	// owner (the controller) can keep its VIP→instance view in sync.
 	OnMapping func(vip netsim.IP, insts []netsim.IP)
+	// OnWaveStart, when non-nil, is invoked with a wave's moves before any
+	// rules are installed or mappings flipped. The hybrid recovery mode
+	// uses it to re-point its derivation entries at the wave's target
+	// mapping, bump the epoch, and flush still-unpersisted flows — so
+	// every flow the drain later releases has a store record to resurrect
+	// from.
+	OnWaveStart func(moves []Move)
+	// OnWaveDone, when non-nil, is invoked after a wave has fully drained
+	// (mappings converged, losers released). The hybrid recovery mode
+	// rebuilds its derivation entries from the now-settled mappings.
+	OnWaveDone func()
 }
 
 // instByIP indexes the live fleet by address.

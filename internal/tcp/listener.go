@@ -61,7 +61,11 @@ func (l *Listener) handleSegment(pkt *netsim.Packet) {
 	l.Accepted++
 	c := newConn(l.host, pkt.Dst, pkt.Src, Callbacks{}, l.cfg)
 	c.state = StateSynReceived
-	c.iss = c.rng.Uint32()
+	if l.cfg.ISNKey != 0 {
+		c.iss = DeterministicISN(l.cfg.ISNKey, c.local, c.remote)
+	} else {
+		c.iss = c.rng.Uint32()
+	}
 	c.sndUna = c.iss
 	c.sndNxt = c.iss + 1
 	c.bufSeq = c.iss + 1

@@ -35,6 +35,21 @@ type Config struct {
 	MaxRetries      int           // per-segment retransmit budget before giving up
 	ReceiveWindow   uint32        // advertised receive window, bytes
 	InitialSsthresh uint32        // slow-start threshold, bytes
+	// ISNKey, when non-zero, makes the endpoint derive its initial send
+	// sequence from a keyed hash of the connection tuple instead of the
+	// shard RNG (see DeterministicISN). Yoda's hybrid recovery mode sets
+	// this on backend servers so a recovering instance can re-derive the
+	// backend ISN without a store read. Zero keeps the RNG draw, so
+	// existing seeds and figures are untouched.
+	ISNKey uint64
+	// IdleProbe, when non-zero, makes an established connection emit a
+	// bare ACK (seq=sndNxt, ack=rcvNxt) whenever it has been idle with no
+	// unacknowledged data for this long — modelling RFC 1122 TCP
+	// keepalive probes. Hybrid-recovery testbeds enable it on clients so
+	// a flow whose response was lost with a failed LB instance still
+	// produces client-side packets for the successor to recover from.
+	// Zero (the default) disables it entirely.
+	IdleProbe time.Duration
 }
 
 // DefaultConfig returns the configuration used across the testbed: MSS
@@ -104,6 +119,47 @@ type Callbacks struct {
 	OnPeerClose   func(c *Conn) // peer's FIN arrived; data delivery is complete
 	OnClose       func(c *Conn) // connection fully closed in both directions
 	OnFail        func(c *Conn, err error)
+}
+
+// DeterministicISN derives an initial send sequence number from a secret
+// key and the connection tuple (FNV-1a over the endpoint encoding, then a
+// splitmix64-style finalizer). Any party holding the key can recompute
+// the ISN a (local, remote) endpoint chose — the SYN-cookie-style trick
+// Yoda's hybrid recovery uses to reconstruct the backend-side sequence
+// translation without a store read.
+func DeterministicISN(key uint64, local, remote netsim.HostPort) uint32 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		h ^= (key >> (8 * i)) & 0xff
+		h *= prime64
+	}
+	mix := func(hp netsim.HostPort) {
+		ip := uint32(hp.IP)
+		h ^= uint64(ip >> 24 & 0xff)
+		h *= prime64
+		h ^= uint64(ip >> 16 & 0xff)
+		h *= prime64
+		h ^= uint64(ip >> 8 & 0xff)
+		h *= prime64
+		h ^= uint64(ip & 0xff)
+		h *= prime64
+		h ^= uint64(hp.Port >> 8)
+		h *= prime64
+		h ^= uint64(hp.Port & 0xff)
+		h *= prime64
+	}
+	mix(local)
+	mix(remote)
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return uint32(h ^ (h >> 32))
 }
 
 // seqLT reports a < b in 32-bit sequence space.
@@ -179,6 +235,10 @@ type Conn struct {
 	rtxFn      func()   // c.onRtxTimeout, bound once to avoid per-arm allocation
 	rtxBufs    []rtxBuf // pooled copies backing in-flight retransmits
 
+	// Idle keepalive probing (Config.IdleProbe > 0 only).
+	probeTimer netsim.Timer
+	probeFn    func() // c.onProbeTimeout, bound once
+
 	// Stats, exported for tests and experiments.
 	Retransmits int
 	BytesSent   uint64
@@ -194,7 +254,11 @@ func Dial(h *netsim.Host, remote netsim.HostPort, cb Callbacks, cfg Config) *Con
 func DialFrom(h *netsim.Host, localPort uint16, remote netsim.HostPort, cb Callbacks, cfg Config) *Conn {
 	c := newConn(h, netsim.HostPort{IP: h.IP(), Port: localPort}, remote, cb, cfg)
 	c.state = StateSynSent
-	c.iss = c.rng.Uint32()
+	if cfg.ISNKey != 0 {
+		c.iss = DeterministicISN(cfg.ISNKey, c.local, c.remote)
+	} else {
+		c.iss = c.rng.Uint32()
+	}
 	c.sndUna = c.iss
 	c.sndNxt = c.iss + 1
 	c.bufSeq = c.iss + 1
@@ -218,7 +282,33 @@ func newConn(h *netsim.Host, local, remote netsim.HostPort, cb Callbacks, cfg Co
 		ssthresh: cfg.InitialSsthresh,
 	}
 	c.rtxFn = c.onRtxTimeout
+	if cfg.IdleProbe > 0 {
+		c.probeFn = c.onProbeTimeout
+	}
 	return c
+}
+
+// armProbe starts the idle-probe timer once the connection establishes.
+func (c *Conn) armProbe() {
+	if c.probeFn == nil || c.probeTimer.Active() {
+		return
+	}
+	c.probeTimer = c.net.Schedule(c.cfg.IdleProbe, c.probeFn)
+}
+
+// onProbeTimeout emits a bare ACK if the connection has been idle —
+// established, nothing in flight, nothing buffered — and re-arms. The
+// probe elicits no reply from a healthy peer (pure ACKs are not ACKed)
+// but gives a recovering load balancer a client-side packet to act on.
+func (c *Conn) onProbeTimeout() {
+	c.probeTimer = netsim.Timer{}
+	if c.state == StateClosed {
+		return
+	}
+	if c.state == StateEstablished && c.inflight() == 0 && c.sndHead == len(c.sndBuf) && !c.finQueued {
+		c.sendSegment(netsim.FlagACK, c.sndNxt, c.rcvNxt, nil)
+	}
+	c.probeTimer = c.net.Schedule(c.cfg.IdleProbe, c.probeFn)
 }
 
 // State returns the connection state.
@@ -273,6 +363,7 @@ func (c *Conn) teardown() {
 	}
 	c.state = StateClosed
 	c.rtxTimer.Stop()
+	c.probeTimer.Stop()
 	// rtxBufs are NOT released here: retransmitted packets referencing
 	// them may still be in flight, and the conn going away does not stop
 	// their delivery. They are garbage-collected with the conn.
@@ -493,6 +584,7 @@ func (c *Conn) handleSynSent(pkt *netsim.Packet) {
 	c.rtxBackoff = 0
 	c.rtxTimer.Stop()
 	c.state = StateEstablished
+	c.armProbe()
 	c.sendSegment(netsim.FlagACK, c.sndNxt, c.rcvNxt, nil)
 	if c.cb.OnEstablished != nil {
 		c.cb.OnEstablished(c)
@@ -513,6 +605,7 @@ func (c *Conn) handleSynReceived(pkt *netsim.Packet) {
 	c.rtxBackoff = 0
 	c.rtxTimer.Stop()
 	c.state = StateEstablished
+	c.armProbe()
 	if c.cb.OnEstablished != nil {
 		c.cb.OnEstablished(c)
 	}

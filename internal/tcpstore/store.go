@@ -55,6 +55,11 @@ type Stats struct {
 	Hits, Misses  uint64
 	ReplicaErrors uint64
 	Timeouts      uint64
+	// RoundTrips counts per-replica wire operations issued: one per
+	// replica for Set/Get/Delete, one per server batch for SetMulti.
+	// Divided by flows served, this is the "store round-trips per flow"
+	// cost line the hybrid recovery mode exists to shrink.
+	RoundTrips uint64
 }
 
 // Entry is one record of a batched write. Key and Value may alias caller
@@ -352,6 +357,7 @@ func (s *Store) Set(key, value []byte, cb func(error)) {
 		cb(ErrAllReplicasFailed)
 		return
 	}
+	s.Stats.RoundTrips += uint64(len(replicas))
 	n := len(replicas)
 	need := s.cfg.WriteConcern
 	if need <= 0 || need > n {
@@ -453,6 +459,7 @@ func (s *Store) SetMulti(entries []Entry, cb func(SetResult)) {
 		cb(SetResult{Err: ErrAllReplicasFailed, TimedOut: false})
 		return
 	}
+	s.Stats.RoundTrips += uint64(len(op.batches))
 	if s.cfg.OpTimeout > 0 {
 		op.timer = s.host.Network().Schedule(s.cfg.OpTimeout, op.timeoutFn)
 	}
@@ -509,6 +516,7 @@ func (s *Store) Get(key []byte, cb func(value []byte, ok bool, err error)) {
 		cb(nil, false, ErrAllReplicasFailed)
 		return
 	}
+	s.Stats.RoundTrips += uint64(len(replicas))
 	n := len(replicas)
 	misses, errs, done := 0, 0, false
 	timer := s.armOpTimeout(&done, func() {
@@ -563,6 +571,7 @@ func (s *Store) Delete(key []byte, cb func(error)) {
 		}
 		return
 	}
+	s.Stats.RoundTrips += uint64(len(replicas))
 	n := len(replicas)
 	answered, errs := 0, 0
 	done := false

@@ -24,6 +24,8 @@ go test -run '^$' -bench 'BenchmarkTCPThroughput' -benchmem \
   ./internal/tcp/ | tee -a "$MICRO_LOG"
 go test -run '^$' -bench 'BenchmarkFlowFastPath|BenchmarkStorageWritePath' -benchmem \
   ./internal/core/ | tee -a "$MICRO_LOG"
+go test -run '^$' -bench 'BenchmarkStoreRoundTripsPerFlow' -benchtime 1x \
+  ./internal/core/ | tee -a "$MICRO_LOG"
 go test -run '^$' -bench 'BenchmarkMemcacheSession' -benchmem \
   ./internal/memcache/ | tee -a "$MICRO_LOG"
 go test -run '^$' -bench 'BenchmarkSimulatorThroughput' -benchmem \
@@ -86,6 +88,8 @@ FM_LOOKUP_ALLOCS="$(awk '$1 ~ /^BenchmarkFlowmapLookup\/impl=compact/ {for(i=1;i
 FM_CHURN_NS="$(pick "$MICRO_LOG" BenchmarkFlowmapChurn 3)"
 FM_BPF="$(metric "$MICRO_LOG" 'BenchmarkFlowmapMemPerFlow/impl=compact' bytes/flow)"
 FM_MAP_BPF="$(metric "$MICRO_LOG" 'BenchmarkFlowmapMemPerFlow/impl=map' bytes/flow)"
+RT_PAPER="$(metric "$MICRO_LOG" 'BenchmarkStoreRoundTripsPerFlow/mode=paper' roundtrips/flow)"
+RT_HYBRID="$(metric "$MICRO_LOG" 'BenchmarkStoreRoundTripsPerFlow/mode=hybrid' roundtrips/flow)"
 RULE_SEL_NS="$(pick "$MICRO_LOG" 'BenchmarkRuleSelect/rules=1000' 3)"
 RULE_SEL_ALLOCS="$(awk '$1 ~ /^BenchmarkRuleSelect\/rules=1000/ {for(i=1;i<NF;i++) if($(i+1)=="allocs/op") print $i}' "$MICRO_LOG" | head -1)"
 RULE_REF_NS="$(pick "$MICRO_LOG" 'BenchmarkRuleSelectReference/rules=1000' 3)"
@@ -164,6 +168,8 @@ cat > "$OUT" <<EOF
     "flowmap_map_baseline_lookup_ns_op": $(jsonnum "$FM_LOOKUP_MAP_NS"),
     "flowmap_lookup_allocs_op": $(jsonnum "$FM_LOOKUP_ALLOCS"),
     "flowmap_churn_ns_op": $(jsonnum "$FM_CHURN_NS"),
+    "storage_roundtrips_per_flow_paper": $(jsonnum "$RT_PAPER"),
+    "storage_roundtrips_per_flow_hybrid": $(jsonnum "$RT_HYBRID"),
     "rule_select_ns_op": $(jsonnum "$RULE_SEL_NS"),
     "rule_select_allocs_op": $(jsonnum "$RULE_SEL_ALLOCS"),
     "rule_select_reference_ns_op": $(jsonnum "$RULE_REF_NS"),

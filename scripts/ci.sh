@@ -22,16 +22,17 @@ if unformatted=$(gofmt -s -l cmd examples internal scripts 2>/dev/null); [ -n "$
 fi
 go vet ./...
 
-echo "== dataplane fast-fail (vet + race on flowmap/rules/httpsim/core/l4lb/tcpstore/memcache/reconfig) =="
+echo "== dataplane fast-fail (vet + race on flowmap/rules/httpsim/core/l4lb/tcpstore/memcache/reconfig/stateless) =="
 # The compact flow-map layer, the compiled rule engine, the request
 # parser it reads through, the write-barrier dataplane, the L4 mux
 # refactored onto the flow map, its store client, the zero-copy
-# memcached protocol+engine under it, and the live reconfiguration
-# engine are where regressions bite hardest; vet and race them first so
-# a broken index, barrier, or parser fails in seconds, not after the
-# full suite.
-go vet ./internal/flowmap/ ./internal/rules/ ./internal/httpsim/ ./internal/core/ ./internal/l4lb/ ./internal/tcpstore/ ./internal/memcache/ ./internal/reconfig/
-go test -race ./internal/flowmap/ ./internal/rules/ ./internal/httpsim/ ./internal/core/ ./internal/l4lb/ ./internal/tcpstore/ ./internal/memcache/ ./internal/reconfig/
+# memcached protocol+engine under it, the live reconfiguration engine,
+# and the stateless derivation table the hybrid recovery mode trusts
+# are where regressions bite hardest; vet and race them first so a
+# broken index, barrier, parser, or cookie decode fails in seconds, not
+# after the full suite.
+go vet ./internal/flowmap/ ./internal/rules/ ./internal/httpsim/ ./internal/core/ ./internal/l4lb/ ./internal/tcpstore/ ./internal/memcache/ ./internal/reconfig/ ./internal/stateless/
+go test -race ./internal/flowmap/ ./internal/rules/ ./internal/httpsim/ ./internal/core/ ./internal/l4lb/ ./internal/tcpstore/ ./internal/memcache/ ./internal/reconfig/ ./internal/stateless/
 
 echo "== sharded dataplane fast-fail (race at 4 shards: netsim + l4lb SNAT + whole-stack e2e) =="
 # The conservative-sync coordinator is lock-free by design (happens-before
@@ -41,6 +42,9 @@ echo "== sharded dataplane fast-fail (race at 4 shards: netsim + l4lb SNAT + who
 go test -race ./internal/netsim/ -args -shards=4
 go test -race -run 'TestSharded' ./internal/l4lb/ -args -shards=4
 go test -race -run 'TestSharded' ./internal/core/ -args -shards=4
+# Hybrid recovery at 4 shards: exact recovery (recovered == deadFlows,
+# zero leaks, zero drops, zero pending) with proof-gated adoption.
+go test -race -run 'TestMflowHybrid' ./internal/experiments/
 
 echo "== rng lint (grep fast-fail; TestNoStrayRNGConstruction is the test half) =="
 # Only netsim (per-shard RNGs) and the trial-level drivers may construct
