@@ -38,6 +38,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	shardsN := flag.Int("shards", runtime.NumCPU(), "event-loop shards for sharded experiments (mflow)")
 	recovery := flag.String("recovery", "", "mflow recovery model: empty (pure HRW re-pick) or hybrid (stateless-table gated adoption)")
+	tierb := flag.Bool("tierb", true, "mflow: ride Tier B coalescing sideband connections (delayed ACKs + GSO trains) alongside the run")
 	parallel := flag.Bool("parallel", false, "run independent trials/experiments on separate goroutines")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof allocation profile (taken at exit) to this file")
@@ -131,6 +132,7 @@ func main() {
 			cfg.Seed = *seed
 			cfg.Shards = *shardsN
 			cfg.Recovery = *recovery
+			cfg.TierB = *tierb
 			return experiments.RunMflow(cfg)
 		},
 	}

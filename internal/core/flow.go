@@ -432,7 +432,10 @@ func (in *Instance) serverHandshakePacket(f *flow, pkt *netsim.Packet) {
 // the buffer (reqBuf is nilled after the forward), so the bytes are
 // immutable from here on.
 func (in *Instance) forwardClientBytes(f *flow, seq uint32, data []byte) {
-	const mss = 1460
+	mss := in.cfg.RelayMSS
+	if mss <= 0 {
+		mss = 1460
+	}
 	for off := 0; off < len(data); off += mss {
 		end := off + mss
 		if end > len(data) {
@@ -549,6 +552,7 @@ func (in *Instance) maybeFinish(f *flow) {
 // teardown removes flow state locally, from TCPStore, and from the L4
 // LB's SNAT table.
 func (in *Instance) teardown(f *flow, deleteStore bool) {
+	in.FlowsClosed++
 	in.flows.del(f.clientTuple(), f)
 	if f.server.IP != 0 {
 		in.flows.del(f.serverTuple(), f)

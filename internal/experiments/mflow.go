@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
 	"strings"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/flowmap"
 	"repro/internal/netsim"
 	"repro/internal/stateless"
+	"repro/internal/tcp"
 )
 
 // The mflow experiment is the scale headline the sharded dataplane
@@ -64,6 +66,16 @@ type MflowConfig struct {
 	BatchSize  int           // flows each driver touches per pacing tick
 	BatchEvery time.Duration // pacing tick
 	Settle     time.Duration // post-phase settling time (covers client RTT)
+
+	// TierB, when true, rides a small set of real TCP echo connections
+	// alongside the compact-flow population with Tier B event coalescing
+	// on end to end (delayed ACKs, 8-segment GSO trains, idle probing) —
+	// DESIGN.md §14. Each sideband client pushes a 32 KiB write at every
+	// phase boundary; the run then requires the echoes back intact, a
+	// clean close, and the coalescing stats nonzero. ISNs are derived
+	// from a fixed key so the sideband stays RNG-free and the summary
+	// stays byte-identical across shard counts.
+	TierB bool
 }
 
 // DefaultMflowConfig is the headline configuration: 2^20 flows over 16
@@ -81,6 +93,7 @@ func DefaultMflowConfig() MflowConfig {
 		BatchSize:  64,
 		BatchEvery: 2 * time.Millisecond,
 		Settle:     300 * time.Millisecond,
+		TierB:      true,
 	}
 }
 
@@ -354,6 +367,103 @@ func (d *mfDriver) HandlePacket(pkt *netsim.Packet) {
 	d.net.ReleasePacket(pkt)
 }
 
+// Tier B sideband parameters: a handful of real tcp.Conn endpoints with
+// event coalescing on, sized so GSO trains and delayed ACKs both engage
+// (32 KiB ≫ 8×MSS) while staying a rounding error next to the
+// million-flow population.
+const (
+	mfSidebandConns   = 4
+	mfSidebandWrite   = 32 << 10
+	mfSidebandGSOSegs = 8
+	mfSidebandISNKey  = 0x5eedc0a1e5ced111 // fixed: keeps the sideband RNG-free
+)
+
+// mfSideband owns the Tier B echo connections. The server host lives on
+// shard 0; client hosts are spread across shards like every other tier,
+// so the sideband also exercises coalesced delivery over the SPSC
+// cross-shard handoff.
+type mfSideband struct {
+	clients []*tcp.Conn
+	servers []*tcp.Conn
+	echoed  []int
+	payload []byte
+	writes  int
+}
+
+func newMfSideband(sn *netsim.ShardedNetwork, shards int) *mfSideband {
+	sb := &mfSideband{
+		echoed:  make([]int, mfSidebandConns),
+		payload: bytes.Repeat([]byte("tierb"), mfSidebandWrite/5+1)[:mfSidebandWrite],
+	}
+	cfg := tcp.DefaultConfig()
+	cfg.DelayedAck = true
+	cfg.GSOSegs = mfSidebandGSOSegs
+	cfg.ISNKey = mfSidebandISNKey
+
+	srvHost := netsim.NewHost(sn.Shard(0), netsim.IPv4(10, 0, 3, 1))
+	srvAddr := srvHost.Addr(7)
+	tcp.Listen(srvHost, 7, func(c *tcp.Conn) tcp.Callbacks {
+		sb.servers = append(sb.servers, c)
+		return tcp.Callbacks{
+			OnData:      func(c *tcp.Conn, d []byte) { c.Write(d) },
+			OnPeerClose: func(c *tcp.Conn) { c.Close() },
+		}
+	}, cfg)
+
+	ccfg := cfg
+	ccfg.IdleProbe = 50 * time.Millisecond // heartbeats ride the settle gaps
+	for i := 0; i < mfSidebandConns; i++ {
+		host := netsim.NewHost(sn.Shard(i%shards), netsim.IPv4(10, 0, 3, byte(i+2)))
+		idx := i
+		conn := tcp.Dial(host, srvAddr, tcp.Callbacks{
+			OnData: func(c *tcp.Conn, d []byte) { sb.echoed[idx] += len(d) },
+		}, ccfg)
+		sb.clients = append(sb.clients, conn)
+	}
+	return sb
+}
+
+// push queues one write per client; called at each phase boundary while
+// the shard loops are parked, the same discipline the drivers follow.
+func (sb *mfSideband) push() {
+	sb.writes++
+	for _, c := range sb.clients {
+		c.Write(sb.payload)
+	}
+}
+
+// finish closes every client and, after the drain, validates the echoes
+// and coalescing stats into res.
+func (sb *mfSideband) close() {
+	for _, c := range sb.clients {
+		c.Close()
+	}
+}
+
+func (sb *mfSideband) report(res *MflowResult) {
+	want := sb.writes * mfSidebandWrite
+	res.TierBConns = len(sb.clients)
+	for i, c := range sb.clients {
+		if sb.echoed[i] != want {
+			res.failf("tierb: conn %d echoed %d of %d bytes", i, sb.echoed[i], want)
+		}
+		if c.State() != tcp.StateClosed {
+			res.failf("tierb: conn %d not closed (state %v)", i, c.State())
+		}
+		res.TierBEchoed += sb.echoed[i]
+	}
+	for _, c := range append(sb.clients, sb.servers...) {
+		res.TierBAcksElided += c.AcksElided
+		res.TierBGSOTrains += c.GSOTrainsSent
+	}
+	if res.TierBAcksElided == 0 {
+		res.failf("tierb: no ACKs elided under DelayedAck")
+	}
+	if res.TierBGSOTrains == 0 {
+		res.failf("tierb: no GSO trains for %d-byte writes", mfSidebandWrite)
+	}
+}
+
 // MflowResult carries the outcome. Summary() covers only virtual-time
 // deterministic fields (identical across shard counts); wall-clock and
 // memory figures are reported separately by String().
@@ -369,6 +479,12 @@ type MflowResult struct {
 	Recovered      int // flows adopted by surviving instances
 	RecoveredOnFin int
 	AdoptRejected  int // hybrid: adoptions refused for lack of a dead-owner proof
+
+	// Tier B sideband (Cfg.TierB only).
+	TierBConns      int
+	TierBEchoed     int
+	TierBAcksElided int
+	TierBGSOTrains  int
 
 	Delivered       uint64
 	Executed        uint64
@@ -399,6 +515,10 @@ func (r *MflowResult) Summary() string {
 		r.DeadFlows, r.Recovered, r.RecoveredOnFin)
 	if r.Cfg.Recovery != "" {
 		fmt.Fprintf(&b, "  recovery: mode=%s adoptRejected=%d\n", r.Cfg.Recovery, r.AdoptRejected)
+	}
+	if r.Cfg.TierB {
+		fmt.Fprintf(&b, "  tierb: conns=%d echoed=%d acksElided=%d gsoTrains=%d\n",
+			r.TierBConns, r.TierBEchoed, r.TierBAcksElided, r.TierBGSOTrains)
 	}
 	fmt.Fprintf(&b, "  events: executed=%d delivered=%d dropped=%d+%d\n",
 		r.Executed, r.Delivered, r.DroppedNoRoute, r.DroppedByPolicy)
@@ -500,6 +620,11 @@ func RunMflow(cfg MflowConfig) *MflowResult {
 		in.backends = backendIPs
 	}
 
+	var sb *mfSideband
+	if cfg.TierB {
+		sb = newMfSideband(sn, shards)
+	}
+
 	drivers := make([]*mfDriver, cfg.Drivers)
 	for d := range drivers {
 		nw := sn.Shard(d % shards)
@@ -526,6 +651,9 @@ func RunMflow(cfg MflowConfig) *MflowResult {
 	startPhase := func(phase uint8) {
 		for d, drv := range drivers {
 			drv.start(phase, time.Duration(d)*stagger)
+		}
+		if sb != nil {
+			sb.push()
 		}
 	}
 	counts := func() (established, acked, closed int) {
@@ -596,7 +724,13 @@ func RunMflow(cfg MflowConfig) *MflowResult {
 	// Teardown: close every flow, then drain to quiescence.
 	startPhase(mfPhaseClose)
 	sn.RunFor(span)
+	if sb != nil {
+		sb.close()
+	}
 	sn.RunUntilIdle(1 << 24)
+	if sb != nil {
+		sb.report(res)
+	}
 	_, _, res.Closed = counts()
 	if res.Closed != cfg.Flows {
 		res.failf("teardown: closed %d of %d flows", res.Closed, cfg.Flows)

@@ -95,6 +95,47 @@ func TestMflowShardCountInvariant(t *testing.T) {
 	}
 }
 
+// TestMflowTierBInvariants turns the Tier B sideband on: real TCP echo
+// connections with delayed ACKs, GSO trains, and idle probes riding the
+// run. Every base invariant must still hold (recovery exact, network
+// quiescent) and the sideband's own checks must pass — bytes echoed
+// intact, connections closed, coalescing actually engaged.
+func TestMflowTierBInvariants(t *testing.T) {
+	cfg := smallMflowConfig(2)
+	cfg.TierB = true
+	res := RunMflow(cfg)
+	if !res.Pass() {
+		t.Fatalf("tierb mflow invariants failed:\n%s", res.Summary())
+	}
+	if res.DeadFlows == 0 || res.Recovered != res.DeadFlows {
+		t.Fatalf("recovery not exact with tierb on: recovered=%d deadFlows=%d",
+			res.Recovered, res.DeadFlows)
+	}
+	if res.TierBAcksElided == 0 || res.TierBGSOTrains == 0 {
+		t.Fatalf("tierb coalescing never engaged: elided=%d trains=%d",
+			res.TierBAcksElided, res.TierBGSOTrains)
+	}
+}
+
+// TestMflowTierBShardCountInvariant: the summary — now including the
+// sideband's coalescing stats — must stay byte-identical at 1, 2, and 4
+// shards even though the sideband's TCP segments cross the SPSC handoff
+// differently at each shard count.
+func TestMflowTierBShardCountInvariant(t *testing.T) {
+	mk := func(shards int) string {
+		cfg := smallMflowConfig(shards)
+		cfg.TierB = true
+		return RunMflow(cfg).Summary()
+	}
+	base := mk(1)
+	for _, shards := range []int{2, 4} {
+		if got := mk(shards); got != base {
+			t.Fatalf("tierb summary differs between 1 and %d shards:\n%s\n\nvs:\n%s",
+				shards, base, got)
+		}
+	}
+}
+
 // BenchmarkMflowMemPerFlow reports the peak heap cost per concurrent
 // flow; bench.sh runs it with -benchtime=1x to populate
 // mflow_mem_bytes_per_flow in BENCH_core.json.

@@ -24,6 +24,10 @@ type FetchResult struct {
 	Attempts int           // 1 = no retry
 	// TimedOut is true when the HTTP timeout elapsed on any attempt.
 	TimedOut bool
+	// Conn is the TCP connection of the last attempt, retained so tests
+	// and experiments can read per-conn stats (retransmits, elided ACKs)
+	// after the fetch resolves.
+	Conn *tcp.Conn
 }
 
 // Elapsed returns the end-to-end fetch duration.
@@ -133,6 +137,7 @@ func (cl *Client) attempt(addr netsim.HostPort, req *Request, res *FetchResult, 
 			}
 		},
 	}, cl.cfg.TCP)
+	res.Conn = conn
 }
 
 func cloneHeaders(h map[string]string) map[string]string {

@@ -51,6 +51,8 @@ type Server struct {
 	Requests int
 	// ActiveConns tracks currently open connections.
 	ActiveConns int
+
+	conns []*tcp.Conn
 }
 
 // NewServer starts a server on host:port with the given handler.
@@ -66,8 +68,14 @@ func (s *Server) Close() { s.lis.Close() }
 // Host returns the server's host.
 func (s *Server) Host() *netsim.Host { return s.host }
 
+// Conns returns every connection the server has accepted, open or
+// closed, in accept order — tests inspect their per-conn TCP stats
+// (retransmits, elided ACKs, GSO trains).
+func (s *Server) Conns() []*tcp.Conn { return s.conns }
+
 func (s *Server) accept(c *tcp.Conn) tcp.Callbacks {
 	parser := &RequestParser{}
+	s.conns = append(s.conns, c)
 	s.ActiveConns++
 	closeConn := func() {
 		if s.ActiveConns > 0 {

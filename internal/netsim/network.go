@@ -38,8 +38,22 @@ type TraceEvent struct {
 // own; the coordinator runs whole shards on separate goroutines, but no
 // individual Network is ever touched by two goroutines at once.
 type Network struct {
-	now     time.Duration
-	seq     uint64
+	now time.Duration
+	seq uint64
+
+	// Packet-train coalescing (Tier A, always on unless SetCoalescing
+	// disables it): openTrain is the most recently scheduled delivery
+	// event, still accepting same-instant sends as train members. It is
+	// closed as soon as any other event is filed at its instant
+	// (scheduleEvent) and cleared when it fires (execute), so a non-nil
+	// pointer always refers to a live, unfired delivery — no generation
+	// check needed. openAt caches its deadline so the no-match fast path
+	// never dereferences the record. These sit next to now/seq because
+	// Send and execute touch them on every packet.
+	openTrain  *event
+	openAt     time.Duration
+	noCoalesce bool
+
 	nodes   map[IP]Node
 	rng     *rand.Rand
 	latency LatencyFunc
@@ -56,6 +70,10 @@ type Network struct {
 	coord     *ShardedNetwork
 	executed  uint64
 	violation string
+	// lastBusy is the clock at the most recent event Run executed, before
+	// the deadline park — the shard's contribution to the fleet-wide
+	// quiescent frontier (ShardedNetwork.RunUntilIdle).
+	lastBusy time.Duration
 
 	// Scheduler state (see sched.go): a timer wheel for near events, a
 	// typed heap for far ones, and a small heap for the cursor's slot.
@@ -64,19 +82,23 @@ type Network struct {
 	slots            [wheelSize][]*event
 	occupied         [wheelSize / 64]uint64
 	overflow         eventQueue
-	queued           int // events in the scheduler, including cancelled
+	queued           int // pending deliveries + timers, including cancelled
 	cancelledPending int // cancelled events not yet drained
 
 	// Freelists (see pool.go). The loop is single-threaded, so these are
 	// plain slices with no locking.
-	evFree  []*event
-	pktFree []*Packet
-	bufFree [][]byte
+	evFree    []*event
+	pktFree   []*Packet
+	bufFree   [][]byte
+	trainFree []*trainBox
 
 	// Stats counters.
 	Delivered       uint64
 	DroppedNoRoute  uint64
 	DroppedByPolicy uint64
+	// Coalesced counts deliveries that rode another delivery's event
+	// record instead of their own.
+	Coalesced uint64
 }
 
 // DefaultLatency models a two-zone topology: addresses in 10.0.0.0/8 are
@@ -188,10 +210,43 @@ func (n *Network) Send(pkt *Packet) {
 			return
 		}
 	}
+	at := n.now + d
+	// Tier A coalescing: a delivery due at the open train's instant rides
+	// that event instead of allocating and filing its own. It still
+	// consumes a sequence number, and scheduleEvent closes the train the
+	// moment any other same-instant event is filed, so burst dispatch
+	// replays exactly the (at, seq) order the unbatched scheduler had.
+	if t := n.openTrain; t != nil && n.openAt == at {
+		if t.train == nil {
+			t.train = n.allocTrain()
+		}
+		if len(t.train.entries) < trainMax-1 {
+			n.seq++
+			t.train.entries = append(t.train.entries, trainEntry{pkt: pkt, dst: dst})
+			n.queued++
+			n.Coalesced++
+			return
+		}
+	}
 	e := n.allocEvent()
 	n.seq++
-	e.at, e.seq, e.kind, e.pkt, e.dst = n.now+d, n.seq, evDeliver, pkt, dst
+	e.at, e.seq, e.kind, e.pkt, e.dst = at, n.seq, evDeliver, pkt, dst
 	n.scheduleEvent(e)
+	if !n.noCoalesce {
+		n.openTrain, n.openAt = e, at
+	}
+}
+
+// SetCoalescing toggles packet-train delivery (default on). Disabling it
+// forces one scheduler record per delivery — the reference behavior the
+// differential fuzz oracle compares against. Both modes deliver packets
+// in the identical order and report identical Executed/Pending counts;
+// coalescing only changes how many records carry them.
+func (n *Network) SetCoalescing(on bool) {
+	n.noCoalesce = !on
+	if !on {
+		n.openTrain = nil
+	}
 }
 
 func (n *Network) deliver(pkt *Packet, dst IP) {
@@ -224,7 +279,10 @@ func (n *Network) trace(pkt *Packet, dropped bool, reason string) {
 }
 
 // execute pops the event nextEvent positioned at the top of curHeap,
-// recycles the record, advances the clock, and runs the occurrence.
+// recycles the record, advances the clock, and runs the occurrence. A
+// delivery event dispatches its whole train as a burst; each member
+// counts as one executed event and one pending slot, so Executed and
+// Pending are byte-identical to one-record-per-delivery scheduling.
 func (n *Network) execute(e *event) {
 	n.curHeap.pop()
 	n.queued--
@@ -232,10 +290,25 @@ func (n *Network) execute(e *event) {
 	if e.at > n.now {
 		n.now = e.at
 	}
+	if e == n.openTrain {
+		n.openTrain = nil
+	}
 	kind, fn, pkt, dst := e.kind, e.fn, e.pkt, e.dst
+	train := e.train
+	if train != nil {
+		e.train = nil
+	}
 	n.freeEvent(e)
 	if kind == evDeliver {
 		n.deliver(pkt, dst)
+		if train != nil {
+			n.queued -= len(train.entries)
+			n.executed += uint64(len(train.entries))
+			for i := range train.entries {
+				n.deliver(train.entries[i].pkt, train.entries[i].dst)
+			}
+			n.freeTrain(train)
+		}
 		return
 	}
 	fn()
@@ -257,12 +330,19 @@ func (n *Network) Step() bool {
 // sets the clock to the deadline. Events scheduled exactly at the
 // deadline are executed.
 func (n *Network) Run(deadline time.Duration) {
+	start := n.executed
 	for {
 		e := n.nextEvent()
 		if e == nil || e.at > deadline {
 			break
 		}
 		n.execute(e)
+	}
+	if n.executed != start {
+		// Record the busy frontier before parking at the deadline: the
+		// sharded coordinator uses it to settle a drained fleet on the
+		// last event's time rather than the final window's end.
+		n.lastBusy = n.now
 	}
 	if n.now < deadline {
 		n.now = deadline
@@ -275,11 +355,17 @@ func (n *Network) RunFor(d time.Duration) { n.Run(n.now + d) }
 
 // RunUntilIdle executes events until the queue drains or maxEvents have
 // run, whichever comes first. It returns the number of events executed.
-// The cap guards against runaway retransmission loops in tests.
+// The cap guards against runaway retransmission loops in tests. Events
+// are counted logically — every delivery in a burst-dispatched train is
+// one event — so counts match unbatched scheduling exactly.
 func (n *Network) RunUntilIdle(maxEvents int) int {
 	count := 0
-	for count < maxEvents && n.Step() {
-		count++
+	for count < maxEvents {
+		before := n.executed
+		if !n.Step() {
+			break
+		}
+		count += int(n.executed - before)
 	}
 	return count
 }

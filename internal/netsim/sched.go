@@ -37,6 +37,12 @@ const (
 // so that events scheduled earlier fire earlier, keeping runs
 // deterministic. Records are pooled; gen increments on every recycle so
 // stale Timer handles become inert.
+//
+// A delivery event may carry a train: additional packets due at the same
+// instant that ride this record instead of their own (see Network.Send).
+// Each train entry consumed a sequence number when it was appended, so
+// the burst dispatch in execute replays exactly the (at, seq) order the
+// unbatched scheduler would have produced.
 type event struct {
 	at        time.Duration
 	seq       uint64
@@ -46,7 +52,27 @@ type event struct {
 	fn        func()
 	pkt       *Packet
 	dst       IP
+	train     *trainBox
 }
+
+// trainEntry is one extra delivery coalesced onto an open evDeliver
+// event. Entries never get Timer handles and are never cancelled.
+type trainEntry struct {
+	pkt *Packet
+	dst IP
+}
+
+// trainBox holds a train's entries behind one pointer, keeping the event
+// record at a single cache line for the (overwhelmingly common) untrained
+// case.
+type trainBox struct {
+	entries []trainEntry
+}
+
+// trainMax bounds how many deliveries one event record may carry, so
+// pooled train slices stay cache-friendly and a pathological burst cannot
+// grow one unbounded backing array.
+const trainMax = 256
 
 func eventLess(a, b *event) bool {
 	if a.at != b.at {
@@ -81,7 +107,12 @@ func (q *eventQueue) pop() *event {
 	h[n] = nil
 	h = h[:n]
 	*q = h
-	i := 0
+	siftDown(h, 0)
+	return top
+}
+
+func siftDown(h []*event, i int) {
+	n := len(h)
 	for {
 		l, r := 2*i+1, 2*i+2
 		min := i
@@ -92,12 +123,22 @@ func (q *eventQueue) pop() *event {
 			min = r
 		}
 		if min == i {
-			break
+			return
 		}
 		h[i], h[min] = h[min], h[i]
 		i = min
 	}
-	return top
+}
+
+// heapify restores the heap property over the whole slice in O(n) — the
+// bulk-load path collectSlot uses when it moves an entire wheel slot at
+// once. (at, seq) keys are unique, so pop order is identical however the
+// heap was built.
+func (q *eventQueue) heapify() {
+	h := *q
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(h, i)
+	}
 }
 
 // Timer is a cancellable handle to a scheduled event. The zero value is
@@ -135,8 +176,14 @@ func (n *Network) allocEvent() *event {
 }
 
 // freeEvent recycles a record. The generation bump invalidates any Timer
-// handle still pointing at it.
+// handle still pointing at it. execute detaches trains before freeing;
+// the defensive release here only matters if an unfired trained event is
+// ever discarded (not possible today — deliveries are never cancelled).
 func (n *Network) freeEvent(e *event) {
+	if e.train != nil {
+		n.freeTrain(e.train)
+		e.train = nil
+	}
 	e.fn = nil
 	e.pkt = nil
 	e.cancelled = false
@@ -144,9 +191,36 @@ func (n *Network) freeEvent(e *event) {
 	n.evFree = append(n.evFree, e)
 }
 
+// allocTrain takes a train box off the freelist (or allocates one).
+func (n *Network) allocTrain() *trainBox {
+	if k := len(n.trainFree); k > 0 {
+		t := n.trainFree[k-1]
+		n.trainFree = n.trainFree[:k-1]
+		return t
+	}
+	return &trainBox{entries: make([]trainEntry, 0, 16)}
+}
+
+// freeTrain recycles a train box, dropping its packet references. One
+// pool operation retires the whole burst — pool maintenance batches at
+// the same granularity the deliveries did.
+func (n *Network) freeTrain(t *trainBox) {
+	for i := range t.entries {
+		t.entries[i] = trainEntry{}
+	}
+	t.entries = t.entries[:0]
+	n.trainFree = append(n.trainFree, t)
+}
+
 // scheduleEvent files e into the wheel, the current-slot heap, or the
 // overflow heap. e.at must be >= the time of the last executed event.
 func (n *Network) scheduleEvent(e *event) {
+	// Filing any other event at the open train's instant would interleave
+	// a sequence number between the train head and later appends, so the
+	// train must stop accepting members to preserve (at, seq) order.
+	if n.openTrain != nil && e.at == n.openAt && e != n.openTrain {
+		n.openTrain = nil
+	}
 	slot := int64(e.at >> slotShift)
 	switch {
 	case slot <= n.curSlot:
@@ -165,7 +239,12 @@ func (n *Network) scheduleEvent(e *event) {
 }
 
 // discard drops a cancelled event encountered during popping/migration.
+// Deliveries are never cancelled, so e cannot be the open train today;
+// the clear is defensive against that ever changing.
 func (n *Network) discard(e *event) {
+	if e == n.openTrain {
+		n.openTrain = nil
+	}
 	n.queued--
 	n.cancelledPending--
 	n.freeEvent(e)
@@ -232,14 +311,24 @@ func (n *Network) advance() bool {
 }
 
 // collectSlot moves every event parked at wheel index idx into curHeap
-// and clears its occupancy bit.
+// and clears its occupancy bit. A slot cascading into an empty heap is
+// bulk-loaded with one O(n) heapify instead of n O(log n) pushes —
+// same batching granularity as packet trains, same resulting pop order.
 func (n *Network) collectSlot(idx int) {
 	if n.occupied[idx>>6]&(1<<(uint(idx)&63)) == 0 {
 		return
 	}
-	for i, e := range n.slots[idx] {
-		n.curHeap.push(e)
-		n.slots[idx][i] = nil
+	if len(n.curHeap) == 0 && len(n.slots[idx]) > 4 {
+		n.curHeap = append(n.curHeap, n.slots[idx]...)
+		n.curHeap.heapify()
+		for i := range n.slots[idx] {
+			n.slots[idx][i] = nil
+		}
+	} else {
+		for i, e := range n.slots[idx] {
+			n.curHeap.push(e)
+			n.slots[idx][i] = nil
+		}
 	}
 	n.slots[idx] = n.slots[idx][:0]
 	n.occupied[idx>>6] &^= 1 << (uint(idx) & 63)

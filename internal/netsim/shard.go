@@ -178,6 +178,14 @@ func (sn *ShardedNetwork) SetDropFunc(f func(pkt *Packet) bool) {
 	}
 }
 
+// SetCoalescing toggles packet-train delivery on every shard (and on the
+// handoff-ingest path). See Network.SetCoalescing.
+func (sn *ShardedNetwork) SetCoalescing(on bool) {
+	for _, sh := range sn.shards {
+		sh.SetCoalescing(on)
+	}
+}
+
 // Place pins ip to a shard before it is first attached. Attaching
 // through a shard handle pins the IP implicitly; Place exists for
 // placement policies that must route packets to an IP before the
@@ -234,31 +242,53 @@ func (sn *ShardedNetwork) push(src *Network, dstShard int, at time.Duration, pkt
 }
 
 // ingest drains every handoff queue addressed to sh from the previous
-// window, filing each delivery as a fresh local event. Queues are
-// visited in sender-shard order and each preserves its sender's
-// execution order, so the sequence numbers assigned here — the
-// deterministic tie-break for same-time events — are reproducible
-// regardless of how the OS scheduled the shard goroutines.
+// window, filing deliveries as fresh local events. Queues are visited in
+// sender-shard order and each preserves its sender's execution order, so
+// the sequence numbers assigned here — the deterministic tie-break for
+// same-time events — are reproducible regardless of how the OS scheduled
+// the shard goroutines.
+//
+// Consecutive handoffs from one sender due at the same instant ingest as
+// a single train event (Tier A coalescing): each member still consumes a
+// sequence number, so the burst executes in exactly the order per-event
+// ingestion would have produced.
 func (sn *ShardedNetwork) ingest(sh *Network, parity int) {
 	s := len(sn.shards)
+	clamp := func(at time.Duration) time.Duration {
+		if at < sh.now {
+			if sh.violation == "" {
+				sh.violation = fmt.Sprintf(
+					"netsim: handoff into shard %d's past: due %v, clock %v (lookahead too large)",
+					sh.shard, at, sh.now)
+			}
+			return sh.now
+		}
+		return at
+	}
 	for src := 0; src < s; src++ {
 		slot := src*s + sh.shard
 		q := sn.out[parity][slot]
-		for i := range q {
+		for i := 0; i < len(q); {
 			h := q[i]
-			if h.at < sh.now {
-				if sh.violation == "" {
-					sh.violation = fmt.Sprintf(
-						"netsim: handoff into shard %d's past: due %v, clock %v (lookahead too large)",
-						sh.shard, h.at, sh.now)
-				}
-				h.at = sh.now
-			}
 			e := sh.allocEvent()
 			sh.seq++
-			e.at, e.seq, e.kind, e.pkt, e.dst = h.at, sh.seq, evDeliver, h.pkt, h.dst
-			sh.scheduleEvent(e)
+			e.at, e.seq, e.kind, e.pkt, e.dst = clamp(h.at), sh.seq, evDeliver, h.pkt, h.dst
 			q[i] = handoff{}
+			i++
+			members := 0
+			for !sh.noCoalesce && i < len(q) && members < trainMax-1 && clamp(q[i].at) == e.at {
+				if e.train == nil {
+					e.train = sh.allocTrain()
+				}
+				sh.seq++
+				e.train.entries = append(e.train.entries, trainEntry{pkt: q[i].pkt, dst: q[i].dst})
+				sh.Coalesced++
+				members++
+				q[i] = handoff{}
+				i++
+			}
+			sh.scheduleEvent(e)
+			sh.queued += members
 		}
 		sn.out[parity][slot] = q[:0]
 	}
@@ -417,6 +447,26 @@ func (sn *ShardedNetwork) RunUntilIdle(maxEvents int) int {
 		sn.round(t + sn.lookahead)
 		total += int(sn.Executed() - before)
 	}
+	// Fully drained: settle the fleet on the quiescent frontier — the
+	// last executed event's time — instead of the final window's end.
+	// The single loop leaves Now() there, and rewinding keeps simulation
+	// end times identical across shard counts. Safe because nothing is
+	// queued: the shard cursors may sit ahead of the clock, a regime
+	// scheduleEvent already handles.
+	if _, ok := sn.nextTime(); !ok && total > 0 {
+		frontier := time.Duration(0)
+		for _, sh := range sn.shards {
+			if sh.lastBusy > frontier {
+				frontier = sh.lastBusy
+			}
+		}
+		if frontier > 0 && frontier < sn.now {
+			sn.now = frontier
+			for _, sh := range sn.shards {
+				sh.now = frontier
+			}
+		}
+	}
 	return total
 }
 
@@ -458,6 +508,16 @@ func (sn *ShardedNetwork) DroppedByPolicy() uint64 {
 	var n uint64
 	for _, sh := range sn.shards {
 		n += sh.DroppedByPolicy
+	}
+	return n
+}
+
+// Coalesced returns the total deliveries that rode another delivery's
+// event record across shards.
+func (sn *ShardedNetwork) Coalesced() uint64 {
+	var n uint64
+	for _, sh := range sn.shards {
+		n += sh.Coalesced
 	}
 	return n
 }

@@ -24,7 +24,7 @@ go test -run '^$' -bench 'BenchmarkTCPThroughput' -benchmem \
   ./internal/tcp/ | tee -a "$MICRO_LOG"
 go test -run '^$' -bench 'BenchmarkFlowFastPath|BenchmarkStorageWritePath' -benchmem \
   ./internal/core/ | tee -a "$MICRO_LOG"
-go test -run '^$' -bench 'BenchmarkStoreRoundTripsPerFlow' -benchtime 1x \
+go test -run '^$' -bench 'BenchmarkStoreRoundTripsPerFlow|BenchmarkEventsPerFlow' -benchtime 1x \
   ./internal/core/ | tee -a "$MICRO_LOG"
 go test -run '^$' -bench 'BenchmarkMemcacheSession' -benchmem \
   ./internal/memcache/ | tee -a "$MICRO_LOG"
@@ -90,6 +90,8 @@ FM_BPF="$(metric "$MICRO_LOG" 'BenchmarkFlowmapMemPerFlow/impl=compact' bytes/fl
 FM_MAP_BPF="$(metric "$MICRO_LOG" 'BenchmarkFlowmapMemPerFlow/impl=map' bytes/flow)"
 RT_PAPER="$(metric "$MICRO_LOG" 'BenchmarkStoreRoundTripsPerFlow/mode=paper' roundtrips/flow)"
 RT_HYBRID="$(metric "$MICRO_LOG" 'BenchmarkStoreRoundTripsPerFlow/mode=hybrid' roundtrips/flow)"
+EPF_OFF="$(metric "$MICRO_LOG" 'BenchmarkEventsPerFlow/tierb=off' events/flow)"
+EPF_ON="$(metric "$MICRO_LOG" 'BenchmarkEventsPerFlow/tierb=on' events/flow)"
 RULE_SEL_NS="$(pick "$MICRO_LOG" 'BenchmarkRuleSelect/rules=1000' 3)"
 RULE_SEL_ALLOCS="$(awk '$1 ~ /^BenchmarkRuleSelect\/rules=1000/ {for(i=1;i<NF;i++) if($(i+1)=="allocs/op") print $i}' "$MICRO_LOG" | head -1)"
 RULE_REF_NS="$(pick "$MICRO_LOG" 'BenchmarkRuleSelectReference/rules=1000' 3)"
@@ -154,6 +156,8 @@ cat > "$OUT" <<EOF
     "reconfig_migration_flows_per_s": $(jsonnum "$RECONFIG_TPUT"),
     "reconfig_drain_virtual_ms": $(jsonnum "$RECONFIG_DRAIN_MS"),
     "sharded_note": "measured on $(nproc) CPU(s); with one hardware thread the shard speedup reflects working-set locality only, not parallel execution",
+    "cpu_count": $(nproc),
+    "gomaxprocs": ${GOMAXPROCS:-$(nproc)},
     "sharded_events_per_s": {
       "shards_1": $(jsonnum "$SHARD1_EPS"),
       "shards_2": $(jsonnum "$SHARD2_EPS"),
@@ -170,6 +174,8 @@ cat > "$OUT" <<EOF
     "flowmap_churn_ns_op": $(jsonnum "$FM_CHURN_NS"),
     "storage_roundtrips_per_flow_paper": $(jsonnum "$RT_PAPER"),
     "storage_roundtrips_per_flow_hybrid": $(jsonnum "$RT_HYBRID"),
+    "events_per_flow_tierb_off": $(jsonnum "$EPF_OFF"),
+    "events_per_flow_tierb_on": $(jsonnum "$EPF_ON"),
     "rule_select_ns_op": $(jsonnum "$RULE_SEL_NS"),
     "rule_select_allocs_op": $(jsonnum "$RULE_SEL_ALLOCS"),
     "rule_select_reference_ns_op": $(jsonnum "$RULE_REF_NS"),

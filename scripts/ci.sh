@@ -67,4 +67,29 @@ go test -run '^$' -bench '.' -benchtime=1x \
   -skip 'BenchmarkFig10|BenchmarkFig12|BenchmarkFig13|BenchmarkMemcachedRealTCP' \
   ./... 2>/dev/null | grep -E '^(Benchmark|ok|FAIL)' || true
 
+echo "== bench regression gate (>15% vs BENCH_core.json fails) =="
+# Guard the coalesced dataplane's headline numbers: the event-loop
+# microbenchmark may not regress more than 15% over the recorded ns/op,
+# and mflow throughput must stay within 15% of the recorded events/s.
+# Best-of-3 runs absorb machine noise; after an intentional perf change,
+# re-baseline with scripts/bench.sh.
+REC_EVLOOP_NS=$(awk -F'[:,]' '/"event_loop_ns_op"/ {gsub(/[ "]/,"",$2); print $2; exit}' BENCH_core.json 2>/dev/null || true)
+REC_MFLOW_EPS=$(awk -F'[:,]' '/"mflow_events_per_s"/ {gsub(/[ "]/,"",$2); print $2; exit}' BENCH_core.json 2>/dev/null || true)
+if [[ -z "${REC_EVLOOP_NS:-}" || "$REC_EVLOOP_NS" == "null" || -z "${REC_MFLOW_EPS:-}" || "$REC_MFLOW_EPS" == "null" ]]; then
+  echo "SKIP: BENCH_core.json lacks recorded event_loop_ns_op / mflow_events_per_s"
+else
+  GATE_LOG="$(mktemp)"
+  go test -run '^$' -bench 'BenchmarkNetsimEventLoop$' -count=3 ./internal/netsim/ | tee "$GATE_LOG"
+  go test -run '^$' -bench 'BenchmarkMflowMemPerFlow' -benchtime 1x -count=3 ./internal/experiments/ | tee -a "$GATE_LOG"
+  NEW_EVLOOP_NS=$(awk '$1 ~ /^BenchmarkNetsimEventLoop/ {if (min=="" || $3+0<min+0) min=$3} END{print min}' "$GATE_LOG")
+  NEW_MFLOW_EPS=$(awk '$1 ~ /^BenchmarkMflowMemPerFlow/ {for(i=1;i<NF;i++) if($(i+1)=="events/s" && $i+0>max+0) max=$i} END{print max}' "$GATE_LOG")
+  rm -f "$GATE_LOG"
+  awk -v new="$NEW_EVLOOP_NS" -v rec="$REC_EVLOOP_NS" 'BEGIN{
+    if (new+0 > rec*1.15) { printf "FAIL: event loop %.1f ns/op vs recorded %.1f (>15%% regression)\n", new, rec; exit 1 }
+    printf "event loop %.1f ns/op vs recorded %.1f ns/op: ok\n", new, rec }'
+  awk -v new="$NEW_MFLOW_EPS" -v rec="$REC_MFLOW_EPS" 'BEGIN{
+    if (new+0 < rec/1.15) { printf "FAIL: mflow %.0f events/s vs recorded %.0f (>15%% regression)\n", new, rec; exit 1 }
+    printf "mflow %.0f events/s vs recorded %.0f events/s: ok\n", new, rec }'
+fi
+
 echo "CI PASS"
