@@ -29,12 +29,18 @@ type flowIndex struct {
 	tab   *flowmap.Compact
 	slots []*flow
 	free  []uint32
+	// version increments on every mutation (put/del/init). The batch
+	// dispatch path caches a (tuple, flow) resolution across a run and
+	// revalidates it against version, so a teardown or re-key mid-run
+	// can never route a packet to a stale flow.
+	version uint64
 }
 
 func (x *flowIndex) init() {
 	x.tab = flowmap.NewCompact(0)
 	x.slots = nil
 	x.free = nil
+	x.version++
 }
 
 // entries returns the number of live tuple entries (both orientations),
@@ -60,6 +66,7 @@ func (x *flowIndex) get(t netsim.FourTuple) *flow {
 
 // put indexes f under t, assigning f a slot on first use.
 func (x *flowIndex) put(t netsim.FourTuple, f *flow) {
+	x.version++
 	if v, hit := x.tab.LookupMaybe(t); hit {
 		prev := x.slots[v]
 		if prev == f {
@@ -95,6 +102,7 @@ func (x *flowIndex) del(t netsim.FourTuple, f *flow) {
 	if !hit || x.slots[v] != f {
 		return
 	}
+	x.version++
 	x.tab.Delete(t)
 	x.unref(v, f)
 }

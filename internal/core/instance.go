@@ -135,7 +135,12 @@ type Instance struct {
 	Barrier BarrierStats
 
 	// Counters.
-	Stats        map[netsim.IP]*VIPStats
+	Stats map[netsim.IP]*VIPStats
+	// statsCache is a one-entry statsFor cache: the fast path charges
+	// the same VIP for every packet of a flow, so the map probe repeats
+	// per packet. Invalidated when ReadStats swaps the map.
+	statsVIP     netsim.IP
+	statsCache   *VIPStats
 	Recovered    uint64 // flows resurrected from TCPStore
 	LookupMisses uint64 // orphan packets with no recoverable state, or dropped while queued
 	Reselections uint64 // HTTP/1.1 backend switches
@@ -196,7 +201,7 @@ func NewInstance(host *netsim.Host, lb *l4lb.LB, store *tcpstore.Store, cfg Conf
 	}
 	inst.flows.init()
 	inst.baseExecuted = inst.net.Executed()
-	host.Default = netsim.PortHandlerFunc(inst.handlePacket)
+	host.Default = inst
 	return inst
 }
 
@@ -356,15 +361,20 @@ func countPort(f *flow) uint64 {
 func (in *Instance) ReadStats() map[netsim.IP]*VIPStats {
 	out := in.Stats
 	in.Stats = make(map[netsim.IP]*VIPStats)
+	in.statsCache = nil
 	return out
 }
 
 func (in *Instance) statsFor(vip netsim.IP) *VIPStats {
+	if in.statsCache != nil && in.statsVIP == vip {
+		return in.statsCache
+	}
 	s, ok := in.Stats[vip]
 	if !ok {
 		s = &VIPStats{}
 		in.Stats[vip] = s
 	}
+	in.statsVIP, in.statsCache = vip, s
 	return s
 }
 
@@ -449,6 +459,49 @@ func (in *Instance) releaseSNATPort(p uint16) { delete(in.snatInUse, p) }
 func (in *Instance) handlePacket(pkt *netsim.Packet) {
 	in.processPacket(pkt)
 	in.net.ReleasePacket(pkt)
+}
+
+// HandleSegment implements netsim.PortHandler; the instance is the
+// host's default handler.
+func (in *Instance) HandleSegment(pkt *netsim.Packet) { in.handlePacket(pkt) }
+
+// HandleSegmentBatch implements netsim.BatchPortHandler: a run of
+// packets for one flow costs one flowIndex lookup instead of one per
+// packet. The cached resolution is revalidated against the index's
+// version counter, so a teardown, adoption, or re-key triggered by an
+// earlier packet of the run forces a fresh lookup — per-packet
+// semantics are otherwise identical to processPacket.
+func (in *Instance) HandleSegmentBatch(pkts []*netsim.Packet) {
+	var (
+		runTuple netsim.FourTuple
+		runFlow  *flow
+		runVer   uint64
+		runOK    bool
+	)
+	for _, pkt := range pkts {
+		if in.dead {
+			in.net.ReleasePacket(pkt)
+			continue
+		}
+		in.CPU.Charge(in.net.Now(), in.cfg.CPUPerPacket)
+		tuple := pkt.Tuple()
+		st := in.statsFor(pkt.Dst.IP)
+		st.Packets++
+		st.PayloadByte += uint64(len(pkt.Payload))
+		if !runOK || tuple != runTuple || in.flows.version != runVer {
+			runFlow = in.flows.get(tuple)
+			runTuple, runVer, runOK = tuple, in.flows.version, true
+		}
+		switch {
+		case runFlow != nil:
+			in.dispatch(runFlow, pkt)
+		case pkt.Flags.Has(netsim.FlagSYN) && !pkt.Flags.Has(netsim.FlagACK):
+			in.newClientFlow(pkt)
+		default:
+			in.recoverFlow(tuple, pkt)
+		}
+		in.net.ReleasePacket(pkt)
+	}
 }
 
 func (in *Instance) processPacket(pkt *netsim.Packet) {

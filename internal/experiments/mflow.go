@@ -98,16 +98,28 @@ func DefaultMflowConfig() MflowConfig {
 }
 
 // mfHash is HRW-style tuple hashing for mflow (FNV-1a over the tuple
-// words, splitmix64 finalizer, salted per candidate).
+// words, splitmix64 finalizer, salted per candidate). It is factored
+// into a salt-independent FNV prefix over the four tuple words and a
+// per-salt finish, so an HRW pick over k candidates hashes the tuple
+// once instead of k times — bit-identical to the unfactored chain,
+// since FNV-1a folds words left to right and the salt is the last one.
 func mfHash(ft netsim.FourTuple, salt uint64) uint64 {
-	const offset, prime = 14695981039346656037, 1099511628211
-	h := uint64(offset)
-	for _, w := range [5]uint64{
-		uint64(ft.Src.IP), uint64(ft.Dst.IP),
-		uint64(ft.Src.Port), uint64(ft.Dst.Port), salt,
-	} {
-		h = (h ^ w) * prime
-	}
+	return mfHashFinish(mfHashPrefix(ft), salt)
+}
+
+const mfFNVOffset, mfFNVPrime uint64 = 14695981039346656037, 1099511628211
+
+func mfHashPrefix(ft netsim.FourTuple) uint64 {
+	h := mfFNVOffset
+	h = (h ^ uint64(ft.Src.IP)) * mfFNVPrime
+	h = (h ^ uint64(ft.Dst.IP)) * mfFNVPrime
+	h = (h ^ uint64(ft.Src.Port)) * mfFNVPrime
+	h = (h ^ uint64(ft.Dst.Port)) * mfFNVPrime
+	return h
+}
+
+func mfHashFinish(prefix, salt uint64) uint64 {
+	h := (prefix ^ salt) * mfFNVPrime
 	h ^= h >> 30
 	h *= 0xbf58476d1ce4e5b9
 	h ^= h >> 27
@@ -120,10 +132,11 @@ func mfHash(ft netsim.FourTuple, salt uint64) uint64 {
 // remaps tuples whose winner was removed, which is the recovery-routing
 // property the experiment leans on.
 func mfPick(ft netsim.FourTuple, cands []netsim.IP) netsim.IP {
+	prefix := mfHashPrefix(ft)
 	var best netsim.IP
 	var bestW uint64
 	for _, ip := range cands {
-		if w := mfHash(ft, uint64(ip)); w > bestW || best == 0 {
+		if w := mfHashFinish(prefix, uint64(ip)); w > bestW || best == 0 {
 			best, bestW = ip, w
 		}
 	}
@@ -135,10 +148,11 @@ func mfPick(ft netsim.FourTuple, cands []netsim.IP) netsim.IP {
 // integers rather than addresses. The weight function is identical, so
 // cands[mfPickIdx(ft, cands)] == mfPick(ft, cands).
 func mfPickIdx(ft netsim.FourTuple, cands []netsim.IP) int {
+	prefix := mfHashPrefix(ft)
 	best := -1
 	var bestW uint64
 	for i, ip := range cands {
-		if w := mfHash(ft, uint64(ip)); w > bestW || best < 0 {
+		if w := mfHashFinish(prefix, uint64(ip)); w > bestW || best < 0 {
 			best, bestW = i, w
 		}
 	}
@@ -170,6 +184,15 @@ func (m *mfMux) HandlePacket(pkt *netsim.Packet) {
 	}
 	pkt.SetOuter(m.vip, to)
 	m.net.Send(pkt)
+}
+
+// HandleBatch implements netsim.BatchNode. Per-packet picks stay (each
+// tuple hashes independently); the batch entry amortizes the event
+// loop's per-delivery node resolution and dispatch overhead.
+func (m *mfMux) HandleBatch(pkts []*netsim.Packet) {
+	for _, p := range pkts {
+		m.HandlePacket(p)
+	}
 }
 
 // mfInstance is a flow-table L7 LB instance. Its table is the compact
@@ -246,6 +269,13 @@ func (in *mfInstance) HandlePacket(pkt *netsim.Packet) {
 	in.net.Send(pkt)
 }
 
+// HandleBatch implements netsim.BatchNode (see mfMux.HandleBatch).
+func (in *mfInstance) HandleBatch(pkts []*netsim.Packet) {
+	for _, p := range pkts {
+		in.HandlePacket(p)
+	}
+}
+
 // mfBackend replies to every request straight to the client (DSR),
 // reusing the pooled packet: zero allocations per exchange.
 type mfBackend struct {
@@ -270,6 +300,13 @@ func (b *mfBackend) HandlePacket(pkt *netsim.Packet) {
 	}
 	pkt.Src, pkt.Dst = pkt.Dst, pkt.Src
 	b.net.Send(pkt)
+}
+
+// HandleBatch implements netsim.BatchNode (see mfMux.HandleBatch).
+func (b *mfBackend) HandleBatch(pkts []*netsim.Packet) {
+	for _, p := range pkts {
+		b.HandlePacket(p)
+	}
 }
 
 // Driver flow states.
@@ -365,6 +402,13 @@ func (d *mfDriver) HandlePacket(pkt *netsim.Packet) {
 		}
 	}
 	d.net.ReleasePacket(pkt)
+}
+
+// HandleBatch implements netsim.BatchNode (see mfMux.HandleBatch).
+func (d *mfDriver) HandleBatch(pkts []*netsim.Packet) {
+	for _, p := range pkts {
+		d.HandlePacket(p)
+	}
 }
 
 // Tier B sideband parameters: a handful of real tcp.Conn endpoints with
@@ -497,6 +541,15 @@ type MflowResult struct {
 
 	Wall             time.Duration
 	HeapBytesPerFlow float64
+
+	// Batch-dispatch shape (deliberately not part of Summary: the
+	// scalar reference mode must stay byte-identical while reporting
+	// zeros here). TrainRuns counts same-destination runs carved out of
+	// burst-dispatched trains; BatchRuns the subset (length ≥ 2) handed
+	// to a BatchNode in one call.
+	TrainRuns     uint64
+	BatchRuns     uint64
+	BatchHitRatio float64
 
 	Failures []string
 }
@@ -749,6 +802,9 @@ func RunMflow(cfg MflowConfig) *MflowResult {
 
 	res.Delivered = sn.Delivered()
 	res.Executed = sn.Executed()
+	res.TrainRuns = sn.Runs()
+	res.BatchRuns = sn.BatchRuns()
+	res.BatchHitRatio = sn.BatchHitRatio()
 	res.DroppedNoRoute = sn.DroppedNoRoute()
 	res.DroppedByPolicy = sn.DroppedByPolicy()
 	if res.DroppedNoRoute != 0 {

@@ -34,6 +34,19 @@ func TestMflowInvariants(t *testing.T) {
 	if res.DeadFlows == 0 {
 		t.Fatal("storm killed no flows — the recovery path was never exercised")
 	}
+	// Batch dispatch must actually engage at mflow scale: same-destination
+	// bursts (driver→mux, backend→driver) form multi-packet runs that take
+	// HandleBatch. These fields are observability-only — deliberately not
+	// part of Summary(), which stays byte-identical to the scalar path.
+	if res.TrainRuns == 0 {
+		t.Fatal("no delivery runs recorded — train dispatch never ran")
+	}
+	if res.BatchRuns == 0 {
+		t.Fatal("no batched runs — multi-packet runs never reached HandleBatch")
+	}
+	if res.BatchHitRatio <= 0 || res.BatchHitRatio > 1 {
+		t.Fatalf("batch hit ratio %v out of (0,1]", res.BatchHitRatio)
+	}
 }
 
 // TestMflowDeterminism requires byte-identical summaries across repeated

@@ -15,14 +15,23 @@ import (
 type CPUMeter struct {
 	Cores int
 
-	busy       time.Duration // total busy core-time charged
-	busyEvents []busyEvent   // per-charge log for windowed queries
+	busy time.Duration // total busy core-time charged
+	// chunks is the per-charge log for windowed queries, stored as
+	// fixed-capacity chunks so an append never copies earlier entries:
+	// a meter charged per packet logs millions of events, and a single
+	// flat slice spends more time in growslice memmoves than in the
+	// dataplane it is metering. Only the last chunk grows; entries stay
+	// in charge (time) order across chunks.
+	chunks [][]busyEvent
 }
 
 type busyEvent struct {
 	at   time.Duration
 	cost time.Duration
 }
+
+// cpuChunk is the per-chunk entry capacity (1 MiB of log per chunk).
+const cpuChunk = 1 << 16
 
 // NewCPUMeter creates a meter for a machine with the given core count.
 func NewCPUMeter(cores int) *CPUMeter {
@@ -38,7 +47,12 @@ func (c *CPUMeter) Charge(now, cost time.Duration) {
 		return
 	}
 	c.busy += cost
-	c.busyEvents = append(c.busyEvents, busyEvent{at: now, cost: cost})
+	last := len(c.chunks) - 1
+	if last < 0 || len(c.chunks[last]) == cpuChunk {
+		c.chunks = append(c.chunks, make([]busyEvent, 0, cpuChunk))
+		last++
+	}
+	c.chunks[last] = append(c.chunks[last], busyEvent{at: now, cost: cost})
 }
 
 // BusyTotal returns the total core-time charged so far.
@@ -51,12 +65,22 @@ func (c *CPUMeter) Utilization(from, to time.Duration) float64 {
 	if to <= from {
 		return 0
 	}
-	// busyEvents is append-only in time order; binary-search the window.
-	lo := sort.Search(len(c.busyEvents), func(i int) bool { return c.busyEvents[i].at >= from })
-	hi := sort.Search(len(c.busyEvents), func(i int) bool { return c.busyEvents[i].at >= to })
+	// The log is append-only in time order; binary-search the window
+	// within each chunk, skipping chunks entirely outside it. Summing
+	// per chunk visits exactly the entries a flat slice would have.
 	var busy time.Duration
-	for _, ev := range c.busyEvents[lo:hi] {
-		busy += ev.cost
+	for _, ch := range c.chunks {
+		if len(ch) == 0 || ch[len(ch)-1].at < from {
+			continue
+		}
+		if ch[0].at >= to {
+			break
+		}
+		lo := sort.Search(len(ch), func(i int) bool { return ch[i].at >= from })
+		hi := sort.Search(len(ch), func(i int) bool { return ch[i].at >= to })
+		for _, ev := range ch[lo:hi] {
+			busy += ev.cost
+		}
 	}
 	return float64(busy) / (float64(to-from) * float64(c.Cores))
 }
@@ -76,7 +100,10 @@ func (c *CPUMeter) UtilizationClamped(from, to time.Duration) float64 {
 // Reset discards all recorded charges.
 func (c *CPUMeter) Reset() {
 	c.busy = 0
-	c.busyEvents = c.busyEvents[:0]
+	if len(c.chunks) > 0 {
+		c.chunks = c.chunks[:1]
+		c.chunks[0] = c.chunks[0][:0]
+	}
 }
 
 // RateSeries counts events into fixed-width time buckets, producing the

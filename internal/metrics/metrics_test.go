@@ -304,3 +304,67 @@ func TestHistogramLargeRandom(t *testing.T) {
 		}
 	}
 }
+
+func TestLenHistBucketsAndStats(t *testing.T) {
+	var h LenHist
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatalf("empty hist: n=%d mean=%v max=%d", h.Count(), h.Mean(), h.Max())
+	}
+	h.Observe(0)  // ignored
+	h.Observe(-3) // ignored
+	if h.Count() != 0 {
+		t.Fatalf("non-positive lengths counted: n=%d", h.Count())
+	}
+	for i := 1; i <= 8; i++ {
+		h.Observe(i)
+	}
+	h.Observe(9)
+	h.Observe(16)
+	h.Observe(1024)
+	h.Observe(5000) // overflow bucket
+	if h.Count() != 12 {
+		t.Fatalf("Count = %d, want 12", h.Count())
+	}
+	if want := uint64(1 + 2 + 3 + 4 + 5 + 6 + 7 + 8 + 9 + 16 + 1024 + 5000); h.Sum() != want {
+		t.Fatalf("Sum = %d, want %d", h.Sum(), want)
+	}
+	if h.Max() != 5000 {
+		t.Fatalf("Max = %d, want 5000", h.Max())
+	}
+	// AtLeast is exact through n=9: buckets 1..8 are singletons.
+	if got := h.AtLeast(2); got != 11 {
+		t.Fatalf("AtLeast(2) = %d, want 11", got)
+	}
+	if got := h.AtLeast(9); got != 4 {
+		t.Fatalf("AtLeast(9) = %d, want 4", got)
+	}
+	if got := h.AtLeast(0); got != h.Count() {
+		t.Fatalf("AtLeast(0) = %d, want Count %d", got, h.Count())
+	}
+	// The documented overcount above n=9: AtLeast(16) counts from the
+	// start of the 9-16 bucket, so the observation of 9 is included.
+	if got := h.AtLeast(16); got != 4 {
+		t.Fatalf("AtLeast(16) = %d, want 4 (bucket-granular above 9)", got)
+	}
+	if got := h.AtLeast(1025); got != 1 {
+		t.Fatalf("AtLeast(1025) = %d, want 1", got)
+	}
+}
+
+func TestLenHistMerge(t *testing.T) {
+	var a, b LenHist
+	a.Observe(1)
+	a.Observe(4)
+	b.Observe(4)
+	b.Observe(300)
+	a.Merge(&b)
+	if a.Count() != 4 || a.Sum() != 309 || a.Max() != 300 {
+		t.Fatalf("merged: n=%d sum=%d max=%d", a.Count(), a.Sum(), a.Max())
+	}
+	if got := a.AtLeast(2); got != 3 {
+		t.Fatalf("merged AtLeast(2) = %d, want 3", got)
+	}
+	if got, want := a.String(), "n=4 mean=77.2 max=300"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

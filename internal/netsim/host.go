@@ -13,6 +13,20 @@ type PortHandlerFunc func(pkt *Packet)
 // HandleSegment calls f(pkt).
 func (f PortHandlerFunc) HandleSegment(pkt *Packet) { f(pkt) }
 
+// BatchPortHandler is an optional extension of PortHandler: the host's
+// batch demux hands a run of consecutive same-connKey segments over in
+// one call, amortizing the conns probe across the run. The handler must
+// be observably equivalent to per-segment HandleSegment calls in order;
+// in particular, if processing segment i changes where later segments
+// of the run would demux (the connection unregisters itself), the
+// handler must push the remainder back through Host.Demux — see
+// tcp.Conn.HandleSegmentBatch. The slice is scratch owned by the host
+// and must not be retained.
+type BatchPortHandler interface {
+	PortHandler
+	HandleSegmentBatch(pkts []*Packet)
+}
+
 // connKey demuxes established connections: local port plus remote
 // endpoint. Listeners are keyed by local port alone.
 type connKey struct {
@@ -29,8 +43,15 @@ type Host struct {
 	ip        IP
 	conns     map[connKey]PortHandler
 	listeners map[uint16]PortHandler
-	nextPort  uint16
-	dead      bool
+	// portRefs counts live connection registrations per local port so
+	// AllocPort is O(1) instead of scanning conns (which holds every
+	// established connection at mflow scale).
+	portRefs map[uint16]int
+	nextPort uint16
+	dead     bool
+	// batchScratch backs the sub-run slice HandleBatch hands to a
+	// BatchPortHandler; reused across runs, never retained by handlers.
+	batchScratch []*Packet
 	// Default, when non-nil, receives packets that match no connection or
 	// listener (used to emit RSTs or to implement raw packet drivers).
 	Default PortHandler
@@ -44,6 +65,7 @@ func NewHost(n *Network, ip IP) *Host {
 		ip:        ip,
 		conns:     make(map[connKey]PortHandler),
 		listeners: make(map[uint16]PortHandler),
+		portRefs:  make(map[uint16]int),
 		nextPort:  32768,
 	}
 	n.Attach(ip, h)
@@ -75,20 +97,11 @@ func (h *Host) AllocPort() uint16 {
 			continue
 		}
 		// A port is reusable when no connection currently uses it locally.
-		if !h.portInUse(p) {
+		if h.portRefs[p] == 0 {
 			return p
 		}
 	}
 	panic(fmt.Sprintf("netsim: host %s out of ephemeral ports", h.ip))
-}
-
-func (h *Host) portInUse(p uint16) bool {
-	for k := range h.conns {
-		if k.localPort == p {
-			return true
-		}
-	}
-	return false
 }
 
 // Listen registers handler for new segments addressed to port that match
@@ -103,12 +116,22 @@ func (h *Host) Unlisten(port uint16) { delete(h.listeners, port) }
 // Register binds an established-connection handler for segments arriving
 // at localPort from remote.
 func (h *Host) Register(localPort uint16, remote HostPort, handler PortHandler) {
-	h.conns[connKey{localPort, remote}] = handler
+	k := connKey{localPort, remote}
+	if _, existed := h.conns[k]; !existed {
+		h.portRefs[localPort]++
+	}
+	h.conns[k] = handler
 }
 
 // Unregister removes an established-connection binding.
 func (h *Host) Unregister(localPort uint16, remote HostPort) {
-	delete(h.conns, connKey{localPort, remote})
+	k := connKey{localPort, remote}
+	if _, existed := h.conns[k]; existed {
+		delete(h.conns, k)
+		if h.portRefs[localPort]--; h.portRefs[localPort] == 0 {
+			delete(h.portRefs, localPort)
+		}
+	}
 }
 
 // Detach removes the host from the network; pending packets to it are
@@ -134,26 +157,36 @@ func (h *Host) Reattach() {
 func (h *Host) Reset() {
 	h.conns = make(map[connKey]PortHandler)
 	h.listeners = make(map[uint16]PortHandler)
+	h.portRefs = make(map[uint16]int)
 	h.Default = nil
 }
 
 // Alive reports whether the host is attached (not failed).
 func (h *Host) Alive() bool { return !h.dead }
 
-// HandlePacket implements Node. Encapsulated packets are decapsulated
-// before demux, matching IP-in-IP behaviour where the host terminates the
-// tunnel.
-func (h *Host) HandlePacket(pkt *Packet) {
-	if pkt.Outer != nil {
-		if pkt.Pooled() {
-			// The host owns a pooled packet; strip the tunnel in place.
-			pkt.Outer = nil
-		} else {
-			inner := *pkt
-			inner.Outer = nil
-			pkt = &inner
-		}
+// decap strips one layer of encapsulation, matching IP-in-IP behaviour
+// where the host terminates the tunnel. Pooled packets are stripped in
+// place; unpooled ones (a tracer may retain them) are shallow-copied.
+func (h *Host) decap(pkt *Packet) *Packet {
+	if pkt.Outer == nil {
+		return pkt
 	}
+	if pkt.Pooled() {
+		// The host owns a pooled packet; strip the tunnel in place.
+		pkt.Outer = nil
+		return pkt
+	}
+	inner := *pkt
+	inner.Outer = nil
+	return &inner
+}
+
+// Demux routes an already-decapsulated segment to its connection,
+// listener, or default handler — the tail of HandlePacket. Exposed so a
+// BatchPortHandler that invalidates its own demux entry mid-run (a
+// connection that closes itself) can re-route the run's remaining
+// segments exactly as scalar delivery would have.
+func (h *Host) Demux(pkt *Packet) {
 	if c, ok := h.conns[connKey{pkt.Dst.Port, pkt.Src}]; ok {
 		c.HandleSegment(pkt)
 		return
@@ -164,5 +197,63 @@ func (h *Host) HandlePacket(pkt *Packet) {
 	}
 	if h.Default != nil {
 		h.Default.HandleSegment(pkt)
+	}
+}
+
+// HandlePacket implements Node.
+func (h *Host) HandlePacket(pkt *Packet) {
+	h.Demux(h.decap(pkt))
+}
+
+// HandleBatch implements BatchNode: one conns probe per run of
+// consecutive same-connKey segments, instead of per segment. The demux
+// decision for a run is made once, before its first segment is
+// processed; a handler whose processing invalidates that decision
+// mid-run re-routes via Demux (see BatchPortHandler). Runs that do not
+// resolve to a batch-capable handler replay the exact scalar path —
+// full per-segment demux — so listener accepts that register a
+// connection mid-run (SYN then ACK in one train) demux identically.
+func (h *Host) HandleBatch(pkts []*Packet) {
+	run := h.batchScratch[:0]
+	var runKey connKey
+	for _, pkt := range pkts {
+		pkt = h.decap(pkt)
+		k := connKey{pkt.Dst.Port, pkt.Src}
+		if len(run) > 0 && k == runKey {
+			run = append(run, pkt)
+			continue
+		}
+		h.flushRun(run, runKey)
+		run = append(run[:0], pkt)
+		runKey = k
+	}
+	h.flushRun(run, runKey)
+	h.batchScratch = run[:0]
+}
+
+// flushRun dispatches one same-connKey run. Runs of length ≥ 2 whose
+// handler — the registered connection, or the default handler when the
+// key matches neither a connection nor a listener — implements
+// BatchPortHandler are handed over in one call; everything else goes
+// through per-segment Demux, which re-probes per segment exactly like
+// scalar delivery.
+func (h *Host) flushRun(run []*Packet, k connKey) {
+	if len(run) == 0 {
+		return
+	}
+	if len(run) > 1 {
+		target, isConn := h.conns[k]
+		if !isConn {
+			if _, listening := h.listeners[k.localPort]; !listening {
+				target = h.Default
+			}
+		}
+		if bh, ok := target.(BatchPortHandler); ok {
+			bh.HandleSegmentBatch(run)
+			return
+		}
+	}
+	for _, p := range run {
+		h.Demux(p)
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // Node is anything attached to the network that can receive packets.
@@ -18,6 +20,31 @@ type NodeFunc func(pkt *Packet)
 
 // HandlePacket calls f(pkt).
 func (f NodeFunc) HandlePacket(pkt *Packet) { f(pkt) }
+
+// BatchNode is an optional extension of Node: burst dispatch hands a
+// run — consecutive train members bound for the same destination — to
+// HandleBatch in one call instead of n HandlePacket calls, so the node
+// can amortize per-packet demux across the run. Contracts:
+//
+//   - HandleBatch(pkts) must be observably equivalent to calling
+//     HandlePacket(pkts[i]) for i in order. The node owns each packet
+//     exactly as it would in the scalar path (including release).
+//   - The slice is scratch storage owned by the network; it must not
+//     be retained past the call.
+//   - Runs are grouped before the first packet is processed, so a node
+//     whose processing would re-route later packets in the same run
+//     (e.g. a connection that closes itself mid-run) must re-check its
+//     own state per packet and fall back accordingly — see
+//     Host.HandleBatch and tcp.Conn.HandleSegmentBatch.
+//
+// Nodes that do not implement BatchNode receive per-packet HandlePacket
+// calls exactly as before. Loss injection (SetDropFunc) forces the
+// per-packet path so drop decisions interleave exactly as in the scalar
+// reference.
+type BatchNode interface {
+	Node
+	HandleBatch(pkts []*Packet)
+}
 
 // LatencyFunc computes the one-way delay between two hosts. It is
 // consulted once per packet send.
@@ -99,6 +126,20 @@ type Network struct {
 	// Coalesced counts deliveries that rode another delivery's event
 	// record instead of their own.
 	Coalesced uint64
+
+	// Batch-dispatch observability. TrainLens observes the member count
+	// of every burst-dispatched train (length ≥ 2 by construction);
+	// RunLens observes every same-destination run carved out of a train.
+	// Runs counts those runs, BatchRuns the subset of length ≥ 2 handed
+	// to a BatchNode in one call. BatchRuns/Runs is the batch-hit ratio.
+	TrainLens metrics.LenHist
+	RunLens   metrics.LenHist
+	Runs      uint64
+	BatchRuns uint64
+
+	// runScratch backs the run slice handed to BatchNode.HandleBatch;
+	// reused across trains, never retained by handlers (see BatchNode).
+	runScratch []*Packet
 }
 
 // DefaultLatency models a two-zone topology: addresses in 10.0.0.0/8 are
@@ -300,18 +341,63 @@ func (n *Network) execute(e *event) {
 	}
 	n.freeEvent(e)
 	if kind == evDeliver {
-		n.deliver(pkt, dst)
-		if train != nil {
-			n.queued -= len(train.entries)
-			n.executed += uint64(len(train.entries))
-			for i := range train.entries {
-				n.deliver(train.entries[i].pkt, train.entries[i].dst)
-			}
-			n.freeTrain(train)
+		if train == nil {
+			n.deliver(pkt, dst)
+			return
 		}
+		entries := train.entries
+		n.queued -= len(entries)
+		n.executed += uint64(len(entries))
+		n.TrainLens.Observe(1 + len(entries))
+		// Group consecutive same-destination members into runs; each run
+		// is one deliverRun call (one node lookup, one HandleBatch where
+		// the node supports it).
+		run := append(n.runScratch[:0], pkt)
+		runDst := dst
+		for i := range entries {
+			if entries[i].dst != runDst {
+				n.deliverRun(run, runDst)
+				run = run[:0]
+				runDst = entries[i].dst
+			}
+			run = append(run, entries[i].pkt)
+		}
+		n.deliverRun(run, runDst)
+		n.runScratch = run[:0]
+		n.freeTrain(train)
 		return
 	}
 	fn()
+}
+
+// deliverRun delivers a run of same-destination packets carved out of a
+// burst-dispatched train. Runs of length ≥ 2 whose destination node
+// implements BatchNode are handed over in one HandleBatch call — with
+// per-packet trace events emitted first, in delivery order, so trace
+// output matches the scalar path (handlers never trace synchronously;
+// their sends become future deliveries). Everything else — singleton
+// runs, non-batch nodes, missing routes, and any run while loss
+// injection is active — falls back to the per-packet deliver path.
+func (n *Network) deliverRun(pkts []*Packet, dst IP) {
+	n.Runs++
+	n.RunLens.Observe(len(pkts))
+	if len(pkts) >= 2 && n.dropFn == nil {
+		if bn, ok := n.nodes[dst].(BatchNode); ok {
+			if n.tracer != nil {
+				for _, p := range pkts {
+					p.pooled = false
+					n.trace(p, false, "")
+				}
+			}
+			n.Delivered += uint64(len(pkts))
+			n.BatchRuns++
+			bn.HandleBatch(pkts)
+			return
+		}
+	}
+	for _, p := range pkts {
+		n.deliver(p, dst)
+	}
 }
 
 // Step executes the next pending event, advancing the clock. It reports
@@ -385,8 +471,21 @@ func (n *Network) NextEventAt() (time.Duration, bool) {
 	return 0, false
 }
 
-// String summarizes the network state for debugging.
+// BatchHitRatio returns the fraction of train runs (length ≥ 2) handed
+// to a BatchNode in one call — 0 when no trains have dispatched yet.
+func (n *Network) BatchHitRatio() float64 {
+	if n.Runs == 0 {
+		return 0
+	}
+	return float64(n.BatchRuns) / float64(n.Runs)
+}
+
+// String summarizes the network state for debugging, including the
+// batch-dispatch shape: train/run length histograms and the batch-hit
+// ratio. Experiment outputs never embed this string, so extending it is
+// byte-identity safe.
 func (n *Network) String() string {
-	return fmt.Sprintf("netsim{t=%s nodes=%d pending=%d delivered=%d dropped=%d+%d}",
-		n.now, len(n.nodes), n.Pending(), n.Delivered, n.DroppedNoRoute, n.DroppedByPolicy)
+	return fmt.Sprintf("netsim{t=%s nodes=%d pending=%d delivered=%d dropped=%d+%d trains{%s} runs{%s} batch-hit=%.2f}",
+		n.now, len(n.nodes), n.Pending(), n.Delivered, n.DroppedNoRoute, n.DroppedByPolicy,
+		n.TrainLens.String(), n.RunLens.String(), n.BatchHitRatio())
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // This file implements the sharded multi-core dataplane: N per-shard
@@ -531,6 +533,54 @@ func (sn *ShardedNetwork) Executed() uint64 {
 	return n
 }
 
+// BatchRuns returns the total train runs handed to BatchNodes in one
+// call (length ≥ 2) across shards.
+func (sn *ShardedNetwork) BatchRuns() uint64 {
+	var n uint64
+	for _, sh := range sn.shards {
+		n += sh.BatchRuns
+	}
+	return n
+}
+
+// Runs returns the total same-destination runs carved out of trains
+// across shards.
+func (sn *ShardedNetwork) Runs() uint64 {
+	var n uint64
+	for _, sh := range sn.shards {
+		n += sh.Runs
+	}
+	return n
+}
+
+// BatchHitRatio returns the fleet-wide fraction of train runs handed to
+// a BatchNode in one call.
+func (sn *ShardedNetwork) BatchHitRatio() float64 {
+	runs := sn.Runs()
+	if runs == 0 {
+		return 0
+	}
+	return float64(sn.BatchRuns()) / float64(runs)
+}
+
+// TrainLens returns the merged train-length histogram across shards.
+func (sn *ShardedNetwork) TrainLens() metrics.LenHist {
+	var h metrics.LenHist
+	for _, sh := range sn.shards {
+		h.Merge(&sh.TrainLens)
+	}
+	return h
+}
+
+// RunLens returns the merged run-length histogram across shards.
+func (sn *ShardedNetwork) RunLens() metrics.LenHist {
+	var h metrics.LenHist
+	for _, sh := range sn.shards {
+		h.Merge(&sh.RunLens)
+	}
+	return h
+}
+
 // String summarizes the whole sharded network, aggregating node counts,
 // pending events, and delivery/drop statistics across every shard.
 func (sn *ShardedNetwork) String() string {
@@ -539,9 +589,10 @@ func (sn *ShardedNetwork) String() string {
 		nodes += len(sh.nodes)
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "netsim{shards=%d t=%s nodes=%d pending=%d delivered=%d dropped=%d+%d",
+	trains, runs := sn.TrainLens(), sn.RunLens()
+	fmt.Fprintf(&b, "netsim{shards=%d t=%s nodes=%d pending=%d delivered=%d dropped=%d+%d trains{%s} runs{%s} batch-hit=%.2f",
 		len(sn.shards), sn.now, nodes, sn.Pending(), sn.Delivered(),
-		sn.DroppedNoRoute(), sn.DroppedByPolicy())
+		sn.DroppedNoRoute(), sn.DroppedByPolicy(), trains.String(), runs.String(), sn.BatchHitRatio())
 	for i, sh := range sn.shards {
 		fmt.Fprintf(&b, " s%d:%d", i, sh.Pending())
 	}

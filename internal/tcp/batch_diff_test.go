@@ -1,0 +1,230 @@
+package tcp
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// diffWorld is one half of a batch/scalar differential pair: a network
+// with one client host and one echo server, every wire delivery captured
+// through the tracer, and every client connection retained for state
+// comparison after the run.
+type diffWorld struct {
+	net    *netsim.Network
+	client *netsim.Host
+	server *netsim.Host
+	cfg    Config
+	wire   []string
+	conns  []*Conn
+	echo   bytes.Buffer // bytes echoed back across all client conns
+}
+
+func newDiffWorld(batch bool, cfgBits byte) *diffWorld {
+	w := &diffWorld{net: netsim.New(7)}
+	// The scalar reference: no trains, so every delivery is a separate
+	// event and every segment takes the per-packet HandleSegment path.
+	w.net.SetCoalescing(batch)
+	w.net.SetTracer(func(ev netsim.TraceEvent) {
+		p := ev.Packet
+		w.wire = append(w.wire, fmt.Sprintf("t=%v %v>%v f=%v seq=%d ack=%d len=%d win=%d drop=%v",
+			ev.At, p.Src, p.Dst, p.Flags, p.Seq, p.Ack, len(p.Payload), p.Window, ev.Dropped))
+	})
+	w.client = netsim.NewHost(w.net, clientIP)
+	w.server = netsim.NewHost(w.net, serverIP)
+	w.cfg = DefaultConfig()
+	// Small windows and MSS make the fuzz scripts exercise multi-segment
+	// bursts (the interesting batch shapes) with tiny payloads.
+	w.cfg.MSS = 256
+	w.cfg.InitialCwnd = 4
+	w.cfg.InitialSsthresh = 8 * 256
+	if cfgBits&1 != 0 {
+		w.cfg.DelayedAck = true
+	}
+	if cfgBits&2 != 0 {
+		w.cfg.GSOSegs = 4
+	}
+	Listen(w.server, 80, func(c *Conn) Callbacks {
+		return Callbacks{
+			OnData:      func(c *Conn, d []byte) { c.Write(d) },
+			OnPeerClose: func(c *Conn) { c.Close() },
+		}
+	}, w.cfg)
+	return w
+}
+
+func (w *diffWorld) dial() {
+	c := Dial(w.client, netsim.HostPort{IP: serverIP, Port: 80}, Callbacks{
+		OnData: func(c *Conn, d []byte) { w.echo.Write(d) },
+	}, w.cfg)
+	w.conns = append(w.conns, c)
+}
+
+// connState flattens the comparable state of a Conn — protocol variables
+// and stats, not timers or buffers — into one string.
+func connState(c *Conn) string {
+	return fmt.Sprintf("st=%v una=%d nxt=%d rcv=%d cwnd=%d ssth=%d pw=%d finQ=%v finS=%v peerFin=%v rtx=%d sent=%d recv=%d elided=%d gso=%d",
+		c.state, c.sndUna-c.iss, c.sndNxt-c.iss, c.rcvNxt, c.cwnd, c.ssthresh, c.peerWnd,
+		c.finQueued, c.finSent, c.peerFin, c.Retransmits, c.BytesSent, c.BytesRecv,
+		c.AcksElided, c.GSOTrainsSent)
+}
+
+// FuzzBatchDispatchDifferential drives two identical TCP worlds through
+// the same script — one with train coalescing and batch dispatch (the
+// default), one with SetCoalescing(false), the scalar reference — and
+// requires a byte-identical wire log, identical Executed/Pending counts,
+// identical echoed payloads, and identical final connection state. This
+// is the oracle pinning the batch receive path (Host.HandleBatch →
+// Conn.HandleSegmentBatch → processAckRun) to scalar semantics.
+//
+// The first script byte selects the configuration (bit 0: DelayedAck,
+// bit 1: GSO segment trains); the rest are ops: write a payload to one
+// of the open connections, dial another connection, close or abort one,
+// run for a bounded slice of virtual time, or drain. Ops advance time
+// only via time-bounded runs and full drains — never Step — because a
+// single Step executes a whole train in batch mode but one delivery in
+// scalar mode, so injecting an op "after one step" would compare the two
+// modes at different logical points. That is a property of Tier A train
+// records (one event per train), not of batch dispatch.
+func FuzzBatchDispatchDifferential(f *testing.F) {
+	f.Add([]byte{0, 8, 16, 1, 2, 3, 16, 10})      // dial, drain, writes, close
+	f.Add([]byte{1, 8, 16, 3, 3, 3, 16, 10, 16})  // delayed ACKs
+	f.Add([]byte{2, 8, 16, 3, 7, 3, 16, 10, 16})  // GSO trains
+	f.Add([]byte{3, 8, 9, 16, 3, 7, 16, 10, 11})  // both, two conns, abort
+	f.Add([]byte{0, 8, 3, 3, 3, 3, 3, 3, 16, 10}) // write burst before established
+	f.Add([]byte{2, 8, 16, 7, 12, 12, 7, 16, 10}) // time-sliced runs between bursts
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) == 0 {
+			return
+		}
+		worlds := [2]*diffWorld{newDiffWorld(true, script[0]), newDiffWorld(false, script[0])}
+		sizes := []int{1, 137, 256, 1000}
+		for i, op := range script[1:] {
+			for _, w := range worlds {
+				switch {
+				case op < 8: // write to a conn: bits 0-1 size, bit 2 conn choice
+					if len(w.conns) == 0 {
+						continue
+					}
+					c := w.conns[int(op>>2)%len(w.conns)]
+					payload := bytes.Repeat([]byte{byte(i)}, sizes[op&3])
+					c.Write(payload)
+				case op < 10: // dial another connection (bounded)
+					if len(w.conns) < 4 {
+						w.dial()
+					}
+				case op == 10: // close the newest conn
+					if len(w.conns) > 0 {
+						w.conns[len(w.conns)-1].Close()
+					}
+				case op == 11: // abort the oldest conn
+					if len(w.conns) > 0 {
+						w.conns[0].Abort()
+					}
+				case op < 14: // run a bounded slice of virtual time
+					w.net.Run(w.net.Now() + time.Duration(op-11)*200*time.Microsecond)
+				default: // drain
+					w.net.RunUntilIdle(1 << 16)
+				}
+			}
+		}
+		for _, w := range worlds {
+			w.net.RunUntilIdle(1 << 20)
+		}
+		ba, ref := worlds[0], worlds[1]
+		if ba.net.Executed() != ref.net.Executed() || ba.net.Pending() != ref.net.Pending() {
+			t.Fatalf("counts: batch exec=%d pend=%d, scalar exec=%d pend=%d",
+				ba.net.Executed(), ba.net.Pending(), ref.net.Executed(), ref.net.Pending())
+		}
+		if len(ba.wire) != len(ref.wire) {
+			t.Fatalf("wire log length: batch=%d scalar=%d\nbatch tail: %v\nscalar tail: %v",
+				len(ba.wire), len(ref.wire), tail(ba.wire, 5), tail(ref.wire, 5))
+		}
+		for i := range ba.wire {
+			if ba.wire[i] != ref.wire[i] {
+				t.Fatalf("wire event %d:\nbatch:  %s\nscalar: %s", i, ba.wire[i], ref.wire[i])
+			}
+		}
+		if !bytes.Equal(ba.echo.Bytes(), ref.echo.Bytes()) {
+			t.Fatalf("echoed bytes differ: batch=%d scalar=%d", ba.echo.Len(), ref.echo.Len())
+		}
+		if len(ba.conns) != len(ref.conns) {
+			t.Fatalf("conn count: batch=%d scalar=%d", len(ba.conns), len(ref.conns))
+		}
+		for i := range ba.conns {
+			if got, want := connState(ba.conns[i]), connState(ref.conns[i]); got != want {
+				t.Fatalf("conn %d state:\nbatch:  %s\nscalar: %s", i, got, want)
+			}
+		}
+	})
+}
+
+func tail(s []string, n int) []string {
+	if len(s) > n {
+		return s[len(s)-n:]
+	}
+	return s
+}
+
+// TestShardedBatchIngest runs bulk TCP transfers between hosts spread
+// across 4 shards, so cross-shard handoff bursts ingest as trains and
+// take the batch dispatch path (Host.HandleBatch) on the receiving
+// shard. Run under -race in CI, it checks that batched ingest introduces
+// no cross-shard sharing: each run is processed entirely on the shard
+// that owns the destination host.
+func TestShardedBatchIngest(t *testing.T) {
+	const shards = 4
+	const pairs = 8
+	const transfer = 64 << 10
+
+	sn := netsim.NewSharded(11, shards)
+	defer sn.Close()
+
+	cfg := DefaultConfig()
+	cfg.GSOSegs = 4 // bigger bursts, longer trains across the handoff
+
+	done := make([]bool, pairs)
+	var got [pairs]bytes.Buffer
+	for i := 0; i < pairs; i++ {
+		i := i
+		// Client and server deliberately on different shards so every
+		// data/ACK burst crosses a handoff queue.
+		cShard, sShard := i%shards, (i+1)%shards
+		client := netsim.NewHost(sn.Shard(cShard), netsim.IPv4(100, 0, 1, byte(i+1)))
+		server := netsim.NewHost(sn.Shard(sShard), netsim.IPv4(10, 0, 1, byte(i+1)))
+		Listen(server, 80, func(c *Conn) Callbacks {
+			return Callbacks{
+				OnData:      func(c *Conn, d []byte) { got[i].Write(d) },
+				OnPeerClose: func(c *Conn) { c.Close() },
+			}
+		}, cfg)
+		payload := bytes.Repeat([]byte{byte(i + 1)}, transfer)
+		Dial(client, netsim.HostPort{IP: server.IP(), Port: 80}, Callbacks{
+			OnEstablished: func(c *Conn) {
+				c.Write(payload)
+				c.Close()
+			},
+			OnClose: func(c *Conn) { done[i] = true },
+		}, cfg)
+	}
+
+	sn.RunUntilIdle(1 << 22)
+
+	for i := 0; i < pairs; i++ {
+		if !done[i] {
+			t.Fatalf("pair %d: connection never closed", i)
+		}
+		if got[i].Len() != transfer {
+			t.Fatalf("pair %d: received %d bytes, want %d", i, got[i].Len(), transfer)
+		}
+	}
+	if sn.BatchRuns() == 0 {
+		t.Fatalf("no batched runs dispatched; ingest trains never reached HandleBatch: %s", sn.String())
+	}
+	if sn.Pending() != 0 {
+		t.Fatalf("pending events after drain: %s", sn.String())
+	}
+}

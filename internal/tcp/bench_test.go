@@ -2,6 +2,7 @@ package tcp
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/netsim"
 )
@@ -73,5 +74,55 @@ func TestDataRoundTripAllocBudget(t *testing.T) {
 	// slides, so allow a fraction of an alloc per run rather than zero.
 	if allocs > 1 {
 		t.Fatalf("data round trip allocates %.2f objects/op, want <= 1", allocs)
+	}
+}
+
+// BenchmarkTCPBatchRx measures the wire-level cost per delivered packet
+// of bulk transfer with batch dispatch on (mode=batch: trains coalesce
+// and runs of bare ACKs collapse into one cumulative applyAck) and with
+// the scalar reference (mode=scalar: SetCoalescing(false), one event
+// and one HandleSegment per packet). The wire streams are identical by
+// construction — the differential fuzzer pins that — so ns/seg compares
+// the same packet sequence under the two dispatch regimes. bench.sh
+// records these as tcp_batch_rx_ns_seg and tcp_scalar_rx_ns_seg.
+func BenchmarkTCPBatchRx(b *testing.B) {
+	for _, mode := range []string{"batch", "scalar"} {
+		b.Run("mode="+mode, func(b *testing.B) {
+			const chunk = 64 << 10
+			n := netsim.New(42)
+			n.SetCoalescing(mode == "batch")
+			sender := netsim.NewHost(n, 0x0a000001)
+			receiver := netsim.NewHost(n, 0x0a000002)
+
+			var received int
+			Listen(receiver, 80, func(c *Conn) Callbacks {
+				return Callbacks{OnData: func(c *Conn, d []byte) { received += len(d) }}
+			}, DefaultConfig())
+
+			conn := Dial(sender, netsim.HostPort{IP: receiver.IP(), Port: 80}, Callbacks{}, DefaultConfig())
+			n.RunUntilIdle(100) // complete the handshake
+
+			payload := make([]byte, chunk)
+			for i := range payload {
+				payload[i] = byte(i)
+			}
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			base := n.Delivered
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				conn.Write(payload)
+				n.RunUntilIdle(1 << 20)
+			}
+			elapsed := time.Since(start)
+			b.StopTimer()
+			if received != b.N*chunk {
+				b.Fatalf("received %d bytes, want %d", received, b.N*chunk)
+			}
+			if segs := n.Delivered - base; segs > 0 {
+				b.ReportMetric(float64(elapsed.Nanoseconds())/float64(segs), "ns/seg")
+			}
+		})
 	}
 }

@@ -604,6 +604,88 @@ func (c *Conn) HandleSegment(pkt *netsim.Packet) {
 	c.net.ReleasePacket(pkt)
 }
 
+// HandleSegmentBatch implements netsim.BatchPortHandler: the host hands
+// over a run of same-connection segments in one call. Runs of bare
+// cumulative ACKs — the dominant receive shape for a bulk sender — are
+// processed as one applyAck at the run's maximum in-range ACK, with
+// cwnd growth replayed per advancing segment and one rtx-timer
+// reconcile instead of a stop/arm pair per segment. Everything else
+// replays the scalar per-segment path, so wire behavior is identical
+// to per-packet delivery by construction (pinned by
+// FuzzBatchDispatchDifferential). If the connection closes itself
+// mid-run, the remainder re-enters host demux exactly as scalar
+// delivery would have routed it (listener RST responder or default).
+func (c *Conn) HandleSegmentBatch(pkts []*netsim.Packet) {
+	for i := 0; i < len(pkts); i++ {
+		if c.state == StateClosed {
+			for _, p := range pkts[i:] {
+				c.host.Demux(p)
+			}
+			return
+		}
+		if j := c.bareAckRunEnd(pkts, i); j-i >= 2 {
+			c.processAckRun(pkts[i:j])
+			for _, p := range pkts[i:j] {
+				c.net.ReleasePacket(p)
+			}
+			i = j - 1
+			continue
+		}
+		c.handleSegment(pkts[i])
+		c.net.ReleasePacket(pkts[i])
+	}
+}
+
+// bareAckRunEnd returns j such that pkts[i:j] is the longest run
+// starting at i that the cumulative-ACK fast path may process as one
+// unit. The gates guarantee the scalar path for each such segment is
+// exactly {peerWnd update, processAck}: established with no FIN in
+// either direction (maybeFinish is a no-op), and no unsent payload or
+// queued FIN (trySend cannot emit). All gate inputs are invariant
+// across a run of such segments — no payload means no callbacks, so no
+// Write/Close can run — so checking once up front is sound.
+func (c *Conn) bareAckRunEnd(pkts []*netsim.Packet, i int) int {
+	if c.state != StateEstablished || c.finQueued || c.finSent || c.peerFin {
+		return i
+	}
+	rel := int(c.sndNxt - c.bufSeq)
+	off := c.sndHead + rel
+	if rel < 0 || off > len(c.sndBuf) {
+		off = len(c.sndBuf)
+	}
+	if len(c.sndBuf)-off > 0 {
+		return i // unsent payload: scalar trySend would transmit
+	}
+	j := i
+	for j < len(pkts) && pkts[j].Flags == netsim.FlagACK && len(pkts[j].Payload) == 0 {
+		j++
+	}
+	return j
+}
+
+// processAckRun applies a run of bare ACKs cumulatively: every
+// segment's window update lands (last writer wins, as scalar), the
+// maximum in-range cumulative ACK is applied once with cwnd growth
+// replayed per advancing segment, and duplicate or out-of-range ACKs
+// are skipped exactly as processAck would have skipped them.
+func (c *Conn) processAckRun(pkts []*netsim.Packet) {
+	cur := c.sndUna
+	advances := 0
+	for _, p := range pkts {
+		c.peerWnd = p.Window
+		if c.peerWnd == 0 {
+			c.peerWnd = 1 // never wedge: simulate persist probes trivially
+		}
+		if seqLT(cur, p.Ack) && seqLEQ(p.Ack, c.sndNxt) {
+			cur = p.Ack
+			advances++
+		}
+	}
+	if advances > 0 {
+		c.applyAck(cur, advances)
+	}
+}
+
 func (c *Conn) handleSegment(pkt *netsim.Packet) {
 	if c.state == StateClosed {
 		return
@@ -758,6 +840,16 @@ func (c *Conn) processAck(ack uint32) {
 	if !seqLT(c.sndUna, ack) || !seqLEQ(ack, c.sndNxt) {
 		return // duplicate or out-of-range
 	}
+	c.applyAck(ack, 1)
+}
+
+// applyAck advances sndUna to ack — already validated as in-range and
+// advancing — releasing covered buffer bytes and reconciling the rtx
+// timer once. growths is the number of advancing ACKs this cumulative
+// apply stands for: the congestion window grows once per original ACK
+// (the formula depends only on the evolving cwnd, so replaying it
+// growths times yields exactly the scalar per-segment result).
+func (c *Conn) applyAck(ack uint32, growths int) {
 	acked := ack - c.sndUna
 	c.sndUna = ack
 	c.rtxBackoff = 0
@@ -805,10 +897,12 @@ func (c *Conn) processAck(ack uint32) {
 		}
 	}
 	// Congestion window growth: slow start below ssthresh, else additive.
-	if c.cwnd < c.ssthresh {
-		c.cwnd += uint32(c.cfg.MSS)
-	} else {
-		c.cwnd += uint32(c.cfg.MSS) * uint32(c.cfg.MSS) / c.cwnd
+	for i := 0; i < growths; i++ {
+		if c.cwnd < c.ssthresh {
+			c.cwnd += uint32(c.cfg.MSS)
+		} else {
+			c.cwnd += uint32(c.cfg.MSS) * uint32(c.cfg.MSS) / c.cwnd
+		}
 	}
 	c.rtxTimer.Stop()
 	if c.inflight() > 0 {
